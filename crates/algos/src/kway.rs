@@ -1,0 +1,275 @@
+//! K-way merge with a loser tree — the merge structure used by the
+//! ClickHouse- and HyPer-style system profiles (paper §VII).
+//!
+//! A loser tree performs ⌈log₂ k⌉ comparisons per output element, matching
+//! the `n·log(k)` merge-phase comparison count the paper's §II analysis
+//! assumes.
+
+/// A tournament (loser) tree over `k` input cursors.
+///
+/// Internal node `x` stores the *loser* of the match played at `x`; the
+/// overall winner sits in slot 0. After the winner's head element is
+/// consumed, [`LoserTree::replay`] walks only the winner's root path:
+/// ⌈log₂ k⌉ matches. Inputs are padded to a power of two with virtual
+/// always-exhausted leaves; exhausted inputs lose every match, and ties
+/// break toward the lower input index so merges are stable.
+pub struct LoserTree {
+    /// `tree[0]`: current winner. `tree[1..cap]`: losers. Leaf for input
+    /// `i` is virtual node `cap + i`.
+    tree: Vec<usize>,
+    cap: usize,
+    k: usize,
+}
+
+impl LoserTree {
+    /// Build the tree with a full bottom-up tournament.
+    ///
+    /// `is_exhausted(i)` reports whether input `i < k` is empty;
+    /// `leaf_less(a, b)` compares the current heads of two non-exhausted
+    /// inputs.
+    pub fn new<E, L>(k: usize, mut is_exhausted: E, mut leaf_less: L) -> LoserTree
+    where
+        E: FnMut(usize) -> bool,
+        L: FnMut(usize, usize) -> bool,
+    {
+        assert!(k > 0, "loser tree needs at least one input");
+        let cap = k.next_power_of_two();
+        let mut winner = vec![0usize; 2 * cap];
+        for i in 0..cap {
+            winner[cap + i] = i;
+        }
+        let mut tree = vec![0usize; cap];
+        let mut beats = |a: usize, b: usize| -> bool {
+            Self::beats_impl(a, b, k, &mut is_exhausted, &mut leaf_less)
+        };
+        for node in (1..cap).rev() {
+            let (a, b) = (winner[2 * node], winner[2 * node + 1]);
+            let (w, l) = if beats(a, b) { (a, b) } else { (b, a) };
+            winner[node] = w;
+            tree[node] = l;
+        }
+        tree[0] = if cap > 1 { winner[1] } else { 0 };
+        LoserTree { tree, cap, k }
+    }
+
+    /// The input whose head is currently smallest.
+    pub fn winner(&self) -> usize {
+        self.tree[0]
+    }
+
+    /// Replay the path from input `leaf`'s position to the root after its
+    /// head changed (was consumed or its run advanced).
+    pub fn replay<E, L>(&mut self, leaf: usize, is_exhausted: &mut E, leaf_less: &mut L)
+    where
+        E: FnMut(usize) -> bool,
+        L: FnMut(usize, usize) -> bool,
+    {
+        let mut contender = leaf;
+        let mut node = (self.cap + leaf) / 2;
+        while node >= 1 {
+            let resident = self.tree[node];
+            if Self::beats_impl(resident, contender, self.k, is_exhausted, leaf_less) {
+                self.tree[node] = contender;
+                contender = resident;
+            }
+            node /= 2;
+        }
+        self.tree[0] = contender;
+    }
+
+    fn beats_impl<E, L>(
+        a: usize,
+        b: usize,
+        k: usize,
+        is_exhausted: &mut E,
+        leaf_less: &mut L,
+    ) -> bool
+    where
+        E: FnMut(usize) -> bool,
+        L: FnMut(usize, usize) -> bool,
+    {
+        let a_done = a >= k || is_exhausted(a);
+        let b_done = b >= k || is_exhausted(b);
+        match (a_done, b_done) {
+            (true, _) => false,
+            (false, true) => true,
+            (false, false) => {
+                if leaf_less(a, b) {
+                    true
+                } else if leaf_less(b, a) {
+                    false
+                } else {
+                    a < b
+                }
+            }
+        }
+    }
+}
+
+/// Merge `k` sorted runs into one, stably (ties resolve toward
+/// lower-indexed runs). Comparisons per output element: ⌈log₂ k⌉.
+pub fn kway_merge<T, F>(runs: &[&[T]], is_less: &mut F) -> Vec<T>
+where
+    T: Clone,
+    F: FnMut(&T, &T) -> bool,
+{
+    let k = runs.len();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    if k == 0 {
+        return out;
+    }
+    let mut pos = vec![0usize; k];
+    let mut tree = {
+        let pos_ref = &pos;
+        LoserTree::new(
+            k,
+            |i| pos_ref[i] >= runs[i].len(),
+            |a, b| is_less(&runs[a][pos_ref[a]], &runs[b][pos_ref[b]]),
+        )
+    };
+    for _ in 0..total {
+        let w = tree.winner();
+        out.push(runs[w][pos[w]].clone());
+        pos[w] += 1;
+        let pos_ref = &pos;
+        tree.replay(w, &mut |i| pos_ref[i] >= runs[i].len(), &mut |a, b| {
+            is_less(&runs[a][pos_ref[a]], &runs[b][pos_ref[b]])
+        });
+    }
+    out
+}
+
+/// Merge `k` sorted runs of fixed-width byte rows, stably.
+pub fn kway_merge_rows<F>(runs: &[&[u8]], width: usize, is_less: &mut F) -> Vec<u8>
+where
+    F: FnMut(&[u8], &[u8]) -> bool,
+{
+    let k = runs.len();
+    let total: usize = runs.iter().map(|r| r.len() / width).sum();
+    let mut out = Vec::with_capacity(total * width);
+    if k == 0 {
+        return out;
+    }
+    let lens: Vec<usize> = runs.iter().map(|r| r.len() / width).collect();
+    let mut pos = vec![0usize; k];
+    let row = |i: usize, p: usize| &runs[i][p * width..(p + 1) * width];
+    let mut tree = {
+        let pos_ref = &pos;
+        LoserTree::new(
+            k,
+            |i| pos_ref[i] >= lens[i],
+            |a, b| is_less(row(a, pos_ref[a]), row(b, pos_ref[b])),
+        )
+    };
+    for _ in 0..total {
+        let w = tree.winner();
+        out.extend_from_slice(row(w, pos[w]));
+        pos[w] += 1;
+        let pos_ref = &pos;
+        tree.replay(w, &mut |i| pos_ref[i] >= lens[i], &mut |a, b| {
+            is_less(row(a, pos_ref[a]), row(b, pos_ref[b]))
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_basic() {
+        let a = vec![1u32, 4, 7];
+        let b = vec![2u32, 5, 8];
+        let c = vec![3u32, 6, 9];
+        let out = kway_merge(&[&a, &b, &c], &mut |x, y| x < y);
+        assert_eq!(out, (1..=9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn merges_k1() {
+        let a = vec![1u32, 2, 3];
+        let out = kway_merge(&[&a], &mut |x, y| x < y);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn merges_empty_runs() {
+        let a: Vec<u32> = vec![];
+        let b = vec![1u32];
+        let c: Vec<u32> = vec![];
+        let out = kway_merge(&[&a, &b, &c], &mut |x, y| x < y);
+        assert_eq!(out, vec![1]);
+        let out: Vec<u32> = kway_merge::<u32, _>(&[], &mut |x, y| x < y);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merges_unbalanced_lengths() {
+        let a: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..7).map(|i| i * 50).collect();
+        let c: Vec<u32> = vec![500];
+        let mut expected: Vec<u32> = a.iter().chain(&b).chain(&c).copied().collect();
+        expected.sort_unstable();
+        let out = kway_merge(&[&a, &b, &c], &mut |x, y| x < y);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn stability_toward_lower_run() {
+        let a = vec![(5u32, 'a')];
+        let b = vec![(5u32, 'b')];
+        let out = kway_merge(&[&a, &b], &mut |x, y| x.0 < y.0);
+        assert_eq!(out, vec![(5, 'a'), (5, 'b')]);
+        let out = kway_merge(&[&b, &a], &mut |x, y| x.0 < y.0);
+        assert_eq!(out, vec![(5, 'b'), (5, 'a')]);
+    }
+
+    #[test]
+    fn merges_many_runs_non_power_of_two() {
+        for k in [2usize, 3, 5, 7, 13, 16, 17] {
+            let runs: Vec<Vec<u32>> = (0..k)
+                .map(|r| (0..40).map(|i| (i * k + r) as u32).collect())
+                .collect();
+            let refs: Vec<&[u32]> = runs.iter().map(|r| r.as_slice()).collect();
+            let out = kway_merge(&refs, &mut |x, y| x < y);
+            assert_eq!(out, (0..40 * k as u32).collect::<Vec<u32>>(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn merge_of_random_runs_matches_sort() {
+        let mut state = 5u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32 % 1000
+        };
+        let runs: Vec<Vec<u32>> = (0..9)
+            .map(|i| {
+                let mut r: Vec<u32> = (0..(i * 13 + 1)).map(|_| next()).collect();
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let refs: Vec<&[u32]> = runs.iter().map(|r| r.as_slice()).collect();
+        let out = kway_merge(&refs, &mut |x, y| x < y);
+        let mut expected: Vec<u32> = runs.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn rows_kway_merge() {
+        let mk = |keys: &[u8]| -> Vec<u8> { keys.iter().flat_map(|&k| [k, k ^ 0xFF]).collect() };
+        let a = mk(&[1, 5, 9]);
+        let b = mk(&[2, 6]);
+        let c = mk(&[3, 4, 7, 8]);
+        let out = kway_merge_rows(&[&a, &b, &c], 2, &mut |x, y| x[0] < y[0]);
+        let keys: Vec<u8> = out.chunks(2).map(|r| r[0]).collect();
+        assert_eq!(keys, (1..=9).collect::<Vec<u8>>());
+        for r in out.chunks(2) {
+            assert_eq!(r[1], r[0] ^ 0xFF, "payload stayed attached");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Sorting algorithms for relational data, built from scratch.
+//!
+//! The paper's methodology (§III) is to hold the *algorithm* fixed while
+//! varying data format, comparison strategy, and engine style — so this
+//! crate provides each algorithm in two shapes:
+//!
+//! * **typed** sorts over `&mut [T]` with a caller-supplied `is_less`
+//!   (used for columnar index sorting and for "compiled-engine" kernels
+//!   where Rust monomorphization plays the role of query compilation), and
+//! * **row** sorts over buffers of fixed-width byte rows
+//!   ([`rows::RowsMut`]), which physically move whole rows with `memcpy`,
+//!   exactly as an NSM sort operator does.
+//!
+//! Algorithms:
+//!
+//! * [`insertion`] — insertion sort (small-range base case),
+//! * [`heapsort`] — bottom-up heapsort (introsort/pdqsort fallback),
+//! * [`introsort`] — Musser's introspective sort, standing in for C++
+//!   `std::sort`,
+//! * [`mergesort`] — stable top-down merge sort with an auxiliary buffer,
+//!   standing in for C++ `std::stable_sort`,
+//! * [`pdqsort`] — pattern-defeating quicksort (Peters), with
+//!   BlockQuickSort-style branchless partitioning for typed slices,
+//! * [`radix`] — LSD and MSD radix sorts over normalized-key rows, with the
+//!   paper's "single-bucket skip" optimization,
+//! * [`merge_path`] — Merge Path diagonal partitioning for parallel merges,
+//! * [`kway`] — loser-tree k-way merge.
+
+pub mod heapsort;
+pub mod insertion;
+pub mod introsort;
+pub mod kway;
+pub mod merge_path;
+pub mod mergesort;
+pub mod pdqsort;
+pub mod radix;
+pub mod rows;
+
+pub use merge_path::merge_path_partition;
+pub use rows::RowsMut;

@@ -1,0 +1,229 @@
+//! A mutable view over a buffer of fixed-width byte rows.
+
+/// A buffer of `len` rows, each exactly `width` bytes, that sorting
+/// algorithms can permute in place.
+///
+/// This is the runtime-width analogue of `&mut [T]`: an interpreted engine
+/// cannot generate a per-query struct type, so its sort operates on rows
+/// whose width is only known at run time, moving them with `memcpy` — the
+/// situation the paper's §VI techniques are designed for.
+#[derive(Debug)]
+pub struct RowsMut<'a> {
+    data: &'a mut [u8],
+    width: usize,
+    len: usize,
+}
+
+impl<'a> RowsMut<'a> {
+    /// Wrap a buffer. `data.len()` must be a multiple of `width`.
+    pub fn new(data: &'a mut [u8], width: usize) -> RowsMut<'a> {
+        assert!(width > 0, "row width must be positive");
+        assert_eq!(
+            data.len() % width,
+            0,
+            "buffer length {} not a multiple of row width {width}",
+            data.len()
+        );
+        let len = data.len() / width;
+        RowsMut { data, width, len }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Borrow row `i`.
+    ///
+    /// Bounds are checked in debug builds only: this accessor sits on the
+    /// innermost comparator path of every row sort, where the per-call
+    /// slice-bounds checks measurably widen the gap to a monomorphized
+    /// typed sort (the comparison the paper's Figure 8 makes).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u8] {
+        debug_assert!(i < self.len, "row {i} out of bounds ({})", self.len);
+        // SAFETY: `i < len` (checked above in debug; every caller iterates
+        // within `0..len`), so the range lies inside `data`.
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr().add(i * self.width), self.width) }
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [u8] {
+        debug_assert!(i < self.len, "row {i} out of bounds ({})", self.len);
+        // SAFETY: as in `row`.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.data.as_mut_ptr().add(i * self.width), self.width)
+        }
+    }
+
+    /// The underlying buffer.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.data
+    }
+
+    /// Swap rows `i` and `j` (one `memcpy`-style exchange of `width` bytes).
+    #[inline]
+    pub fn swap(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.len && j < self.len);
+        if i == j {
+            return;
+        }
+        // SAFETY: i != j, both < len, so the two `width`-byte regions are
+        // disjoint and in-bounds.
+        unsafe {
+            std::ptr::swap_nonoverlapping(
+                self.data.as_mut_ptr().add(i * self.width),
+                self.data.as_mut_ptr().add(j * self.width),
+                self.width,
+            );
+        }
+    }
+
+    /// Copy row `src` over row `dst` (`memcpy`; `src` is left unchanged).
+    #[inline]
+    pub fn copy_row(&mut self, src: usize, dst: usize) {
+        if src == dst {
+            return;
+        }
+        let w = self.width;
+        self.data.copy_within(src * w..(src + 1) * w, dst * w);
+    }
+
+    /// Shift rows `from..to` one slot right (row `to` is overwritten):
+    /// one `memmove` of `(to - from)` rows.
+    pub fn shift_right(&mut self, from: usize, to: usize) {
+        debug_assert!(from <= to);
+        let w = self.width;
+        self.data.copy_within(from * w..to * w, (from + 1) * w);
+    }
+
+    /// Re-borrow a sub-range of rows as a new `RowsMut`.
+    pub fn sub(&mut self, start: usize, end: usize) -> RowsMut<'_> {
+        let w = self.width;
+        RowsMut {
+            data: &mut self.data[start * w..end * w],
+            width: w,
+            len: end - start,
+        }
+    }
+
+    /// Split into two disjoint row views at row `mid`.
+    pub fn split_at_mut(&mut self, mid: usize) -> (RowsMut<'_>, RowsMut<'_>) {
+        let w = self.width;
+        let (a, b) = self.data.split_at_mut(mid * w);
+        (
+            RowsMut {
+                data: a,
+                width: w,
+                len: mid,
+            },
+            RowsMut {
+                data: b,
+                width: w,
+                len: self.len - mid,
+            },
+        )
+    }
+
+    /// Check whether rows are sorted under `is_less`.
+    pub fn is_sorted_by<F>(&self, is_less: &mut F) -> bool
+    where
+        F: FnMut(&[u8], &[u8]) -> bool,
+    {
+        (1..self.len).all(|i| !is_less(self.row(i), self.row(i - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_and_index() {
+        let mut data = vec![1u8, 2, 3, 4, 5, 6];
+        let rows = RowsMut::new(&mut data, 2);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.width(), 2);
+        assert_eq!(rows.row(1), &[3, 4]);
+    }
+
+    #[test]
+    fn swap_rows() {
+        let mut data = vec![1u8, 2, 3, 4];
+        let mut rows = RowsMut::new(&mut data, 2);
+        rows.swap(0, 1);
+        assert_eq!(data, vec![3, 4, 1, 2]);
+    }
+
+    #[test]
+    fn swap_self_is_noop() {
+        let mut data = vec![1u8, 2];
+        let mut rows = RowsMut::new(&mut data, 2);
+        rows.swap(0, 0);
+        assert_eq!(data, vec![1, 2]);
+    }
+
+    #[test]
+    fn copy_row_overwrites() {
+        let mut data = vec![1u8, 2, 3, 4];
+        let mut rows = RowsMut::new(&mut data, 2);
+        rows.copy_row(0, 1);
+        assert_eq!(data, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn shift_right_moves_block() {
+        let mut data = vec![1u8, 2, 3, 9];
+        let mut rows = RowsMut::new(&mut data, 1);
+        rows.shift_right(0, 3);
+        assert_eq!(data, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sub_view() {
+        let mut data = vec![0u8, 1, 2, 3, 4, 5];
+        let mut rows = RowsMut::new(&mut data, 1);
+        let mut mid = rows.sub(2, 5);
+        assert_eq!(mid.len(), 3);
+        mid.swap(0, 2);
+        assert_eq!(data, vec![0, 1, 4, 3, 2, 5]);
+    }
+
+    #[test]
+    fn split_at_mut_disjoint() {
+        let mut data = vec![0u8, 1, 2, 3];
+        let mut rows = RowsMut::new(&mut data, 1);
+        let (mut a, mut b) = rows.split_at_mut(2);
+        a.swap(0, 1);
+        b.swap(0, 1);
+        assert_eq!(data, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn is_sorted_by() {
+        let mut data = vec![1u8, 2, 3];
+        let rows = RowsMut::new(&mut data, 1);
+        assert!(rows.is_sorted_by(&mut |a, b| a[0] < b[0]));
+        let mut data = vec![2u8, 1];
+        let rows = RowsMut::new(&mut data, 1);
+        assert!(!rows.is_sorted_by(&mut |a, b| a[0] < b[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_width_panics() {
+        let mut data = vec![0u8; 5];
+        let _ = RowsMut::new(&mut data, 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests: every sorting algorithm in the crate agrees with the
+//! standard library sort and produces a permutation of its input.
+
+use proptest::prelude::*;
+use rowsort_algos::heapsort::{heapsort, heapsort_rows};
+use rowsort_algos::insertion::{insertion_sort, insertion_sort_rows};
+use rowsort_algos::introsort::{introsort, introsort_rows};
+use rowsort_algos::kway::{kway_merge, kway_merge_rows};
+use rowsort_algos::merge_path::merge_path_partition;
+use rowsort_algos::mergesort::{merge_sort, merge_sort_rows};
+use rowsort_algos::pdqsort::{pdqsort, pdqsort_rows};
+use rowsort_algos::radix::{lsd_radix_sort_rows, msd_radix_sort_rows, radix_sort_rows};
+use rowsort_algos::rows::RowsMut;
+
+fn expect_sorted(input: &[u32]) -> Vec<u32> {
+    let mut e = input.to_vec();
+    e.sort();
+    e
+}
+
+/// Input strategy covering random, low-cardinality, sorted, and reversed.
+fn input_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        prop::collection::vec(any::<u32>(), 0..400),
+        prop::collection::vec(0u32..4, 0..400),
+        prop::collection::vec(any::<u32>(), 0..400).prop_map(|mut v| {
+            v.sort_unstable();
+            v
+        }),
+        prop::collection::vec(any::<u32>(), 0..400).prop_map(|mut v| {
+            v.sort_unstable();
+            v.reverse();
+            v
+        }),
+    ]
+}
+
+fn rows_from_keys(keys: &[u32], width: usize) -> Vec<u8> {
+    keys.iter()
+        .enumerate()
+        .flat_map(|(i, &k)| {
+            let mut row = k.to_be_bytes().to_vec();
+            row.resize(width, (i % 251) as u8);
+            row
+        })
+        .collect()
+}
+
+fn keys_from_rows(data: &[u8], width: usize) -> Vec<u32> {
+    data.chunks(width)
+        .map(|r| u32::from_be_bytes(r[..4].try_into().unwrap()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn typed_sorts_agree_with_std(v in input_strategy()) {
+        let expected = expect_sorted(&v);
+        for (name, f) in [
+            ("insertion", insertion_sort::<u32, _> as fn(&mut [u32], &mut _)),
+            ("heapsort", heapsort::<u32, _>),
+            ("introsort", introsort::<u32, _>),
+        ] {
+            let mut got = v.clone();
+            f(&mut got, &mut |a: &u32, b: &u32| a < b);
+            prop_assert_eq!(&got, &expected, "{} diverged", name);
+        }
+        let mut got = v.clone();
+        merge_sort(&mut got, &mut |a, b| a < b);
+        prop_assert_eq!(&got, &expected, "merge_sort diverged");
+        let mut got = v.clone();
+        pdqsort(&mut got, &mut |a, b| a < b);
+        prop_assert_eq!(&got, &expected, "pdqsort diverged");
+    }
+
+    #[test]
+    fn row_sorts_agree_with_std(v in input_strategy(), extra in 0usize..12) {
+        let width = 4 + extra.max(0);
+        let expected = expect_sorted(&v);
+        macro_rules! check_row_sort {
+            ($name:literal, $f:path) => {{
+                let mut data = rows_from_keys(&v, width);
+                {
+                    let mut rows = RowsMut::new(&mut data, width);
+                    $f(&mut rows, &mut |a: &[u8], b: &[u8]| a[..4] < b[..4]);
+                }
+                prop_assert_eq!(
+                    keys_from_rows(&data, width),
+                    expected.clone(),
+                    "{} diverged",
+                    $name
+                );
+            }};
+        }
+        check_row_sort!("insertion_rows", insertion_sort_rows);
+        check_row_sort!("heapsort_rows", heapsort_rows);
+        check_row_sort!("introsort_rows", introsort_rows);
+        check_row_sort!("merge_sort_rows", merge_sort_rows);
+        check_row_sort!("pdqsort_rows", pdqsort_rows);
+    }
+
+    #[test]
+    fn radix_sorts_agree_with_std(v in input_strategy(), extra in 0usize..12) {
+        let width = 4 + extra;
+        let expected = expect_sorted(&v);
+        for (name, f) in [
+            ("lsd", lsd_radix_sort_rows as fn(&mut [u8], usize, usize, usize)),
+            ("msd", msd_radix_sort_rows),
+            ("auto", radix_sort_rows),
+        ] {
+            let mut data = rows_from_keys(&v, width);
+            f(&mut data, width, 0, 4);
+            prop_assert_eq!(keys_from_rows(&data, width), expected.clone(), "{} diverged", name);
+        }
+    }
+
+    #[test]
+    fn radix_wide_keys_match_memcmp_order(
+        v in prop::collection::vec((any::<u32>(), 0u32..16), 0..200)
+    ) {
+        // 8-byte keys built from two BE u32s: byte order == tuple order.
+        let width = 12;
+        let mut data: Vec<u8> = v
+            .iter()
+            .flat_map(|&(a, b)| {
+                let mut row = a.to_be_bytes().to_vec();
+                row.extend_from_slice(&b.to_be_bytes());
+                row.extend_from_slice(&[0u8; 4]);
+                row
+            })
+            .collect();
+        msd_radix_sort_rows(&mut data, width, 0, 8);
+        let mut expected: Vec<(u32, u32)> = v;
+        expected.sort();
+        for (i, row) in data.chunks(width).enumerate() {
+            let a = u32::from_be_bytes(row[..4].try_into().unwrap());
+            let b = u32::from_be_bytes(row[4..8].try_into().unwrap());
+            prop_assert_eq!((a, b), expected[i]);
+        }
+    }
+
+    #[test]
+    fn kway_merge_matches_sorted_concat(
+        runs in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..60), 1..9)
+    ) {
+        let sorted_runs: Vec<Vec<u32>> = runs
+            .iter()
+            .map(|r| {
+                let mut s = r.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let refs: Vec<&[u32]> = sorted_runs.iter().map(|r| r.as_slice()).collect();
+        let out = kway_merge(&refs, &mut |a, b| a < b);
+        let mut expected: Vec<u32> = runs.into_iter().flatten().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn kway_rows_matches_typed(
+        runs in prop::collection::vec(prop::collection::vec(any::<u16>(), 0..40), 1..6)
+    ) {
+        let sorted_runs: Vec<Vec<u16>> = runs
+            .iter()
+            .map(|r| {
+                let mut s = r.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let byte_runs: Vec<Vec<u8>> = sorted_runs
+            .iter()
+            .map(|r| r.iter().flat_map(|k| k.to_be_bytes()).collect())
+            .collect();
+        let refs: Vec<&[u8]> = byte_runs.iter().map(|r| r.as_slice()).collect();
+        let out = kway_merge_rows(&refs, 2, &mut |a, b| a < b);
+        let got: Vec<u16> = out
+            .chunks(2)
+            .map(|r| u16::from_be_bytes(r.try_into().unwrap()))
+            .collect();
+        let mut expected: Vec<u16> = runs.into_iter().flatten().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn merge_path_every_diag_valid(
+        mut a in prop::collection::vec(any::<u32>(), 0..80),
+        mut b in prop::collection::vec(any::<u32>(), 0..80),
+        frac in 0.0f64..=1.0,
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let total = a.len() + b.len();
+        let diag = ((total as f64) * frac) as usize;
+        let (i, j) = merge_path_partition(&a, &b, diag, &mut |x, y| x < y);
+        prop_assert_eq!(i + j, diag);
+        // The split must be a valid merge frontier:
+        // every taken element <= every untaken element on the other side.
+        if i > 0 && j < b.len() {
+            prop_assert!(a[i - 1] <= b[j]);
+        }
+        if j > 0 && i < a.len() {
+            prop_assert!(b[j - 1] <= a[i]);
+        }
+    }
+}

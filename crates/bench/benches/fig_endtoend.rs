@@ -1,0 +1,115 @@
+//! Criterion benches for the §VII end-to-end comparisons (Figures 12–14):
+//! the benchmark query through the engine, sort operator configured as
+//! each system profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowsort_core::systems::SystemProfile;
+use rowsort_datagen::{shuffled_integers, tpcds, uniform_floats};
+use rowsort_engine::{Engine, Table};
+use rowsort_vector::{DataChunk, Vector};
+use std::time::Duration;
+
+const N: usize = 200_000;
+
+fn engine_for(table: Table, profile: SystemProfile) -> Engine {
+    let mut e = Engine::new();
+    e.options_mut().profile = profile;
+    e.register_table(table);
+    e
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_ints_floats");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let ints = Table::new(
+        "ints",
+        vec!["v".into()],
+        DataChunk::from_columns(vec![Vector::from_i32s(shuffled_integers(N, 1))]).unwrap(),
+    );
+    let floats = Table::new(
+        "floats",
+        vec!["v".into()],
+        DataChunk::from_columns(vec![Vector::from_f32s(uniform_floats(N, 2))]).unwrap(),
+    );
+    for profile in SystemProfile::ALL {
+        for (name, table) in [("int32", &ints), ("float32", &floats)] {
+            let e = engine_for(table.clone(), profile);
+            let sql = format!(
+                "SELECT count(*) FROM (SELECT v FROM {} ORDER BY v OFFSET 1) t",
+                table.name
+            );
+            group.bench_function(BenchmarkId::new(profile.label(), name), |b| {
+                b.iter(|| e.query(&sql).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_catalog_sales");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let cs = tpcds::catalog_sales(N, 10.0, 3);
+    let table = Table::new(
+        cs.name.clone(),
+        cs.columns.iter().map(|(n, _)| n.clone()).collect(),
+        cs.data.clone(),
+    );
+    let key_sets = [
+        ("1key", "cs_warehouse_sk"),
+        (
+            "4key",
+            "cs_warehouse_sk, cs_ship_mode_sk, cs_promo_sk, cs_quantity",
+        ),
+    ];
+    for profile in SystemProfile::ALL {
+        for (label, keys) in key_sets {
+            let e = engine_for(table.clone(), profile);
+            let sql = format!(
+                "SELECT count(*) FROM (SELECT cs_item_sk FROM catalog_sales \
+                 ORDER BY {keys} OFFSET 1) t"
+            );
+            group.bench_function(BenchmarkId::new(profile.label(), label), |b| {
+                b.iter(|| e.query(&sql).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_customer");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let cust = tpcds::customer(N, 4);
+    let table = Table::new(
+        cust.name.clone(),
+        cust.columns.iter().map(|(n, _)| n.clone()).collect(),
+        cust.data.clone(),
+    );
+    let key_sets = [
+        ("integer", "c_birth_year, c_birth_month, c_birth_day"),
+        ("string", "c_last_name, c_first_name"),
+    ];
+    for profile in SystemProfile::ALL {
+        for (label, keys) in key_sets {
+            let e = engine_for(table.clone(), profile);
+            let sql = format!(
+                "SELECT count(*) FROM (SELECT c_customer_sk FROM customer \
+                 ORDER BY {keys} OFFSET 1) t"
+            );
+            group.bench_function(BenchmarkId::new(profile.label(), label), |b| {
+                b.iter(|| e.query(&sql).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12, bench_fig13, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,291 @@
+//! End-to-end experiments: Figures 12–14.
+//!
+//! Each measurement runs the paper's §VII-A benchmark query
+//!
+//! ```sql
+//! SELECT count(*) FROM (SELECT <payload> FROM <table>
+//!                       ORDER BY <keys> OFFSET 1) t
+//! ```
+//!
+//! through the engine with the sort operator configured as each of the
+//! five system profiles. Data sizes are scaled by environment (see
+//! [`crate::Scale`]); the paper's absolute sizes need a 384 GB machine.
+
+use crate::{fmt_secs, time_median, ExperimentResult, Scale};
+use rowsort_core::systems::SystemProfile;
+use rowsort_datagen::tpcds::{self, TpcdsTable};
+use rowsort_datagen::{shuffled_integers, uniform_floats};
+use rowsort_engine::{Engine, Table};
+use rowsort_vector::{DataChunk, Value, Vector};
+use std::time::Duration;
+
+fn run_benchmark_query(
+    profile: SystemProfile,
+    table: &Table,
+    payload: &str,
+    keys: &str,
+    threads: usize,
+    reps: usize,
+) -> Duration {
+    let sql = format!(
+        "SELECT count(*) FROM (SELECT {payload} FROM {} ORDER BY {keys} OFFSET 1) t",
+        table.name
+    );
+    let mut engine = Engine::new();
+    engine.options_mut().profile = profile;
+    engine.options_mut().threads = threads;
+    engine.register_table(table.clone());
+    let expected = table.data.len() as i64 - 1;
+    time_median(
+        reps,
+        || (),
+        |()| {
+            let r = engine.query(&sql).expect("benchmark query executes");
+            assert_eq!(r.row(0), vec![Value::Int64(expected)], "count sanity");
+        },
+    )
+}
+
+fn profile_header() -> Vec<String> {
+    let mut h = vec!["workload".into(), "rows".into()];
+    h.extend(SystemProfile::ALL.iter().map(|p| p.label().to_owned()));
+    h
+}
+
+fn profile_row(
+    workload: &str,
+    table: &Table,
+    payload: &str,
+    keys: &str,
+    scale: &Scale,
+) -> Vec<String> {
+    let mut row = vec![workload.to_owned(), table.data.len().to_string()];
+    for p in SystemProfile::ALL {
+        let d = run_benchmark_query(p, table, payload, keys, scale.threads, scale.reps);
+        row.push(fmt_secs(d));
+    }
+    row
+}
+
+/// Figure 12: sorting 1×–10× `e2e_rows` random integers and floats.
+pub fn fig_12(scale: &Scale) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for step in 1..=10usize {
+        let n = scale.e2e_rows * step;
+        let ints =
+            DataChunk::from_columns(vec![Vector::from_i32s(shuffled_integers(n, step as u64))])
+                .unwrap();
+        let t = Table::new("ints", vec!["v".into()], ints);
+        rows.push(profile_row(&format!("int32 x{step}"), &t, "v", "v", scale));
+    }
+    for step in 1..=10usize {
+        let n = scale.e2e_rows * step;
+        let floats = DataChunk::from_columns(vec![Vector::from_f32s(uniform_floats(
+            n,
+            100 + step as u64,
+        ))])
+        .unwrap();
+        let t = Table::new("floats", vec!["v".into()], floats);
+        rows.push(profile_row(
+            &format!("float32 x{step}"),
+            &t,
+            "v",
+            "v",
+            scale,
+        ));
+    }
+    ExperimentResult {
+        id: "fig12".into(),
+        title: format!(
+            "end-to-end single-key sort of random integers/floats ({}–{} rows)",
+            scale.e2e_rows,
+            scale.e2e_rows * 10
+        ),
+        header: profile_header(),
+        rows,
+        notes: vec![
+            "paper (Fig. 12): the columnar single-threaded system is far slower; the \
+             columnar multi-threaded system degrades fastest with size; the three \
+             row-based systems scale best, with the normalized-key system sorting \
+             floats as fast as ints (radix over encoded keys)"
+                .into(),
+        ],
+    }
+}
+
+fn named_to_table(t: &tpcds::NamedTable) -> Table {
+    Table::new(
+        t.name.clone(),
+        t.columns.iter().map(|(n, _)| n.clone()).collect(),
+        t.data.clone(),
+    )
+}
+
+/// Figure 13: TPC-DS catalog_sales, 1–4 key columns, two scale factors.
+pub fn fig_13(scale: &Scale) -> ExperimentResult {
+    let keys_sweep = [
+        "cs_warehouse_sk",
+        "cs_warehouse_sk, cs_ship_mode_sk",
+        "cs_warehouse_sk, cs_ship_mode_sk, cs_promo_sk",
+        "cs_warehouse_sk, cs_ship_mode_sk, cs_promo_sk, cs_quantity",
+    ];
+    let mut rows = Vec::new();
+    for sf in [10.0, 100.0] {
+        let n =
+            (tpcds::cardinality(TpcdsTable::CatalogSales, sf) as f64 * scale.sf_fraction) as usize;
+        let table = named_to_table(&tpcds::catalog_sales(n.max(10), sf, 42));
+        for (k, keys) in keys_sweep.iter().enumerate() {
+            rows.push(profile_row(
+                &format!("SF{sf} {}key", k + 1),
+                &table,
+                "cs_item_sk",
+                keys,
+                scale,
+            ));
+        }
+    }
+    ExperimentResult {
+        id: "fig13".into(),
+        title: format!(
+            "catalog_sales ORDER BY 1..4 key columns (SF 10/100 at fraction {})",
+            scale.sf_fraction
+        ),
+        header: profile_header(),
+        rows,
+        notes: vec![
+            "paper (Fig. 13): the columnar system is competitive at 1 key (radix) but \
+             ~4x slower at 2+ keys; row-based systems lose much less with added keys \
+             (~1.5x for normalized keys)"
+                .into(),
+        ],
+    }
+}
+
+/// Figure 14: TPC-DS customer, integer keys vs string keys.
+pub fn fig_14(scale: &Scale) -> ExperimentResult {
+    let mut rows = Vec::new();
+    for sf in [100.0, 300.0] {
+        let n = (tpcds::cardinality(TpcdsTable::Customer, sf) as f64 * scale.sf_fraction) as usize;
+        let table = named_to_table(&tpcds::customer(n.max(10), 7));
+        rows.push(profile_row(
+            &format!("SF{sf} integer"),
+            &table,
+            "c_customer_sk",
+            "c_birth_year, c_birth_month, c_birth_day",
+            scale,
+        ));
+        rows.push(profile_row(
+            &format!("SF{sf} string"),
+            &table,
+            "c_customer_sk",
+            "c_last_name, c_first_name",
+            scale,
+        ));
+    }
+    ExperimentResult {
+        id: "fig14".into(),
+        title: format!(
+            "customer ORDER BY integers vs strings (SF 100/300 at fraction {})",
+            scale.sf_fraction
+        ),
+        header: profile_header(),
+        rows,
+        notes: vec![
+            "paper (Fig. 14): strings are slower than integers for every system; ~3x \
+             for the columnar systems, much less for the row-based ones"
+                .into(),
+        ],
+    }
+}
+
+/// Beyond the paper: §IX graceful degradation. Sort a fixed input under
+/// shrinking memory budgets with the external sorter and record the
+/// slowdown relative to fully in-memory.
+pub fn external_degradation(scale: &Scale) -> ExperimentResult {
+    use rowsort_core::external::{ExternalSortOptions, ExternalSorter};
+    use rowsort_vector::OrderBy;
+
+    let n = scale.e2e_rows;
+    let chunk = DataChunk::from_columns(vec![Vector::from_i32s(shuffled_integers(n, 77))]).unwrap();
+    let order = OrderBy::ascending(1);
+    let mut rows = Vec::new();
+    let mut in_memory_secs = None;
+    for fraction in [1.0f64, 0.5, 0.25, 0.125, 0.0625] {
+        let budget = ((n as f64 * fraction) as usize).max(1);
+        let d = time_median(
+            scale.reps,
+            || (),
+            |()| {
+                let sorter = ExternalSorter::new(
+                    chunk.types(),
+                    order.clone(),
+                    ExternalSortOptions {
+                        memory_limit_rows: budget,
+                        spill_dir: None,
+                    },
+                );
+                let out = sorter.sort(&chunk).expect("external sort");
+                assert_eq!(out.len(), n);
+            },
+        );
+        let secs = d.as_secs_f64();
+        let base = *in_memory_secs.get_or_insert(secs);
+        rows.push(vec![
+            format!("{:.0}%", fraction * 100.0),
+            budget.to_string(),
+            fmt_secs(d),
+            format!("{:.2}x", secs / base),
+        ]);
+    }
+    ExperimentResult {
+        id: "external".into(),
+        title: format!("graceful degradation: external sort of {n} ints under memory budgets"),
+        header: vec![
+            "memory budget".into(),
+            "rows in memory".into(),
+            "time".into(),
+            "slowdown vs in-memory".into(),
+        ],
+        rows,
+        notes: vec![
+            "beyond the paper (its §IX future work): spilling sorted runs and streaming \
+             the merge keeps the slowdown at a small constant factor instead of failing \
+             or falling off a cliff"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_degradation_smoke() {
+        let mut scale = Scale::tiny();
+        scale.e2e_rows = 2_000;
+        let r = external_degradation(&scale);
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn fig12_smoke() {
+        let mut scale = Scale::tiny();
+        scale.e2e_rows = 500;
+        let r = fig_12(&scale);
+        assert_eq!(r.rows.len(), 20);
+        assert_eq!(r.header.len(), 2 + 5);
+    }
+
+    #[test]
+    fn fig13_smoke() {
+        let r = fig_13(&Scale::tiny());
+        assert_eq!(r.rows.len(), 8, "2 SFs x 4 key counts");
+    }
+
+    #[test]
+    fn fig14_smoke() {
+        let r = fig_14(&Scale::tiny());
+        assert_eq!(r.rows.len(), 4, "2 SFs x {{int,string}}");
+    }
+}

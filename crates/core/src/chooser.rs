@@ -1,0 +1,160 @@
+//! The §IX future-work heuristic: choosing the thread-local sort
+//! algorithm from statistics.
+//!
+//! The shipped DuckDB rule is binary — pdqsort when a string key is
+//! present, radix sort otherwise. The paper's future-work section suggests
+//! a heuristic that also weighs key size, row count, and the estimated
+//! number of distinct values. This module implements such a heuristic; the
+//! `ablation_chooser` bench compares it against the binary rule.
+//!
+//! Measured verdict (see EXPERIMENTS.md): with the single-bucket skip
+//! optimization in place, MSD radix stays ahead even in the small-n /
+//! wide-key regime this heuristic guards against — evidence for shipping
+//! the simple rule, which is what DuckDB did. The heuristic is kept as the
+//! paper's §IX strawman and for engines whose radix lacks that skip.
+
+/// Statistics available to the chooser at plan time.
+#[derive(Debug, Clone, Copy)]
+pub struct SortStats {
+    /// Number of rows in the run.
+    pub rows: usize,
+    /// Normalized-key width in bytes.
+    pub key_bytes: usize,
+    /// Whether a variable-length (string) key column is present.
+    pub has_varlen: bool,
+    /// Estimated number of distinct key values (`None` if unknown).
+    pub distinct_estimate: Option<usize>,
+}
+
+/// The algorithm the chooser picks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChosenAlgo {
+    /// LSD radix sort (narrow keys).
+    LsdRadix,
+    /// MSD radix sort (wide keys).
+    MsdRadix,
+    /// pdqsort with a `memcmp` comparator.
+    Pdq,
+}
+
+/// The paper's shipped rule: pdqsort iff strings are present, else radix
+/// by key width.
+pub fn duckdb_rule(stats: &SortStats) -> ChosenAlgo {
+    if stats.has_varlen {
+        ChosenAlgo::Pdq
+    } else if stats.key_bytes <= 4 {
+        ChosenAlgo::LsdRadix
+    } else {
+        ChosenAlgo::MsdRadix
+    }
+}
+
+/// The §IX heuristic. Beyond the shipped rule it recognizes two regimes
+/// where a comparison sort beats radix even on fixed-width keys:
+///
+/// * **few rows, wide keys** — radix pays `O(key_bytes)` passes that the
+///   comparison sort's `log₂(rows)` levels undercut, and
+/// * **heavy duplication** — with `d` distinct values, pdqsort's
+///   equal-element partitioning finishes in ~`n·log₂(d)` comparisons while
+///   radix still scans unproductive key bytes (Graefe's shortcoming (1)).
+pub fn heuristic_rule(stats: &SortStats) -> ChosenAlgo {
+    if stats.has_varlen {
+        return ChosenAlgo::Pdq;
+    }
+    let rows = stats.rows.max(2);
+    let log_rows = (usize::BITS - rows.leading_zeros()) as usize;
+    // Radix work per row ≈ key passes; comparison work ≈ log2(n) key
+    // comparisons (each cheaper than a pass over the whole buffer).
+    if stats.key_bytes > 2 * log_rows {
+        return ChosenAlgo::Pdq;
+    }
+    if let Some(d) = stats.distinct_estimate {
+        let log_d = (usize::BITS - d.max(2).leading_zeros()) as usize;
+        // Very low cardinality: pdqsort's O(n·log d) wins once the key is
+        // wide enough that radix cannot skip most of its passes.
+        if log_d * 3 < stats.key_bytes {
+            return ChosenAlgo::Pdq;
+        }
+    }
+    if stats.key_bytes <= 4 {
+        ChosenAlgo::LsdRadix
+    } else {
+        ChosenAlgo::MsdRadix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(rows: usize, key_bytes: usize, has_varlen: bool, d: Option<usize>) -> SortStats {
+        SortStats {
+            rows,
+            key_bytes,
+            has_varlen,
+            distinct_estimate: d,
+        }
+    }
+
+    #[test]
+    fn duckdb_rule_matches_paper() {
+        assert_eq!(
+            duckdb_rule(&stats(1 << 20, 4, false, None)),
+            ChosenAlgo::LsdRadix
+        );
+        assert_eq!(
+            duckdb_rule(&stats(1 << 20, 20, false, None)),
+            ChosenAlgo::MsdRadix
+        );
+        assert_eq!(
+            duckdb_rule(&stats(1 << 20, 13, true, None)),
+            ChosenAlgo::Pdq
+        );
+    }
+
+    #[test]
+    fn heuristic_prefers_pdq_for_tiny_inputs_with_wide_keys() {
+        assert_eq!(
+            heuristic_rule(&stats(100, 40, false, None)),
+            ChosenAlgo::Pdq
+        );
+        // Large input, same key: radix again.
+        assert_eq!(
+            heuristic_rule(&stats(1 << 24, 40, false, None)),
+            ChosenAlgo::MsdRadix
+        );
+    }
+
+    #[test]
+    fn heuristic_prefers_pdq_for_low_cardinality_wide_keys() {
+        assert_eq!(
+            heuristic_rule(&stats(1 << 22, 24, false, Some(4))),
+            ChosenAlgo::Pdq
+        );
+        // High cardinality: radix.
+        assert_eq!(
+            heuristic_rule(&stats(1 << 22, 24, false, Some(1 << 20))),
+            ChosenAlgo::MsdRadix
+        );
+    }
+
+    #[test]
+    fn heuristic_agrees_with_rule_on_common_cases() {
+        // The common OLAP case — millions of rows, few narrow keys — picks
+        // the same algorithm under both rules.
+        for key_bytes in [1usize, 2, 4] {
+            assert_eq!(
+                heuristic_rule(&stats(10_000_000, key_bytes, false, None)),
+                ChosenAlgo::LsdRadix
+            );
+        }
+        assert_eq!(
+            heuristic_rule(&stats(10_000_000, 16, false, None)),
+            ChosenAlgo::MsdRadix
+        );
+        assert_eq!(
+            heuristic_rule(&stats(10_000_000, 16, true, None)),
+            ChosenAlgo::Pdq
+        );
+    }
+}

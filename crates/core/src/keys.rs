@@ -1,0 +1,280 @@
+//! Normalized-key blocks: the sortable representation of ORDER BY keys.
+
+use rowsort_algos::pdqsort::pdqsort_rows;
+use rowsort_algos::radix::radix_sort_rows;
+use rowsort_algos::rows::RowsMut;
+use rowsort_normkey::{encode_column_into, KeyColumn, NormKeyLayout};
+use rowsort_vector::{DataChunk, LogicalType, OrderBy};
+use std::cmp::Ordering;
+
+/// A block of fixed-width normalized keys, each suffixed with a `u32`
+/// row id linking back to the payload row.
+///
+/// ```
+/// use rowsort_core::keys::KeyBlock;
+/// use rowsort_vector::{DataChunk, OrderBy, Vector};
+///
+/// let chunk = DataChunk::from_columns(vec![Vector::from_u32s(vec![30, 10, 20])]).unwrap();
+/// let mut keys = KeyBlock::new(&chunk.types(), &OrderBy::ascending(1), |_| 0);
+/// keys.append_chunk(&chunk);
+/// keys.sort(|_, _| unreachable!("fixed-width keys cannot tie"));
+/// assert_eq!(keys.order(), vec![1, 2, 0]); // the payload permutation
+/// ```
+///
+/// Layout of one entry: `[ encoded key bytes … ][ row id: u32 LE ]`.
+/// The row id is *not* part of the comparison; it rides along so that
+/// sorting the keys yields the payload permutation (paper Figure 11:
+/// "Key columns are converted to normalized keys … then we reorder the
+/// payload").
+pub struct KeyBlock {
+    layout: NormKeyLayout,
+    data: Vec<u8>,
+    len: usize,
+    key_columns: Vec<usize>,
+}
+
+/// Width of the row-id suffix.
+const ROW_ID_WIDTH: usize = 4;
+
+impl KeyBlock {
+    /// Plan a key block for sorting a relation with column `types` by
+    /// `order`. `varchar_max_len(col)` supplies the string-length
+    /// statistic used to size VARCHAR prefixes (DuckDB picks
+    /// `min(stat, 12)`).
+    pub fn new(
+        types: &[LogicalType],
+        order: &OrderBy,
+        varchar_max_len: impl Fn(usize) -> usize,
+    ) -> KeyBlock {
+        let cols: Vec<KeyColumn> = order
+            .keys
+            .iter()
+            .map(|k| {
+                let ty = types[k.column];
+                if ty == LogicalType::Varchar {
+                    KeyColumn::varchar(k.spec, varchar_max_len(k.column))
+                } else {
+                    KeyColumn::fixed(ty, k.spec)
+                }
+            })
+            .collect();
+        KeyBlock {
+            layout: NormKeyLayout::new(cols),
+            data: Vec::new(),
+            len: 0,
+            key_columns: order.keys.iter().map(|k| k.column).collect(),
+        }
+    }
+
+    /// Total bytes per entry (key + row id).
+    pub fn stride(&self) -> usize {
+        self.layout.width() + ROW_ID_WIDTH
+    }
+
+    /// Bytes per entry that participate in comparisons.
+    pub fn key_width(&self) -> usize {
+        self.layout.width()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the block holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether equal key bytes may hide unequal tuples (truncated VARCHAR
+    /// prefixes), requiring tie resolution against full values.
+    pub fn tie_possible(&self) -> bool {
+        self.layout.tie_possible()
+    }
+
+    /// The key bytes of entry `i` (no row id).
+    pub fn key(&self, i: usize) -> &[u8] {
+        let s = self.stride();
+        &self.data[i * s..i * s + self.key_width()]
+    }
+
+    /// The row id of entry `i`.
+    pub fn row_id(&self, i: usize) -> u32 {
+        let s = self.stride();
+        let off = i * s + self.key_width();
+        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+    }
+
+    /// Encode the key columns of `chunk` and append them; row ids continue
+    /// from the current length.
+    pub fn append_chunk(&mut self, chunk: &DataChunk) {
+        let stride = self.stride();
+        let base = self.len;
+        let n = chunk.len();
+        self.data.resize((base + n) * stride, 0);
+        for (k, &col_idx) in self.key_columns.iter().enumerate() {
+            encode_column_into(
+                chunk.column(col_idx),
+                &self.layout.columns()[k],
+                &mut self.data,
+                stride,
+                self.layout.offset(k),
+                base,
+            );
+        }
+        let kw = self.key_width();
+        for i in 0..n {
+            let rid = (base + i) as u32;
+            let off = (base + i) * stride + kw;
+            self.data[off..off + 4].copy_from_slice(&rid.to_le_bytes());
+        }
+        self.len += n;
+    }
+
+    /// Sort the block. Per the paper's DuckDB heuristic: radix sort when
+    /// ties are impossible (fixed-width keys encode exactly), pdqsort with
+    /// a `memcmp` comparator plus full-value tie resolution otherwise.
+    ///
+    /// `resolve(a, b)` compares the *full tuples* of two row ids; it is
+    /// consulted only when key bytes compare equal and ties are possible.
+    pub fn sort(&mut self, resolve: impl Fn(u32, u32) -> Ordering) {
+        let stride = self.stride();
+        let kw = self.key_width();
+        if kw == 0 {
+            return; // no key columns: nothing to order by
+        }
+        if !self.tie_possible() {
+            radix_sort_rows(&mut self.data, stride, 0, kw);
+        } else {
+            let mut rows = RowsMut::new(&mut self.data, stride);
+            pdqsort_rows(
+                &mut rows,
+                &mut |a: &[u8], b: &[u8]| match a[..kw].cmp(&b[..kw]) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => {
+                        let ra = u32::from_le_bytes(a[kw..kw + 4].try_into().unwrap());
+                        let rb = u32::from_le_bytes(b[kw..kw + 4].try_into().unwrap());
+                        resolve(ra, rb) == Ordering::Less
+                    }
+                },
+            );
+        }
+    }
+
+    /// The permutation the sort produced: row ids in current entry order.
+    pub fn order(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.row_id(i)).collect()
+    }
+
+    /// Strip the row-id suffixes, returning a compact `key_width`-stride
+    /// byte array in current entry order (used by merge phases after the
+    /// payload has been reordered).
+    pub fn keys_only(&self) -> Vec<u8> {
+        let (kw, stride) = (self.key_width(), self.stride());
+        let mut out = Vec::with_capacity(self.len * kw);
+        for i in 0..self.len {
+            out.extend_from_slice(&self.data[i * stride..i * stride + kw]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowsort_vector::{OrderByColumn, SortSpec, Value, Vector};
+
+    fn u32_chunk(cols: Vec<Vec<u32>>) -> DataChunk {
+        DataChunk::from_columns(cols.into_iter().map(Vector::from_u32s).collect()).unwrap()
+    }
+
+    #[test]
+    fn fixed_keys_sort_with_radix() {
+        let chunk = u32_chunk(vec![vec![5, 1, 4, 1, 3], vec![0, 9, 0, 2, 0]]);
+        let order = OrderBy::ascending(2);
+        let mut kb = KeyBlock::new(&chunk.types(), &order, |_| 0);
+        assert!(!kb.tie_possible());
+        kb.append_chunk(&chunk);
+        kb.sort(|_, _| unreachable!("no ties possible"));
+        assert_eq!(kb.order(), vec![3, 1, 4, 2, 0]);
+    }
+
+    #[test]
+    fn row_ids_track_append_order() {
+        let c1 = u32_chunk(vec![vec![9, 8]]);
+        let c2 = u32_chunk(vec![vec![7]]);
+        let order = OrderBy::ascending(1);
+        let mut kb = KeyBlock::new(&c1.types(), &order, |_| 0);
+        kb.append_chunk(&c1);
+        kb.append_chunk(&c2);
+        assert_eq!(kb.len(), 3);
+        assert_eq!(
+            (0..3).map(|i| kb.row_id(i)).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        kb.sort(|_, _| unreachable!());
+        assert_eq!(kb.order(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn desc_and_nulls() {
+        let mut chunk = DataChunk::new(&[LogicalType::Int32]);
+        for v in [Value::Int32(1), Value::Null, Value::Int32(3)] {
+            chunk.push_row(&[v]).unwrap();
+        }
+        let order = OrderBy::new(vec![OrderByColumn {
+            column: 0,
+            spec: SortSpec::DESC, // NULLS LAST
+        }]);
+        let mut kb = KeyBlock::new(&chunk.types(), &order, |_| 0);
+        kb.append_chunk(&chunk);
+        kb.sort(|_, _| unreachable!());
+        assert_eq!(kb.order(), vec![2, 0, 1], "3, 1, NULL");
+    }
+
+    #[test]
+    fn varchar_ties_resolved_against_full_values() {
+        let strings = ["prefix_AAAA_z", "prefix_AAAA_a", "short"];
+        let chunk = DataChunk::from_columns(vec![Vector::from_strings(strings)]).unwrap();
+        let order = OrderBy::ascending(1);
+        // Prefix of 12 truncates both long strings to "prefix_AAAA_".
+        let mut kb = KeyBlock::new(&chunk.types(), &order, |_| 13);
+        assert!(kb.tie_possible());
+        kb.append_chunk(&chunk);
+        kb.sort(|a, b| strings[a as usize].cmp(strings[b as usize]));
+        assert_eq!(kb.order(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn keys_only_strips_row_ids() {
+        let chunk = u32_chunk(vec![vec![2, 1]]);
+        let order = OrderBy::ascending(1);
+        let mut kb = KeyBlock::new(&chunk.types(), &order, |_| 0);
+        kb.append_chunk(&chunk);
+        kb.sort(|_, _| unreachable!());
+        let keys = kb.keys_only();
+        assert_eq!(keys.len(), 2 * kb.key_width());
+        assert!(keys[..kb.key_width()] < keys[kb.key_width()..]);
+    }
+
+    #[test]
+    fn key_on_subset_of_columns() {
+        // 3-column relation, sort by column 2 then 0.
+        let chunk = u32_chunk(vec![vec![1, 2, 3], vec![9, 9, 9], vec![5, 5, 4]]);
+        let order = OrderBy::new(vec![OrderByColumn::asc(2), OrderByColumn::asc(0)]);
+        let mut kb = KeyBlock::new(&chunk.types(), &order, |_| 0);
+        kb.append_chunk(&chunk);
+        kb.sort(|_, _| unreachable!());
+        assert_eq!(kb.order(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_block() {
+        let order = OrderBy::ascending(1);
+        let mut kb = KeyBlock::new(&[LogicalType::UInt32], &order, |_| 0);
+        kb.sort(|_, _| unreachable!());
+        assert!(kb.is_empty());
+        assert_eq!(kb.order(), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,34 @@
+//! The relational sort operator, in every variant the paper studies.
+//!
+//! * [`comparator`] — static (monomorphized, "compiled-engine") and
+//!   dynamic (per-column dispatch, "interpreted-engine") tuple comparators,
+//! * [`strategy`] — the §IV/§V design-space points over u32 key columns:
+//!   DSM vs NSM × tuple-at-a-time vs subsort × static vs dynamic
+//!   comparator × introsort vs merge sort, plus the §VI normalized-key
+//!   pdqsort and radix strategies,
+//! * [`keys`] — normalized-key blocks with row-id suffixes and VARCHAR
+//!   tie resolution,
+//! * [`pipeline`] — DuckDB's full parallel sorting pipeline (Figure 11):
+//!   morsel-parallel run generation, radix/pdqsort thread-local sorts,
+//!   Merge-Path-parallel cascaded 2-way merge, payload reordering,
+//! * [`systems`] — the five §VII system profiles (DuckDB-, ClickHouse-,
+//!   MonetDB-, HyPer-, Umbra-like sort configurations) behind one trait,
+//! * [`external`] — out-of-core sorting with spilled runs and a streaming
+//!   merge (the §IX "graceful degradation" future work, implemented),
+//! * [`model`] — the §II run-generation vs merge comparison-count model,
+//! * [`chooser`] — the §IX future-work heuristic for picking a sort
+//!   algorithm from key width, row count, and distinct-value estimates.
+
+pub mod chooser;
+pub mod comparator;
+pub mod external;
+pub mod keys;
+pub mod model;
+pub mod pipeline;
+pub mod strategy;
+pub mod systems;
+
+pub use external::{ExternalSortOptions, ExternalSorter};
+pub use keys::KeyBlock;
+pub use pipeline::{SortOptions, SortPipeline};
+pub use systems::{sort_with_system, SystemProfile};

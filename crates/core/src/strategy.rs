@@ -1,0 +1,461 @@
+//! The §IV–§VI design-space strategies over u32 key columns.
+//!
+//! These are the micro-benchmark kernels behind Figures 2–9: every
+//! combination of
+//!
+//! * data format — DSM (sort an index array) vs NSM (physically move rows),
+//! * comparison strategy — tuple-at-a-time (branching comparator over all
+//!   key columns) vs subsort (one column per pass, recursing into ties),
+//! * comparator binding — static/monomorphized ("compiled engine") vs
+//!   dynamic per-column function calls ("interpreted engine"),
+//! * algorithm — introsort (`std::sort`), merge sort (`std::stable_sort`),
+//!   or pdqsort,
+//!
+//! plus the §VI normalized-key representations sorted with a `memcmp`
+//! comparator or byte-wise radix sort.
+
+use crate::comparator::static_tuple_less;
+use rowsort_algos::introsort::{introsort, introsort_rows};
+use rowsort_algos::mergesort::{merge_sort, merge_sort_rows};
+use rowsort_algos::pdqsort::{pdqsort, pdqsort_rows};
+use rowsort_algos::radix::radix_sort_rows;
+use rowsort_algos::rows::RowsMut;
+use std::cmp::Ordering;
+
+/// Which sorting algorithm a strategy runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Introspective sort — the paper's `std::sort`.
+    Introsort,
+    /// Stable merge sort — the paper's `std::stable_sort`.
+    MergeSort,
+    /// Pattern-defeating quicksort.
+    Pdq,
+}
+
+fn sort_typed<T: Clone, F: FnMut(&T, &T) -> bool>(v: &mut [T], algo: Algo, is_less: &mut F) {
+    match algo {
+        Algo::Introsort => introsort(v, is_less),
+        Algo::MergeSort => merge_sort(v, is_less),
+        Algo::Pdq => pdqsort(v, is_less),
+    }
+}
+
+fn sort_byte_rows<F: FnMut(&[u8], &[u8]) -> bool>(
+    rows: &mut RowsMut<'_>,
+    algo: Algo,
+    is_less: &mut F,
+) {
+    match algo {
+        Algo::Introsort => introsort_rows(rows, is_less),
+        Algo::MergeSort => merge_sort_rows(rows, is_less),
+        Algo::Pdq => pdqsort_rows(rows, is_less),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DSM strategies: sort an index array
+// ---------------------------------------------------------------------------
+
+/// Columnar tuple-at-a-time: sort row indices with a comparator that walks
+/// the key columns, randomly accessing each and branching on ties.
+pub fn columnar_tuple(cols: &[Vec<u32>], algo: Algo) -> Vec<u32> {
+    let n = cols[0].len();
+    let mut idxs: Vec<u32> = (0..n as u32).collect();
+    let mut is_less = |a: &u32, b: &u32| -> bool {
+        let (a, b) = (*a as usize, *b as usize);
+        for col in cols {
+            match col[a].cmp(&col[b]) {
+                Ordering::Less => return true,
+                Ordering::Greater => return false,
+                Ordering::Equal => continue,
+            }
+        }
+        false
+    };
+    sort_typed(&mut idxs, algo, &mut is_less);
+    idxs
+}
+
+/// Columnar subsort: sort indices by one column at a time (single-column
+/// comparator, no tie branch), then identify tied ranges and recurse into
+/// them on the next column.
+pub fn columnar_subsort(cols: &[Vec<u32>], algo: Algo) -> Vec<u32> {
+    let n = cols[0].len();
+    let mut idxs: Vec<u32> = (0..n as u32).collect();
+    subsort_indices(cols, &mut idxs, 0, algo);
+    idxs
+}
+
+fn subsort_indices(cols: &[Vec<u32>], idxs: &mut [u32], col: usize, algo: Algo) {
+    if idxs.len() < 2 || col >= cols.len() {
+        return;
+    }
+    let column = &cols[col];
+    sort_typed(idxs, algo, &mut |a: &u32, b: &u32| {
+        column[*a as usize] < column[*b as usize]
+    });
+    if col + 1 >= cols.len() {
+        return;
+    }
+    // Recurse into maximal tied runs.
+    let mut run_start = 0;
+    for i in 1..=idxs.len() {
+        let tied = i < idxs.len() && column[idxs[i - 1] as usize] == column[idxs[i] as usize];
+        if !tied {
+            if i - run_start > 1 {
+                subsort_indices(cols, &mut idxs[run_start..i], col + 1, algo);
+            }
+            run_start = i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NSM strategies: physically move rows
+// ---------------------------------------------------------------------------
+
+/// A buffer of native-endian u32 rows — the generic NSM representation an
+/// interpreted engine works with when it cannot generate a typed struct.
+#[derive(Debug, Clone)]
+pub struct ByteRows {
+    /// Row-major bytes: row i at `data[i*ncols*4 .. (i+1)*ncols*4]`.
+    pub data: Vec<u8>,
+    /// Key columns per row.
+    pub ncols: usize,
+}
+
+impl ByteRows {
+    /// Convert DSM columns into NSM rows.
+    pub fn from_cols(cols: &[Vec<u32>]) -> ByteRows {
+        let n = cols[0].len();
+        let ncols = cols.len();
+        let mut data = Vec::with_capacity(n * ncols * 4);
+        for r in 0..n {
+            for col in cols {
+                data.extend_from_slice(&col[r].to_le_bytes());
+            }
+        }
+        ByteRows { data, ncols }
+    }
+
+    /// Bytes per row.
+    pub fn width(&self) -> usize {
+        self.ncols * 4
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.width()
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Decode back to row-major u32 tuples (for verification).
+    pub fn to_tuples(&self) -> Vec<Vec<u32>> {
+        self.data
+            .chunks(self.width())
+            .map(|row| {
+                row.chunks(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[inline]
+fn row_u32(row: &[u8], c: usize) -> u32 {
+    u32::from_le_bytes(row[c * 4..c * 4 + 4].try_into().unwrap())
+}
+
+/// NSM tuple-at-a-time with a *fused* comparator: one function walks all
+/// columns (the shape a compiled engine generates). Rows move physically.
+pub fn row_tuple_fused(rows: &mut ByteRows, algo: Algo) {
+    let ncols = rows.ncols;
+    let width = rows.width();
+    let mut view = RowsMut::new(&mut rows.data, width);
+    sort_byte_rows(&mut view, algo, &mut |a: &[u8], b: &[u8]| {
+        for c in 0..ncols {
+            let (x, y) = (row_u32(a, c), row_u32(b, c));
+            if x != y {
+                return x < y;
+            }
+        }
+        false
+    });
+}
+
+/// NSM tuple-at-a-time with a *dynamic* comparator: one boxed function
+/// call per key column on every comparison — the interpreted-engine
+/// overhead of Figure 6.
+pub fn row_tuple_dynamic(rows: &mut ByteRows, algo: Algo) {
+    let width = rows.width();
+    type ColFn = Box<dyn Fn(&[u8], &[u8]) -> Ordering>;
+    let fns: Vec<ColFn> = (0..rows.ncols)
+        .map(|c| {
+            let f: ColFn = Box::new(move |a: &[u8], b: &[u8]| row_u32(a, c).cmp(&row_u32(b, c)));
+            f
+        })
+        .collect();
+    let mut view = RowsMut::new(&mut rows.data, width);
+    sort_byte_rows(&mut view, algo, &mut |a: &[u8], b: &[u8]| {
+        for f in &fns {
+            match f(a, b) {
+                Ordering::Less => return true,
+                Ordering::Greater => return false,
+                Ordering::Equal => continue,
+            }
+        }
+        false
+    });
+}
+
+/// NSM subsort: per-column passes with tie recursion, physically moving
+/// rows each pass.
+pub fn row_subsort(rows: &mut ByteRows, algo: Algo) {
+    let ncols = rows.ncols;
+    let width = rows.width();
+    let n = rows.len();
+    let mut view = RowsMut::new(&mut rows.data, width);
+    row_subsort_range(&mut view, 0, n, 0, ncols, algo);
+}
+
+fn row_subsort_range(
+    rows: &mut RowsMut<'_>,
+    lo: usize,
+    hi: usize,
+    col: usize,
+    ncols: usize,
+    algo: Algo,
+) {
+    if hi - lo < 2 || col >= ncols {
+        return;
+    }
+    {
+        let mut range = rows.sub(lo, hi);
+        sort_byte_rows(&mut range, algo, &mut |a: &[u8], b: &[u8]| {
+            row_u32(a, col) < row_u32(b, col)
+        });
+    }
+    if col + 1 >= ncols {
+        return;
+    }
+    let mut run_start = lo;
+    for i in lo + 1..=hi {
+        let tied = i < hi && row_u32(rows.row(i - 1), col) == row_u32(rows.row(i), col);
+        if !tied {
+            if i - run_start > 1 {
+                row_subsort_range(rows, run_start, i, col + 1, ncols, algo);
+            }
+            run_start = i;
+        }
+    }
+}
+
+/// Convert columns to typed `[u32; N]` rows — the compiled engine's
+/// generated `OrderKey` struct.
+pub fn to_static_rows<const N: usize>(cols: &[Vec<u32>]) -> Vec<[u32; N]> {
+    assert_eq!(cols.len(), N);
+    let n = cols[0].len();
+    (0..n)
+        .map(|r| std::array::from_fn(|c| cols[c][r]))
+        .collect()
+}
+
+/// NSM tuple-at-a-time with a fully *static* (monomorphized) comparator
+/// over typed rows — the compiled-engine kernel.
+pub fn row_tuple_static<const N: usize>(rows: &mut [[u32; N]], algo: Algo) {
+    sort_typed(rows, algo, &mut |a: &[u32; N], b: &[u32; N]| {
+        static_tuple_less(a, b)
+    });
+}
+
+// ---------------------------------------------------------------------------
+// §VI normalized-key strategies
+// ---------------------------------------------------------------------------
+
+/// Big-endian-encoded key rows comparable with `memcmp` (the micro-
+/// benchmark's keys are non-NULL u32 columns, so no NULL bytes are
+/// needed; widths match the raw rows).
+#[derive(Debug, Clone)]
+pub struct NormRows {
+    /// Row-major encoded keys.
+    pub data: Vec<u8>,
+    /// Bytes per key.
+    pub width: usize,
+}
+
+impl NormRows {
+    /// Encode columns into normalized keys.
+    pub fn from_cols(cols: &[Vec<u32>]) -> NormRows {
+        let n = cols[0].len();
+        let width = cols.len() * 4;
+        let mut data = Vec::with_capacity(n * width);
+        for r in 0..n {
+            for col in cols {
+                data.extend_from_slice(&col[r].to_be_bytes());
+            }
+        }
+        NormRows { data, width }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// `true` iff there are no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Decode back to u32 tuples (for verification).
+    pub fn to_tuples(&self) -> Vec<Vec<u32>> {
+        self.data
+            .chunks(self.width)
+            .map(|row| {
+                row.chunks(4)
+                    .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Sort normalized keys with a comparison sort using a dynamic `memcmp`
+/// comparator (length known only at run time) — Figures 8 and 9's
+/// comparison-based contender.
+pub fn normkey_sort(rows: &mut NormRows, algo: Algo) {
+    let width = rows.width;
+    let mut view = RowsMut::new(&mut rows.data, width);
+    sort_byte_rows(&mut view, algo, &mut |a: &[u8], b: &[u8]| a < b);
+}
+
+/// Sort normalized keys with byte-wise radix sort (LSD for ≤ 4-byte keys,
+/// MSD otherwise) — no comparisons at all.
+pub fn normkey_radix(rows: &mut NormRows) {
+    let width = rows.width;
+    radix_sort_rows(&mut rows.data, width, 0, width);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowsort_datagen::{key_columns, KeyDistribution};
+
+    fn reference(cols: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        let n = cols[0].len();
+        let mut rows: Vec<Vec<u32>> = (0..n)
+            .map(|r| cols.iter().map(|c| c[r]).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn apply_perm(cols: &[Vec<u32>], perm: &[u32]) -> Vec<Vec<u32>> {
+        perm.iter()
+            .map(|&i| cols.iter().map(|c| c[i as usize]).collect())
+            .collect()
+    }
+
+    fn workloads() -> Vec<Vec<Vec<u32>>> {
+        let mut out = Vec::new();
+        for dist in [
+            KeyDistribution::Random,
+            KeyDistribution::Correlated(0.5),
+            KeyDistribution::Correlated(1.0),
+        ] {
+            for ncols in [1usize, 2, 4] {
+                out.push(key_columns(dist, 2_000, ncols, 42));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn columnar_strategies_sort_correctly() {
+        for cols in workloads() {
+            let expected = reference(&cols);
+            for algo in [Algo::Introsort, Algo::MergeSort, Algo::Pdq] {
+                let p1 = columnar_tuple(&cols, algo);
+                assert_eq!(apply_perm(&cols, &p1), expected, "tuple {algo:?}");
+                let p2 = columnar_subsort(&cols, algo);
+                assert_eq!(apply_perm(&cols, &p2), expected, "subsort {algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_strategies_sort_correctly() {
+        for cols in workloads() {
+            let expected = reference(&cols);
+            for algo in [Algo::Introsort, Algo::MergeSort, Algo::Pdq] {
+                let mut r = ByteRows::from_cols(&cols);
+                row_tuple_fused(&mut r, algo);
+                assert_eq!(r.to_tuples(), expected, "fused {algo:?}");
+
+                let mut r = ByteRows::from_cols(&cols);
+                row_tuple_dynamic(&mut r, algo);
+                assert_eq!(r.to_tuples(), expected, "dynamic {algo:?}");
+
+                let mut r = ByteRows::from_cols(&cols);
+                row_subsort(&mut r, algo);
+                assert_eq!(r.to_tuples(), expected, "subsort {algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_rows_sort_correctly() {
+        let cols = key_columns(KeyDistribution::Correlated(0.5), 3_000, 4, 7);
+        let expected = reference(&cols);
+        for algo in [Algo::Introsort, Algo::MergeSort, Algo::Pdq] {
+            let mut rows = to_static_rows::<4>(&cols);
+            row_tuple_static(&mut rows, algo);
+            let got: Vec<Vec<u32>> = rows.iter().map(|r| r.to_vec()).collect();
+            assert_eq!(got, expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn normkey_strategies_sort_correctly() {
+        for cols in workloads() {
+            let expected = reference(&cols);
+            for algo in [Algo::Introsort, Algo::Pdq] {
+                let mut r = NormRows::from_cols(&cols);
+                normkey_sort(&mut r, algo);
+                assert_eq!(r.to_tuples(), expected, "normkey {algo:?}");
+            }
+            let mut r = NormRows::from_cols(&cols);
+            normkey_radix(&mut r);
+            assert_eq!(r.to_tuples(), expected, "normkey radix");
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_with_each_other() {
+        let cols = key_columns(KeyDistribution::Correlated(0.75), 1_500, 3, 99);
+        let expected = reference(&cols);
+        let via_columnar = apply_perm(&cols, &columnar_tuple(&cols, Algo::Introsort));
+        let via_norm = {
+            let mut r = NormRows::from_cols(&cols);
+            normkey_radix(&mut r);
+            r.to_tuples()
+        };
+        assert_eq!(via_columnar, expected);
+        assert_eq!(via_norm, expected);
+    }
+
+    #[test]
+    fn single_column_single_row() {
+        let cols = vec![vec![5u32]];
+        assert_eq!(columnar_tuple(&cols, Algo::Introsort), vec![0]);
+        let mut r = NormRows::from_cols(&cols);
+        normkey_radix(&mut r);
+        assert_eq!(r.to_tuples(), vec![vec![5]]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: the sort pipeline and every system profile produce a
+//! correctly ordered permutation of arbitrary typed inputs.
+
+use proptest::prelude::*;
+use rowsort_core::pipeline::{SortOptions, SortPipeline};
+use rowsort_core::systems::{sort_with_system, SystemProfile};
+use rowsort_vector::{
+    DataChunk, LogicalType, NullOrder, OrderBy, OrderByColumn, SortOrder, SortSpec, Value,
+};
+use std::cmp::Ordering;
+
+fn value_strategy(ty: LogicalType) -> BoxedStrategy<Value> {
+    let non_null: BoxedStrategy<Value> = match ty {
+        LogicalType::Int32 => (-50i32..50).prop_map(Value::Int32).boxed(),
+        LogicalType::Int64 => any::<i64>().prop_map(Value::Int64).boxed(),
+        LogicalType::UInt32 => (0u32..40).prop_map(Value::UInt32).boxed(),
+        LogicalType::Float64 => (-4i32..4)
+            .prop_map(|v| Value::Float64(v as f64 * 1.5))
+            .boxed(),
+        LogicalType::Varchar => "[a-c]{0,14}".prop_map(Value::Varchar).boxed(),
+        _ => unreachable!("strategy only draws from the five types below"),
+    };
+    prop_oneof![1 => Just(Value::Null), 5 => non_null].boxed()
+}
+
+fn schema_strategy() -> impl Strategy<Value = Vec<LogicalType>> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            LogicalType::Int32,
+            LogicalType::Int64,
+            LogicalType::UInt32,
+            LogicalType::Float64,
+            LogicalType::Varchar,
+        ]),
+        1..=3,
+    )
+}
+
+fn spec_strategy() -> impl Strategy<Value = SortSpec> {
+    (any::<bool>(), any::<bool>()).prop_map(|(d, nf)| {
+        SortSpec::new(
+            if d {
+                SortOrder::Descending
+            } else {
+                SortOrder::Ascending
+            },
+            if nf {
+                NullOrder::NullsFirst
+            } else {
+                NullOrder::NullsLast
+            },
+        )
+    })
+}
+
+#[derive(Debug)]
+struct Case {
+    chunk: DataChunk,
+    order: OrderBy,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    schema_strategy().prop_flat_map(|types| {
+        let ncols = types.len();
+        let row_strat: Vec<BoxedStrategy<Value>> =
+            types.iter().map(|&t| value_strategy(t)).collect();
+        let rows = prop::collection::vec(row_strat, 0..120);
+        let specs = prop::collection::vec(spec_strategy(), 1..=ncols);
+        (rows, specs, Just(types)).prop_map(|(rows, specs, types)| {
+            let mut chunk = DataChunk::new(&types);
+            for r in &rows {
+                chunk.push_row(r).unwrap();
+            }
+            let order = OrderBy::new(
+                specs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, spec)| OrderByColumn { column: i, spec })
+                    .collect(),
+            );
+            Case { chunk, order }
+        })
+    })
+}
+
+fn float_safe(v: &Value) -> String {
+    // NaN != NaN under PartialEq; compare via debug of bits for floats.
+    match v {
+        Value::Float64(f) => format!("f64:{:016x}", f.to_bits()),
+        other => format!("{other:?}"),
+    }
+}
+
+fn check_sorted_permutation(got: &DataChunk, case: &Case) -> Result<(), TestCaseError> {
+    let got_rows = got.to_rows();
+    prop_assert_eq!(got_rows.len(), case.chunk.len());
+    for w in got_rows.windows(2) {
+        prop_assert_ne!(
+            case.order.compare_rows(&w[0], &w[1]),
+            Ordering::Greater,
+            "out of order: {:?} then {:?}",
+            &w[0],
+            &w[1]
+        );
+    }
+    let canon = |rows: Vec<Vec<Value>>| {
+        let mut v: Vec<String> = rows
+            .iter()
+            .map(|r| r.iter().map(float_safe).collect::<Vec<_>>().join("|"))
+            .collect();
+        v.sort();
+        v
+    };
+    prop_assert_eq!(canon(got_rows), canon(case.chunk.to_rows()));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_sorts_arbitrary_input(case in case_strategy(), run_rows in 1usize..64, threads in 1usize..4) {
+        let pipeline = SortPipeline::new(
+            case.chunk.types(),
+            case.order.clone(),
+            SortOptions { threads, run_rows },
+        );
+        let got = pipeline.sort(&case.chunk);
+        check_sorted_permutation(&got, &case)?;
+    }
+
+    #[test]
+    fn system_profiles_sort_arbitrary_input(case in case_strategy()) {
+        for p in SystemProfile::ALL {
+            let got = sort_with_system(p, &case.chunk, &case.order, 2);
+            check_sorted_permutation(&got, &case)?;
+        }
+    }
+}

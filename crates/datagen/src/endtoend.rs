@@ -1,0 +1,52 @@
+//! Figure 12's end-to-end workload: random integers and floats.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The integers `0..n`, shuffled — the paper's first Figure 12 data set
+/// ("32-bit integers from 0 to 99,999,999, shuffled").
+pub fn shuffled_integers(n: usize, seed: u64) -> Vec<i32> {
+    let mut v: Vec<i32> = (0..n as i32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x00c0_ffee_1234_5678);
+    v.shuffle(&mut rng);
+    v
+}
+
+/// `n` floats uniform in `[-1e9, 1e9]` — the paper's second Figure 12 data
+/// set.
+pub fn uniform_floats(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0f10_a7f0_0d5e_edaa);
+    (0..n).map(|_| rng.gen_range(-1e9f32..=1e9f32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffled_integers_is_a_permutation() {
+        let v = shuffled_integers(10_000, 1);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10_000).collect::<Vec<i32>>());
+        // And actually shuffled (first elements are not 0,1,2,...).
+        assert_ne!(&v[..100], &sorted[..100]);
+    }
+
+    #[test]
+    fn floats_in_range() {
+        let v = uniform_floats(10_000, 2);
+        assert!(v.iter().all(|&f| (-1e9..=1e9).contains(&f)));
+        // Roughly centred.
+        let mean: f64 = v.iter().map(|&f| f as f64).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 5e7, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(shuffled_integers(1000, 5), shuffled_integers(1000, 5));
+        assert_eq!(uniform_floats(1000, 5), uniform_floats(1000, 5));
+        assert_ne!(shuffled_integers(1000, 5), shuffled_integers(1000, 6));
+    }
+}

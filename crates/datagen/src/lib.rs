@@ -1,0 +1,21 @@
+//! Workload generators for the paper's experiments.
+//!
+//! * [`micro`] — the §III micro-benchmark data: `Random` (uniform 32-bit,
+//!   virtually no duplicates) and `Correlated(P)` (128 unique values per
+//!   column; `P` is the probability that two tuples equal in column *C*
+//!   are also equal in column *C+1*),
+//! * [`endtoend`] — Figure 12's shuffled integers and uniform floats,
+//! * [`tpcds`] — synthetic TPC-DS-like `catalog_sales` and `customer`
+//!   tables with Table IV's cardinalities, matching the column domains the
+//!   paper's §VII benchmarks sort on.
+//!
+//! Everything is seeded and deterministic, so experiments are reproducible
+//! run to run.
+
+pub mod endtoend;
+pub mod micro;
+pub mod tpcds;
+
+pub use endtoend::{shuffled_integers, uniform_floats};
+pub use micro::{key_chunk, key_columns, KeyDistribution};
+pub use tpcds::NamedTable;

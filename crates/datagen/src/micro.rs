@@ -1,0 +1,186 @@
+//! The §III micro-benchmark workload.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rowsort_vector::{DataChunk, Vector};
+
+/// Number of unique values per column in the Correlated distributions, as
+/// specified by the paper.
+pub const CORRELATED_UNIQUE_VALUES: u32 = 128;
+
+/// The paper's two micro-benchmark distributions of unsigned 32-bit keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Uniform over the full `u32` range: virtually no duplicates.
+    Random,
+    /// 128 unique values per column. The parameter `P` is the probability
+    /// that two tuples with equal values in column *C* also have equal
+    /// values in column *C+1*.
+    Correlated(f64),
+}
+
+impl KeyDistribution {
+    /// Short label used by benchmark output ("Random", "Correlated0.5", …).
+    pub fn label(&self) -> String {
+        match self {
+            KeyDistribution::Random => "Random".to_owned(),
+            KeyDistribution::Correlated(p) => format!("Correlated{p}"),
+        }
+    }
+
+    /// The distribution sweep the experiments report: Random plus four
+    /// correlation factors.
+    pub const SWEEP: [KeyDistribution; 5] = [
+        KeyDistribution::Random,
+        KeyDistribution::Correlated(0.25),
+        KeyDistribution::Correlated(0.5),
+        KeyDistribution::Correlated(0.75),
+        KeyDistribution::Correlated(1.0),
+    ];
+}
+
+/// Generate `cols` key columns of `rows` values each.
+///
+/// For `Correlated(P)`: column 0 is uniform over 128 values. For column
+/// *C+1*, each row is either *tied to* column *C* (its value is a fixed
+/// function of the column-*C* value) or drawn independently. Two rows equal
+/// in *C* stay equal in *C+1* if both are tied (or collide by chance), so
+/// the per-row tie probability `q` is calibrated as
+/// `q = sqrt((P - 1/128) / (1 - 1/128))`, making the *pairwise* conditional
+/// equality probability equal to `P` as the paper defines it.
+pub fn key_columns(dist: KeyDistribution, rows: usize, cols: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x8d3c_5a1f_0042_77ee);
+    match dist {
+        KeyDistribution::Random => (0..cols)
+            .map(|_| (0..rows).map(|_| rng.gen::<u32>()).collect())
+            .collect(),
+        KeyDistribution::Correlated(p) => {
+            let u = CORRELATED_UNIQUE_VALUES;
+            let base = 1.0 / u as f64;
+            let q = if p <= base {
+                0.0
+            } else {
+                ((p - base) / (1.0 - base)).sqrt().min(1.0)
+            };
+            let mut out: Vec<Vec<u32>> = Vec::with_capacity(cols);
+            let first: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..u)).collect();
+            out.push(first);
+            for c in 1..cols {
+                let prev = &out[c - 1];
+                let col: Vec<u32> = (0..rows)
+                    .map(|r| {
+                        if rng.gen_bool(q) {
+                            // Tied: a deterministic, value-scrambling
+                            // function of the previous column's value.
+                            prev[r].wrapping_mul(2654435761).wrapping_add(c as u32) % u
+                        } else {
+                            rng.gen_range(0..u)
+                        }
+                    })
+                    .collect();
+                out.push(col);
+            }
+            out
+        }
+    }
+}
+
+/// The same workload as a [`DataChunk`] of UINTEGER columns.
+pub fn key_chunk(dist: KeyDistribution, rows: usize, cols: usize, seed: u64) -> DataChunk {
+    let columns = key_columns(dist, rows, cols, seed)
+        .into_iter()
+        .map(Vector::from_u32s)
+        .collect();
+    DataChunk::from_columns(columns).expect("equal-length columns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn random_has_virtually_no_duplicates() {
+        let cols = key_columns(KeyDistribution::Random, 10_000, 2, 7);
+        for col in &cols {
+            let unique: HashSet<u32> = col.iter().copied().collect();
+            assert!(unique.len() > 9_980, "{} unique", unique.len());
+        }
+    }
+
+    #[test]
+    fn correlated_has_128_unique_values() {
+        let cols = key_columns(KeyDistribution::Correlated(0.5), 50_000, 3, 8);
+        for col in &cols {
+            let unique: HashSet<u32> = col.iter().copied().collect();
+            assert!(unique.len() <= 128);
+            assert!(unique.len() > 100, "most values should appear");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = key_columns(KeyDistribution::Correlated(0.5), 1000, 4, 42);
+        let b = key_columns(KeyDistribution::Correlated(0.5), 1000, 4, 42);
+        let c = key_columns(KeyDistribution::Correlated(0.5), 1000, 4, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    /// Empirically check the paper's definition: among pairs equal in
+    /// column C, a fraction ~P is equal in column C+1.
+    fn measure_conditional_equality(p: f64) -> f64 {
+        let n = 30_000;
+        let cols = key_columns(KeyDistribution::Correlated(p), n, 2, 123);
+        let (c0, c1) = (&cols[0], &cols[1]);
+        // Sample pairs rather than all O(n²).
+        let mut rng_state = 99u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng_state >> 33) as usize
+        };
+        let (mut eq_c, mut eq_both) = (0u64, 0u64);
+        let mut trials = 0u64;
+        while eq_c < 20_000 && trials < 40_000_000 {
+            trials += 1;
+            let (i, j) = (next() % n, next() % n);
+            if i != j && c0[i] == c0[j] {
+                eq_c += 1;
+                if c1[i] == c1[j] {
+                    eq_both += 1;
+                }
+            }
+        }
+        eq_both as f64 / eq_c as f64
+    }
+
+    #[test]
+    fn correlation_parameter_is_calibrated() {
+        for p in [0.25, 0.5, 0.75] {
+            let measured = measure_conditional_equality(p);
+            assert!(
+                (measured - p).abs() < 0.06,
+                "target {p}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlation_one_is_fully_tied() {
+        let measured = measure_conditional_equality(1.0);
+        assert!(measured > 0.999, "measured {measured}");
+    }
+
+    #[test]
+    fn chunk_has_right_shape() {
+        let chunk = key_chunk(KeyDistribution::Random, 100, 3, 1);
+        assert_eq!(chunk.len(), 100);
+        assert_eq!(chunk.column_count(), 3);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(KeyDistribution::Random.label(), "Random");
+        assert_eq!(KeyDistribution::Correlated(0.5).label(), "Correlated0.5");
+    }
+}

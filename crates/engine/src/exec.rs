@@ -1,0 +1,614 @@
+//! Vectorized physical operators.
+//!
+//! Execution is chunk-at-a-time: streaming operators (scan, filter,
+//! project, limit) transform one [`rowsort_vector::VECTOR_SIZE`]-row chunk
+//! at a time, while
+//! the pipeline breakers (sort, top-N, count) materialize. The sort
+//! operator delegates to a configurable [`SystemProfile`], so the same
+//! query can be executed "as DuckDB", "as ClickHouse", etc. — the §VII
+//! experiments in one engine.
+
+use crate::catalog::Catalog;
+use crate::plan::{LogicalPlan, ResolvedPredicate};
+use crate::sql::CmpOp;
+use crate::{EngineError, Result};
+use rowsort_core::systems::{sort_with_system, SystemProfile};
+use rowsort_vector::{DataChunk, OrderBy, Value, Vector};
+use std::cmp::Ordering;
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Which system's sort-operator configuration to use.
+    pub profile: SystemProfile,
+    /// Worker threads available to parallel operators.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            profile: SystemProfile::RowsortDb,
+            threads: 1,
+        }
+    }
+}
+
+/// Execute a plan, returning the concatenated result relation.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog, options: &ExecOptions) -> Result<DataChunk> {
+    let chunks = exec_stream(plan, catalog, options)?;
+    let (_, types) = plan.schema(catalog)?;
+    let mut out = DataChunk::new(&types);
+    for c in &chunks {
+        out.append(c)
+            .map_err(|e| EngineError::Invalid(e.to_string()))?;
+    }
+    Ok(out)
+}
+
+fn exec_stream(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    options: &ExecOptions,
+) -> Result<Vec<DataChunk>> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = catalog
+                .get(table)
+                .ok_or_else(|| EngineError::UnknownTable(table.clone()))?;
+            Ok(t.data.split_into_vectors())
+        }
+        LogicalPlan::Filter { input, predicates } => {
+            let chunks = exec_stream(input, catalog, options)?;
+            Ok(chunks
+                .into_iter()
+                .map(|c| filter_chunk(&c, predicates))
+                .filter(|c| !c.is_empty())
+                .collect())
+        }
+        LogicalPlan::Project { input, columns } => {
+            let chunks = exec_stream(input, catalog, options)?;
+            chunks
+                .into_iter()
+                .map(|c| {
+                    let cols: Vec<Vector> = columns.iter().map(|&i| c.column(i).clone()).collect();
+                    DataChunk::from_columns(cols).map_err(|e| EngineError::Invalid(e.to_string()))
+                })
+                .collect()
+        }
+        LogicalPlan::Sort { input, order } => {
+            // Pipeline breaker: materialize, sort via the configured
+            // system profile, re-emit as vectors.
+            let chunks = exec_stream(input, catalog, options)?;
+            let (_, types) = input.schema(catalog)?;
+            let mut all = DataChunk::new(&types);
+            for c in &chunks {
+                all.append(c)
+                    .map_err(|e| EngineError::Invalid(e.to_string()))?;
+            }
+            let sorted = sort_with_system(options.profile, &all, order, options.threads);
+            Ok(sorted.split_into_vectors())
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let chunks = exec_stream(input, catalog, options)?;
+            Ok(apply_limit(chunks, *limit, *offset))
+        }
+        LogicalPlan::TopN {
+            input,
+            order,
+            limit,
+            offset,
+        } => {
+            let chunks = exec_stream(input, catalog, options)?;
+            let (_, types) = input.schema(catalog)?;
+            Ok(top_n(chunks, &types, order, *limit, *offset))
+        }
+        LogicalPlan::CountStar { input } => {
+            let chunks = exec_stream(input, catalog, options)?;
+            let count: usize = chunks.iter().map(DataChunk::len).sum();
+            let col = Vector::from_i64s(vec![count as i64]);
+            Ok(vec![DataChunk::from_columns(vec![col]).expect("one column")])
+        }
+        LogicalPlan::SortMergeJoin {
+            left,
+            right,
+            left_col,
+            right_col,
+            types,
+            ..
+        } => {
+            let l = materialize(exec_stream(left, catalog, options)?, left, catalog)?;
+            let r = materialize(exec_stream(right, catalog, options)?, right, catalog)?;
+            Ok(sort_merge_join(&l, &r, *left_col, *right_col, types, options).split_into_vectors())
+        }
+        LogicalPlan::WindowRowNumber { input, order } => {
+            let all = materialize(exec_stream(input, catalog, options)?, input, catalog)?;
+            let sorted = sort_with_system(options.profile, &all, order, options.threads);
+            let numbers = Vector::from_i64s((1..=sorted.len() as i64).collect());
+            let mut columns: Vec<Vector> = sorted.columns().to_vec();
+            columns.push(numbers);
+            let out = DataChunk::from_columns(columns)
+                .map_err(|e| EngineError::Invalid(e.to_string()))?;
+            Ok(out.split_into_vectors())
+        }
+    }
+}
+
+/// Concatenate a chunk stream into one relation.
+fn materialize(chunks: Vec<DataChunk>, plan: &LogicalPlan, catalog: &Catalog) -> Result<DataChunk> {
+    let (_, types) = plan.schema(catalog)?;
+    let mut all = DataChunk::new(&types);
+    for c in &chunks {
+        all.append(c)
+            .map_err(|e| EngineError::Invalid(e.to_string()))?;
+    }
+    Ok(all)
+}
+
+/// Sort both inputs by their join key and merge, emitting the cross
+/// product of each equal-key group. NULL keys never match (SQL equality).
+///
+/// This is the operation the paper's §V-B points at: the merge walks two
+/// *sorted* streams and needs a full key comparison per step — the access
+/// pattern that rules out the subsort trick and motivates normalized keys.
+fn sort_merge_join(
+    left: &DataChunk,
+    right: &DataChunk,
+    left_col: usize,
+    right_col: usize,
+    out_types: &[rowsort_vector::LogicalType],
+    options: &ExecOptions,
+) -> DataChunk {
+    use rowsort_vector::OrderByColumn;
+    let l_order = OrderBy::new(vec![OrderByColumn::asc(left_col)]);
+    let r_order = OrderBy::new(vec![OrderByColumn::asc(right_col)]);
+    let l = sort_with_system(options.profile, left, &l_order, options.threads);
+    let r = sort_with_system(options.profile, right, &r_order, options.threads);
+
+    let mut out = DataChunk::new(out_types);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut row_buf: Vec<Value> = Vec::with_capacity(out_types.len());
+    while i < l.len() && j < r.len() {
+        let a = l.column(left_col).get(i);
+        let b = r.column(right_col).get(j);
+        // ASC NULLS LAST puts NULLs at the end; they never join.
+        if a.is_null() || b.is_null() {
+            break;
+        }
+        match a.compare_non_null(&b) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                // Find both equal-key groups, emit their cross product.
+                let i_end = (i..l.len())
+                    .find(|&x| {
+                        let v = l.column(left_col).get(x);
+                        v.is_null() || v.compare_non_null(&a) != Ordering::Equal
+                    })
+                    .unwrap_or(l.len());
+                let j_end = (j..r.len())
+                    .find(|&x| {
+                        let v = r.column(right_col).get(x);
+                        v.is_null() || v.compare_non_null(&b) != Ordering::Equal
+                    })
+                    .unwrap_or(r.len());
+                for li in i..i_end {
+                    for rj in j..j_end {
+                        row_buf.clear();
+                        row_buf.extend(l.row(li));
+                        row_buf.extend(r.row(rj));
+                        out.push_row(&row_buf).expect("schema matches");
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+fn filter_chunk(chunk: &DataChunk, predicates: &[ResolvedPredicate]) -> DataChunk {
+    let keep: Vec<usize> = (0..chunk.len())
+        .filter(|&row| predicates.iter().all(|p| row_matches(chunk, row, p)))
+        .collect();
+    chunk.take(&keep)
+}
+
+fn row_matches(chunk: &DataChunk, row: usize, p: &ResolvedPredicate) -> bool {
+    match p {
+        ResolvedPredicate::IsNull { column, negated } => {
+            chunk.column(*column).is_valid(row) == *negated
+        }
+        ResolvedPredicate::Compare { column, op, value } => {
+            let v = chunk.column(*column).get(row);
+            if v.is_null() {
+                return false; // SQL three-valued logic: NULL never matches
+            }
+            let ord = v.compare_non_null(value);
+            match op {
+                CmpOp::Eq => ord == Ordering::Equal,
+                CmpOp::Ne => ord != Ordering::Equal,
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Limit / Offset
+// ---------------------------------------------------------------------------
+
+fn apply_limit(chunks: Vec<DataChunk>, limit: Option<u64>, offset: u64) -> Vec<DataChunk> {
+    let mut skip = offset as usize;
+    let mut remaining = limit.map(|l| l as usize);
+    let mut out = Vec::new();
+    for c in chunks {
+        if remaining == Some(0) {
+            break;
+        }
+        let n = c.len();
+        if skip >= n {
+            skip -= n;
+            continue;
+        }
+        let start = skip;
+        skip = 0;
+        let take = match remaining {
+            Some(r) => r.min(n - start),
+            None => n - start,
+        };
+        if let Some(r) = &mut remaining {
+            *r -= take;
+        }
+        out.push(if start == 0 && take == n {
+            c
+        } else {
+            c.slice(start, start + take)
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Top-N
+// ---------------------------------------------------------------------------
+
+fn top_n(
+    chunks: Vec<DataChunk>,
+    types: &[rowsort_vector::LogicalType],
+    order: &OrderBy,
+    limit: u64,
+    offset: u64,
+) -> Vec<DataChunk> {
+    let keep = (limit + offset) as usize;
+    if keep == 0 {
+        return vec![DataChunk::new(types)];
+    }
+    // Bounded selection buffer: keep at most `keep` best rows, compacting
+    // whenever the buffer doubles.
+    let mut buf: Vec<Vec<Value>> = Vec::with_capacity(2 * keep);
+    let compact = |buf: &mut Vec<Vec<Value>>| {
+        buf.sort_by(|a, b| order.compare_rows(a, b));
+        buf.truncate(keep);
+    };
+    for c in &chunks {
+        for row in 0..c.len() {
+            buf.push(c.row(row));
+            if buf.len() >= 2 * keep {
+                compact(&mut buf);
+            }
+        }
+    }
+    compact(&mut buf);
+    let mut out = DataChunk::new(types);
+    for row in buf.iter().skip(offset as usize) {
+        out.push_row(row).expect("schema matches");
+    }
+    vec![out]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Table;
+    use crate::Engine;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        let data = DataChunk::from_columns(vec![
+            Vector::from_i32s(vec![3, 1, 2, 5, 4]),
+            Vector::from_strings(["c", "a", "b", "e", "d"]),
+        ])
+        .unwrap();
+        e.register_table(Table::new("t", vec!["id".into(), "name".into()], data));
+        e
+    }
+
+    #[test]
+    fn select_star_returns_all() {
+        let e = engine();
+        let r = e.query("SELECT * FROM t").unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.column_count(), 2);
+    }
+
+    #[test]
+    fn order_by_sorts() {
+        let e = engine();
+        let r = e.query("SELECT id FROM t ORDER BY id").unwrap();
+        let ids: Vec<Value> = (0..5).map(|i| r.row(i)[0].clone()).collect();
+        assert_eq!(ids, (1..=5).map(Value::Int32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_by_non_projected() {
+        let e = engine();
+        let r = e.query("SELECT id FROM t ORDER BY name DESC").unwrap();
+        assert_eq!(r.row(0), vec![Value::Int32(5)]); // name 'e'
+        assert_eq!(r.row(4), vec![Value::Int32(1)]); // name 'a'
+    }
+
+    #[test]
+    fn where_filters() {
+        let e = engine();
+        let r = e
+            .query("SELECT id FROM t WHERE id >= 3 ORDER BY id")
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.row(0), vec![Value::Int32(3)]);
+        let r = e.query("SELECT id FROM t WHERE name = 'b'").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), vec![Value::Int32(2)]);
+    }
+
+    #[test]
+    fn limit_offset() {
+        let e = engine();
+        let r = e
+            .query("SELECT id FROM t ORDER BY id LIMIT 2 OFFSET 1")
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0), vec![Value::Int32(2)]);
+        assert_eq!(r.row(1), vec![Value::Int32(3)]);
+    }
+
+    #[test]
+    fn papers_count_offset_query() {
+        let e = engine();
+        let r = e
+            .query("SELECT count(*) FROM (SELECT id FROM t ORDER BY name OFFSET 1) s")
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), vec![Value::Int64(4)], "5 rows minus OFFSET 1");
+    }
+
+    #[test]
+    fn count_without_offset_still_counts() {
+        let e = engine();
+        let r = e
+            .query("SELECT count(*) FROM (SELECT id FROM t ORDER BY name) s")
+            .unwrap();
+        assert_eq!(r.row(0), vec![Value::Int64(5)]);
+    }
+
+    #[test]
+    fn all_profiles_agree_end_to_end() {
+        let sql = "SELECT id FROM t WHERE id <> 4 ORDER BY name DESC";
+        let mut results = Vec::new();
+        for p in SystemProfile::ALL {
+            let mut e = engine();
+            e.options_mut().profile = p;
+            results.push(e.query(sql).unwrap().to_rows());
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let mut e = Engine::new();
+        let mut data = DataChunk::new(&[rowsort_vector::LogicalType::Int32]);
+        for v in [Value::Int32(1), Value::Null, Value::Int32(3)] {
+            data.push_row(&[v]).unwrap();
+        }
+        e.register_table(Table::new("n", vec!["x".into()], data));
+        let r = e.query("SELECT * FROM n WHERE x IS NULL").unwrap();
+        assert_eq!(r.len(), 1);
+        let r = e.query("SELECT * FROM n WHERE x IS NOT NULL").unwrap();
+        assert_eq!(r.len(), 2);
+        // Comparison never matches NULL.
+        let r = e.query("SELECT * FROM n WHERE x <> 1").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), vec![Value::Int32(3)]);
+    }
+
+    #[test]
+    fn topn_query_matches_full_sort() {
+        let e = engine();
+        let top = e
+            .query("SELECT id FROM t ORDER BY id DESC LIMIT 3")
+            .unwrap();
+        let full = e.query("SELECT id FROM t ORDER BY id DESC").unwrap();
+        assert_eq!(top.to_rows(), full.to_rows()[..3].to_vec());
+    }
+
+    #[test]
+    fn empty_table_queries() {
+        let mut e = Engine::new();
+        let data = DataChunk::new(&[rowsort_vector::LogicalType::Int32]);
+        e.register_table(Table::new("empty", vec!["x".into()], data));
+        assert_eq!(e.query("SELECT * FROM empty ORDER BY x").unwrap().len(), 0);
+        assert_eq!(
+            e.query("SELECT count(*) FROM empty").unwrap().row(0),
+            vec![Value::Int64(0)]
+        );
+        assert_eq!(
+            e.query("SELECT x FROM empty ORDER BY x DESC LIMIT 5")
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            e.query("SELECT count(*) FROM (SELECT x FROM empty ORDER BY x OFFSET 1) t")
+                .unwrap()
+                .row(0),
+            vec![Value::Int64(0)]
+        );
+    }
+
+    #[test]
+    fn limit_zero_and_huge_offset() {
+        let e = engine();
+        assert_eq!(e.query("SELECT * FROM t LIMIT 0").unwrap().len(), 0);
+        assert_eq!(e.query("SELECT * FROM t OFFSET 100").unwrap().len(), 0);
+        assert_eq!(
+            e.query("SELECT id FROM t ORDER BY id LIMIT 0 OFFSET 2")
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    fn join_engine() -> Engine {
+        let mut e = Engine::new();
+        let orders = DataChunk::from_columns(vec![
+            Vector::from_i32s(vec![1, 2, 3, 4]),     // o_id
+            Vector::from_i32s(vec![10, 20, 10, 30]), // o_cust
+        ])
+        .unwrap();
+        e.register_table(Table::new(
+            "orders",
+            vec!["o_id".into(), "o_cust".into()],
+            orders,
+        ));
+        let mut cust = DataChunk::new(&[
+            rowsort_vector::LogicalType::Int32,
+            rowsort_vector::LogicalType::Varchar,
+        ]);
+        for (id, name) in [(10, Some("alice")), (20, Some("bob")), (40, Some("carol"))] {
+            cust.push_row(&[
+                Value::Int32(id),
+                name.map(Value::from).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        // A NULL key on each side must never match.
+        cust.push_row(&[Value::Null, Value::from("ghost")]).unwrap();
+        e.register_table(Table::new(
+            "customers",
+            vec!["c_id".into(), "c_name".into()],
+            cust,
+        ));
+        e
+    }
+
+    #[test]
+    fn sort_merge_join_basic() {
+        let e = join_engine();
+        let r = e
+            .query(
+                "SELECT o_id, c_name FROM orders JOIN customers ON o_cust = c_id \
+                 ORDER BY o_id",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 3, "order 4 (cust 30) and NULL key drop out");
+        assert_eq!(r.row(0), vec![Value::Int32(1), Value::from("alice")]);
+        assert_eq!(r.row(1), vec![Value::Int32(2), Value::from("bob")]);
+        assert_eq!(r.row(2), vec![Value::Int32(3), Value::from("alice")]);
+    }
+
+    #[test]
+    fn join_matches_reference_nested_loop() {
+        use crate::reference::execute_reference;
+        use crate::{plan, sql};
+        let e = join_engine();
+        let sql_text = "SELECT o_id, c_name FROM orders JOIN customers ON o_cust = c_id";
+        let logical = plan::build(&sql::parse(sql_text).unwrap(), e.catalog()).unwrap();
+        let expected = execute_reference(&logical, e.catalog()).unwrap();
+        let got = e.query(sql_text).unwrap().to_rows();
+        let canon = |mut rows: Vec<Vec<Value>>| {
+            let mut v: Vec<String> = rows.drain(..).map(|r| format!("{r:?}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(got), canon(expected));
+    }
+
+    #[test]
+    fn join_with_qualified_keys_and_collisions() {
+        let mut e = Engine::new();
+        let a = DataChunk::from_columns(vec![Vector::from_i32s(vec![1, 2])]).unwrap();
+        e.register_table(Table::new("a", vec!["id".into()], a));
+        let b = DataChunk::from_columns(vec![Vector::from_i32s(vec![2, 3])]).unwrap();
+        e.register_table(Table::new("b", vec!["id".into()], b));
+        // Both sides have "id": output names must be qualified.
+        let r = e.query("SELECT a.id FROM a JOIN b ON a.id = b.id").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), vec![Value::Int32(2)]);
+    }
+
+    #[test]
+    fn join_duplicate_keys_cross_product() {
+        let mut e = Engine::new();
+        let l = DataChunk::from_columns(vec![Vector::from_i32s(vec![7, 7])]).unwrap();
+        e.register_table(Table::new("l", vec!["k".into()], l));
+        let r = DataChunk::from_columns(vec![Vector::from_i32s(vec![7, 7, 7])]).unwrap();
+        e.register_table(Table::new("r", vec!["k".into()], r));
+        let out = e
+            .query("SELECT count(*) FROM (SELECT l.k FROM l JOIN r ON l.k = r.k) t")
+            .unwrap();
+        assert_eq!(out.row(0), vec![Value::Int64(6)], "2 x 3 cross product");
+    }
+
+    #[test]
+    fn row_number_window() {
+        let e = engine();
+        let r = e
+            .query(
+                "SELECT id, row_number() OVER (ORDER BY name DESC) FROM t \
+                 ORDER BY row_number",
+            )
+            .unwrap();
+        // name desc: e,d,c,b,a -> ids 5,4,3,2,1 numbered 1..5.
+        for (i, expected_id) in [5, 4, 3, 2, 1].iter().enumerate() {
+            assert_eq!(
+                r.row(i),
+                vec![Value::Int32(*expected_id), Value::Int64(i as i64 + 1)]
+            );
+        }
+    }
+
+    #[test]
+    fn row_number_matches_reference() {
+        use crate::reference::execute_reference;
+        use crate::{plan, sql};
+        let e = engine();
+        let sql_text = "SELECT id, row_number() OVER (ORDER BY id DESC) FROM t";
+        let logical = plan::build(&sql::parse(sql_text).unwrap(), e.catalog()).unwrap();
+        let expected = execute_reference(&logical, e.catalog()).unwrap();
+        assert_eq!(e.query(sql_text).unwrap().to_rows(), expected);
+    }
+
+    #[test]
+    fn unoptimized_query_same_result() {
+        let e = engine();
+        let sql = "SELECT count(*) FROM (SELECT id FROM t ORDER BY name) s";
+        assert_eq!(
+            e.query(sql).unwrap().to_rows(),
+            e.query_unoptimized(sql).unwrap().to_rows()
+        );
+    }
+}

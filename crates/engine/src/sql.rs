@@ -1,0 +1,799 @@
+//! SQL front end: tokenizer, AST, and recursive-descent parser.
+//!
+//! The supported fragment covers the paper's benchmark queries plus the
+//! two other sort consumers its introduction names (merge joins and
+//! window functions):
+//!
+//! ```sql
+//! SELECT { * | count(*) | row_number() OVER (ORDER BY ...) | col [, ...] }
+//! FROM { table | ( query ) [AS alias] | table JOIN table ON key = key }
+//! [WHERE col op literal [AND ...] | col IS [NOT] NULL]
+//! [ORDER BY col [ASC|DESC] [NULLS FIRST|LAST] [, ...]]
+//! [LIMIT n] [OFFSET n]
+//! ```
+//!
+//! Column names may be qualified (`table.col`) anywhere a column is
+//! accepted, matching the qualified output names joins produce.
+
+use crate::{EngineError, Result};
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `count(*)`
+    CountStar,
+    /// A named column.
+    Column(String),
+    /// `row_number() OVER (ORDER BY ...)` — the paper's other explicit
+    /// sort consumer (the WINDOW operator).
+    RowNumber(Vec<OrderItem>),
+}
+
+/// One ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Column name.
+    pub column: String,
+    /// `DESC` if true.
+    pub desc: bool,
+    /// Explicit `NULLS FIRST`/`LAST`, if given.
+    pub nulls_first: Option<bool>,
+}
+
+/// A comparison operator in a WHERE predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col op literal`
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        literal: Literal,
+    },
+    /// `col IS NULL` / `col IS NOT NULL`
+    IsNull {
+        /// Column name.
+        column: String,
+        /// `IS NOT NULL` if true.
+        negated: bool,
+    },
+}
+
+/// A possibly-qualified column reference (`col` or `table.col`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRef {
+    /// Optional table qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// What the query reads FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromClause {
+    /// A named base table.
+    Table(String),
+    /// A parenthesized subquery.
+    Subquery(Box<Query>),
+    /// `a JOIN b ON a.x = b.y` — executed as a sort-merge join (the
+    /// paper's §V-B example of an operator consuming sorted data with
+    /// full-tuple comparisons).
+    Join {
+        /// Left table name.
+        left: String,
+        /// Right table name.
+        right: String,
+        /// Left join key.
+        left_key: ColumnRef,
+        /// Right join key.
+        right_key: ColumnRef,
+    },
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM source.
+    pub from: FromClause,
+    /// WHERE conjuncts (ANDed).
+    pub predicates: Vec<Predicate>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT, if present.
+    pub limit: Option<u64>,
+    /// OFFSET, if present.
+    pub offset: Option<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(char),
+    LeGe(&'static str), // "<=", ">=", "<>", "!="
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' | ')' | ',' | '*' | '=' | ';' | '.' => {
+                out.push(Token::Symbol(c));
+                i += 1;
+            }
+            '<' | '>' | '!' => {
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                match two.as_str() {
+                    "<=" => {
+                        out.push(Token::LeGe("<="));
+                        i += 2;
+                    }
+                    ">=" => {
+                        out.push(Token::LeGe(">="));
+                        i += 2;
+                    }
+                    "<>" => {
+                        out.push(Token::LeGe("<>"));
+                        i += 2;
+                    }
+                    "!=" => {
+                        out.push(Token::LeGe("!="));
+                        i += 2;
+                    }
+                    _ if c == '!' => {
+                        return Err(EngineError::Parse(format!("stray '!' at {i}")));
+                    }
+                    _ => {
+                        out.push(Token::Symbol(c));
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(EngineError::Parse("unterminated string".into()));
+                    }
+                    if bytes[i] == '\'' {
+                        // '' escapes a quote
+                        if i + 1 < bytes.len() && bytes[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '-' || bytes[i] == '+')
+                            && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+                {
+                    if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| EngineError::Parse(format!("bad number '{text}'")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| EngineError::Parse(format!("bad number '{text}'")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "unexpected character '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<()> {
+        if self.eat_symbol(c) {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!(
+                "expected '{c}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(EngineError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Parse `ident` or `ident.ident`, returning the joined name (matching
+    /// the qualified output names a join produces).
+    fn expect_column_name(&mut self) -> Result<String> {
+        let first = self.expect_ident()?;
+        if self.eat_symbol('.') {
+            let second = self.expect_ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn expect_u64(&mut self) -> Result<u64> {
+        match self.next() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as u64),
+            other => Err(EngineError::Parse(format!(
+                "expected non-negative integer, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        self.expect_keyword("select")?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword("from")?;
+        let from = self.parse_from()?;
+        let mut predicates = Vec::new();
+        if self.eat_keyword("where") {
+            loop {
+                predicates.push(self.parse_predicate()?);
+                if !self.eat_keyword("and") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                order_by.push(self.parse_order_item()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+        }
+        // LIMIT and OFFSET in either order, each optional.
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if limit.is_none() && self.eat_keyword("limit") {
+                limit = Some(self.expect_u64()?);
+            } else if offset.is_none() && self.eat_keyword("offset") {
+                offset = Some(self.expect_u64()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Query {
+            select,
+            from,
+            predicates,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol('*') {
+                items.push(SelectItem::Star);
+            } else if self.peek_keyword("count") {
+                self.pos += 1;
+                self.expect_symbol('(')?;
+                self.expect_symbol('*')?;
+                self.expect_symbol(')')?;
+                items.push(SelectItem::CountStar);
+            } else if self.peek_keyword("row_number") {
+                self.pos += 1;
+                self.expect_symbol('(')?;
+                self.expect_symbol(')')?;
+                self.expect_keyword("over")?;
+                self.expect_symbol('(')?;
+                self.expect_keyword("order")?;
+                self.expect_keyword("by")?;
+                let mut order = Vec::new();
+                loop {
+                    order.push(self.parse_order_item()?);
+                    if !self.eat_symbol(',') {
+                        break;
+                    }
+                }
+                self.expect_symbol(')')?;
+                items.push(SelectItem::RowNumber(order));
+            } else {
+                items.push(SelectItem::Column(self.expect_column_name()?));
+            }
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.expect_ident()?;
+        if self.eat_symbol('.') {
+            Ok(ColumnRef {
+                table: Some(first),
+                column: self.expect_ident()?,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause> {
+        if self.eat_symbol('(') {
+            let inner = self.parse_query()?;
+            self.expect_symbol(')')?;
+            // Optional [AS] alias, ignored (single-source queries).
+            if self.eat_keyword("as") {
+                let _ = self.expect_ident()?;
+            } else if matches!(self.peek(), Some(Token::Ident(s))
+                if !is_clause_keyword(s))
+            {
+                let _ = self.next();
+            }
+            return Ok(FromClause::Subquery(Box::new(inner)));
+        }
+        let left = self.expect_ident()?;
+        if self.eat_keyword("join") {
+            let right = self.expect_ident()?;
+            self.expect_keyword("on")?;
+            let left_key = self.parse_column_ref()?;
+            self.expect_symbol('=')?;
+            let right_key = self.parse_column_ref()?;
+            return Ok(FromClause::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            });
+        }
+        Ok(FromClause::Table(left))
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate> {
+        let column = self.expect_column_name()?;
+        if self.eat_keyword("is") {
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(Predicate::IsNull { column, negated });
+        }
+        let op = match self.next() {
+            Some(Token::Symbol('=')) => CmpOp::Eq,
+            Some(Token::Symbol('<')) => CmpOp::Lt,
+            Some(Token::Symbol('>')) => CmpOp::Gt,
+            Some(Token::LeGe("<=")) => CmpOp::Le,
+            Some(Token::LeGe(">=")) => CmpOp::Ge,
+            Some(Token::LeGe("<>")) | Some(Token::LeGe("!=")) => CmpOp::Ne,
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let literal = match self.next() {
+            Some(Token::Int(v)) => Literal::Int(v),
+            Some(Token::Float(v)) => Literal::Float(v),
+            Some(Token::Str(s)) => Literal::Str(s),
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "expected literal, found {other:?}"
+                )))
+            }
+        };
+        Ok(Predicate::Compare {
+            column,
+            op,
+            literal,
+        })
+    }
+
+    fn parse_order_item(&mut self) -> Result<OrderItem> {
+        let column = self.expect_column_name()?;
+        let desc = if self.eat_keyword("desc") {
+            true
+        } else {
+            self.eat_keyword("asc");
+            false
+        };
+        let nulls_first = if self.eat_keyword("nulls") {
+            if self.eat_keyword("first") {
+                Some(true)
+            } else {
+                self.expect_keyword("last")?;
+                Some(false)
+            }
+        } else {
+            None
+        };
+        Ok(OrderItem {
+            column,
+            desc,
+            nulls_first,
+        })
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    [
+        "where", "order", "limit", "offset", "group", "having", "union",
+    ]
+    .iter()
+    .any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Parse one SQL query (an optional trailing `;` is allowed).
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    while p.eat_symbol(';') {}
+    if let Some(t) = p.peek() {
+        return Err(EngineError::Parse(format!("trailing input: {t:?}")));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select_star() {
+        let q = parse("SELECT * FROM customer").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Star]);
+        assert_eq!(q.from, FromClause::Table("customer".into()));
+        assert!(q.order_by.is_empty());
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn column_list_and_order_by() {
+        let q = parse(
+            "SELECT c_customer_sk, c_last_name FROM customer \
+             ORDER BY c_last_name DESC NULLS LAST, c_first_name ASC NULLS FIRST",
+        )
+        .unwrap();
+        assert_eq!(
+            q.select,
+            vec![
+                SelectItem::Column("c_customer_sk".into()),
+                SelectItem::Column("c_last_name".into())
+            ]
+        );
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.order_by[0].nulls_first, Some(false));
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.order_by[1].nulls_first, Some(true));
+    }
+
+    #[test]
+    fn papers_benchmark_query() {
+        let q = parse(
+            "SELECT count(*) FROM (SELECT cs_item_sk FROM catalog_sales \
+             ORDER BY cs_warehouse_sk, cs_ship_mode_sk OFFSET 1) t;",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec![SelectItem::CountStar]);
+        match &q.from {
+            FromClause::Subquery(inner) => {
+                assert_eq!(inner.offset, Some(1));
+                assert_eq!(inner.order_by.len(), 2);
+                assert_eq!(inner.select, vec![SelectItem::Column("cs_item_sk".into())]);
+            }
+            other => panic!("expected subquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_clause_variants() {
+        let q = parse("SELECT * FROM t WHERE a >= 10 AND b <> 'x' AND c IS NOT NULL AND d < -3.5")
+            .unwrap();
+        assert_eq!(q.predicates.len(), 4);
+        assert_eq!(
+            q.predicates[0],
+            Predicate::Compare {
+                column: "a".into(),
+                op: CmpOp::Ge,
+                literal: Literal::Int(10)
+            }
+        );
+        assert_eq!(
+            q.predicates[1],
+            Predicate::Compare {
+                column: "b".into(),
+                op: CmpOp::Ne,
+                literal: Literal::Str("x".into())
+            }
+        );
+        assert_eq!(
+            q.predicates[2],
+            Predicate::IsNull {
+                column: "c".into(),
+                negated: true
+            }
+        );
+        assert_eq!(
+            q.predicates[3],
+            Predicate::Compare {
+                column: "d".into(),
+                op: CmpOp::Lt,
+                literal: Literal::Float(-3.5)
+            }
+        );
+    }
+
+    #[test]
+    fn limit_offset_orders() {
+        let q = parse("SELECT * FROM t LIMIT 10 OFFSET 5").unwrap();
+        assert_eq!((q.limit, q.offset), (Some(10), Some(5)));
+        let q = parse("SELECT * FROM t OFFSET 5 LIMIT 10").unwrap();
+        assert_eq!((q.limit, q.offset), (Some(10), Some(5)));
+        let q = parse("SELECT * FROM t OFFSET 5").unwrap();
+        assert_eq!((q.limit, q.offset), (None, Some(5)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let q = parse("SELECT * FROM t WHERE a = 'it''s'").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            Predicate::Compare {
+                column: "a".into(),
+                op: CmpOp::Eq,
+                literal: Literal::Str("it's".into())
+            }
+        );
+    }
+
+    #[test]
+    fn subquery_alias_forms() {
+        for sql in [
+            "SELECT count(*) FROM (SELECT * FROM t) AS sub",
+            "SELECT count(*) FROM (SELECT * FROM t) sub",
+            "SELECT count(*) FROM (SELECT * FROM t)",
+        ] {
+            assert!(parse(sql).is_ok(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select * from t order by a desc nulls first limit 1").is_ok());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t ORDER a").is_err());
+        assert!(parse("SELECT * FROM t WHERE a ~ 3").is_err());
+        assert!(parse("SELECT * FROM t LIMIT -1").is_err());
+        assert!(parse("SELECT * FROM t trailing garbage").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn join_clause() {
+        let q = parse("SELECT o_id, c_name FROM orders JOIN customers ON orders.o_cust = c_id")
+            .unwrap();
+        match &q.from {
+            FromClause::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                assert_eq!(left, "orders");
+                assert_eq!(right, "customers");
+                assert_eq!(left_key.table.as_deref(), Some("orders"));
+                assert_eq!(left_key.column, "o_cust");
+                assert_eq!(right_key.table, None);
+                assert_eq!(right_key.column, "c_id");
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_number_window_parse() {
+        let q = parse("SELECT id, row_number() OVER (ORDER BY name DESC, id) FROM t").unwrap();
+        match &q.select[1] {
+            SelectItem::RowNumber(order) => {
+                assert_eq!(order.len(), 2);
+                assert!(order[0].desc);
+                assert!(!order[1].desc);
+            }
+            other => panic!("expected window, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dotted_columns_everywhere() {
+        let q = parse("SELECT a.x FROM a JOIN b ON a.x = b.y WHERE a.x > 1 ORDER BY b.y").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Column("a.x".into())]);
+        assert_eq!(
+            q.predicates[0],
+            Predicate::Compare {
+                column: "a.x".into(),
+                op: CmpOp::Gt,
+                literal: Literal::Int(1)
+            }
+        );
+        assert_eq!(q.order_by[0].column, "b.y");
+    }
+
+    #[test]
+    fn join_parse_errors() {
+        assert!(parse("SELECT * FROM a JOIN").is_err());
+        assert!(parse("SELECT * FROM a JOIN b").is_err());
+        assert!(parse("SELECT * FROM a JOIN b ON").is_err());
+        assert!(parse("SELECT * FROM a JOIN b ON x").is_err());
+        assert!(parse("SELECT * FROM a JOIN b ON x <> y").is_err());
+        assert!(parse("SELECT row_number() FROM t").is_err());
+        assert!(parse("SELECT row_number() OVER () FROM t").is_err());
+    }
+
+    #[test]
+    fn scientific_floats() {
+        let q = parse("SELECT * FROM t WHERE x < 1e9").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            Predicate::Compare {
+                column: "x".into(),
+                op: CmpOp::Lt,
+                literal: Literal::Float(1e9)
+            }
+        );
+        let q = parse("SELECT * FROM t WHERE x > -1.5e-3").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            Predicate::Compare {
+                column: "x".into(),
+                op: CmpOp::Gt,
+                literal: Literal::Float(-1.5e-3)
+            }
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Normalized-key shape computation.
+
+use rowsort_vector::{LogicalType, SortSpec};
+
+/// Default maximum VARCHAR prefix length, matching DuckDB's cap of 12 bytes.
+pub const DEFAULT_MAX_PREFIX: usize = 12;
+
+/// One key column's contribution to the normalized key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyColumn {
+    /// Value type.
+    pub ty: LogicalType,
+    /// ASC/DESC and NULLS FIRST/LAST.
+    pub spec: SortSpec,
+    /// Encoded prefix length for variable-length types (ignored for
+    /// fixed-width types). Chosen at plan time from string statistics,
+    /// capped at [`DEFAULT_MAX_PREFIX`] by [`KeyColumn::varchar`].
+    pub prefix_len: usize,
+}
+
+impl KeyColumn {
+    /// A fixed-width key column.
+    pub fn fixed(ty: LogicalType, spec: SortSpec) -> KeyColumn {
+        assert!(
+            ty.is_fixed_width(),
+            "KeyColumn::fixed on variable-length type {ty}"
+        );
+        KeyColumn {
+            ty,
+            spec,
+            prefix_len: 0,
+        }
+    }
+
+    /// A VARCHAR key column. `max_len_stat` is the maximum string byte
+    /// length known from statistics; the encoded prefix is
+    /// `min(max_len_stat, 12)`, as in the paper's DuckDB implementation.
+    pub fn varchar(spec: SortSpec, max_len_stat: usize) -> KeyColumn {
+        KeyColumn {
+            ty: LogicalType::Varchar,
+            spec,
+            prefix_len: max_len_stat.clamp(1, DEFAULT_MAX_PREFIX),
+        }
+    }
+
+    /// Bytes this column contributes to the key (NULL byte + body).
+    pub fn encoded_width(&self) -> usize {
+        1 + self.ty.norm_key_body_width(self.prefix_len)
+    }
+
+    /// Whether two rows with equal encoded bytes may still differ on this
+    /// column (truncated VARCHAR prefix).
+    pub fn tie_possible(&self) -> bool {
+        self.ty == LogicalType::Varchar
+    }
+}
+
+/// The shape of a full normalized key: the concatenation of all key
+/// columns' encodings.
+///
+/// Keys are fixed-width so they can be swapped in place and radix-sorted;
+/// the caller typically appends a row-id suffix after `width()` bytes to
+/// link keys back to payload rows (and to make sorting stable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormKeyLayout {
+    columns: Vec<KeyColumn>,
+    offsets: Vec<usize>,
+    width: usize,
+    tie_possible: bool,
+}
+
+impl NormKeyLayout {
+    /// Compute the layout from per-column specs.
+    pub fn new(columns: Vec<KeyColumn>) -> NormKeyLayout {
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut width = 0usize;
+        let mut tie_possible = false;
+        for c in &columns {
+            offsets.push(width);
+            width += c.encoded_width();
+            tie_possible |= c.tie_possible();
+        }
+        NormKeyLayout {
+            columns,
+            offsets,
+            width,
+            tie_possible,
+        }
+    }
+
+    /// The key columns.
+    pub fn columns(&self) -> &[KeyColumn] {
+        &self.columns
+    }
+
+    /// Number of key columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Byte offset of column `i`'s encoding within the key.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Total encoded key width in bytes (excluding any row-id suffix).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `true` iff equal key bytes do not prove equal tuples (some VARCHAR
+    /// prefix was truncated), so the caller must break ties against the
+    /// full values.
+    pub fn tie_possible(&self) -> bool {
+        self.tie_possible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowsort_vector::LogicalType as T;
+
+    #[test]
+    fn fixed_widths_accumulate() {
+        // 4 u32 keys: 4 * (1 + 4) = 20 bytes.
+        let cols = vec![KeyColumn::fixed(T::UInt32, SortSpec::ASC); 4];
+        let l = NormKeyLayout::new(cols);
+        assert_eq!(l.width(), 20);
+        assert_eq!(l.offset(0), 0);
+        assert_eq!(l.offset(1), 5);
+        assert_eq!(l.offset(3), 15);
+        assert!(!l.tie_possible());
+    }
+
+    #[test]
+    fn varchar_prefix_from_statistics() {
+        let c = KeyColumn::varchar(SortSpec::ASC, 7);
+        assert_eq!(c.prefix_len, 7);
+        let capped = KeyColumn::varchar(SortSpec::ASC, 100);
+        assert_eq!(capped.prefix_len, DEFAULT_MAX_PREFIX);
+        let min = KeyColumn::varchar(SortSpec::ASC, 0);
+        assert_eq!(min.prefix_len, 1);
+    }
+
+    #[test]
+    fn varchar_makes_ties_possible() {
+        let l = NormKeyLayout::new(vec![
+            KeyColumn::fixed(T::Int32, SortSpec::ASC),
+            KeyColumn::varchar(SortSpec::DESC, 12),
+        ]);
+        assert!(l.tie_possible());
+        assert_eq!(l.width(), (1 + 4) + (1 + 12));
+    }
+
+    #[test]
+    fn mixed_type_offsets() {
+        let l = NormKeyLayout::new(vec![
+            KeyColumn::fixed(T::Int64, SortSpec::ASC),
+            KeyColumn::fixed(T::UInt8, SortSpec::DESC),
+        ]);
+        assert_eq!(l.offset(0), 0);
+        assert_eq!(l.offset(1), 9);
+        assert_eq!(l.width(), 11);
+        assert_eq!(l.column_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable-length")]
+    fn fixed_constructor_rejects_varchar() {
+        let _ = KeyColumn::fixed(T::Varchar, SortSpec::ASC);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests: memcmp order of normalized keys equals ORDER BY order.
+
+use proptest::prelude::*;
+use rowsort_normkey::{encode_value_into, KeyColumn};
+use rowsort_vector::{LogicalType, NullOrder, SortOrder, SortSpec, Value};
+use std::cmp::Ordering;
+
+fn spec_strategy() -> impl Strategy<Value = SortSpec> {
+    (any::<bool>(), any::<bool>()).prop_map(|(desc, nf)| {
+        SortSpec::new(
+            if desc {
+                SortOrder::Descending
+            } else {
+                SortOrder::Ascending
+            },
+            if nf {
+                NullOrder::NullsFirst
+            } else {
+                NullOrder::NullsLast
+            },
+        )
+    })
+}
+
+fn key_column(ty: LogicalType, spec: SortSpec) -> KeyColumn {
+    if ty == LogicalType::Varchar {
+        KeyColumn::varchar(spec, 12)
+    } else {
+        KeyColumn::fixed(ty, spec)
+    }
+}
+
+fn encode(v: &Value, col: &KeyColumn) -> Vec<u8> {
+    let mut out = vec![0u8; col.encoded_width()];
+    encode_value_into(v, col, &mut out);
+    out
+}
+
+fn fixed_type_strategy() -> impl Strategy<Value = LogicalType> {
+    prop::sample::select(
+        LogicalType::ALL
+            .iter()
+            .copied()
+            .filter(|t| t.is_fixed_width())
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Fixed-width types: encoding order == value order, exactly.
+    /// Values are derived from raw bits so every type sees its full domain.
+    #[test]
+    fn fixed_width_order_preserved(
+        ty in fixed_type_strategy(),
+        spec in spec_strategy(),
+        bits_a in any::<u64>(),
+        bits_b in any::<u64>(),
+        null_a in prop::bool::weighted(0.15),
+        null_b in prop::bool::weighted(0.15),
+    ) {
+        let from_bits = |bits: u64, null: bool| -> Value {
+            if null {
+                return Value::Null;
+            }
+            match ty {
+                LogicalType::Boolean => Value::Boolean(bits & 1 != 0),
+                LogicalType::Int8 => Value::Int8(bits as i8),
+                LogicalType::Int16 => Value::Int16(bits as i16),
+                LogicalType::Int32 => Value::Int32(bits as i32),
+                LogicalType::Int64 => Value::Int64(bits as i64),
+                LogicalType::UInt8 => Value::UInt8(bits as u8),
+                LogicalType::UInt16 => Value::UInt16(bits as u16),
+                LogicalType::UInt32 => Value::UInt32(bits as u32),
+                LogicalType::UInt64 => Value::UInt64(bits),
+                LogicalType::Float32 => Value::Float32(f32::from_bits(bits as u32)),
+                LogicalType::Float64 => Value::Float64(f64::from_bits(bits)),
+                LogicalType::Date => Value::Date(bits as i32),
+                LogicalType::Timestamp => Value::Timestamp(bits as i64),
+                LogicalType::Varchar => unreachable!("fixed types only"),
+            }
+        };
+        let col = key_column(ty, spec);
+        let a = from_bits(bits_a, null_a);
+        let b = from_bits(bits_b, null_b);
+        let enc_ord = encode(&a, &col).cmp(&encode(&b, &col));
+        let val_ord = spec.compare_values(&a, &b);
+        prop_assert_eq!(enc_ord, val_ord, "{:?} vs {:?} under {:?}", a, b, spec);
+    }
+
+    /// Fixed-width paired values drawn directly.
+    #[test]
+    fn i64_pairs_exact(a in any::<i64>(), b in any::<i64>(), spec in spec_strategy()) {
+        let col = KeyColumn::fixed(LogicalType::Int64, spec);
+        let (va, vb) = (Value::Int64(a), Value::Int64(b));
+        prop_assert_eq!(
+            encode(&va, &col).cmp(&encode(&vb, &col)),
+            spec.compare_values(&va, &vb)
+        );
+    }
+
+    #[test]
+    fn f64_pairs_exact(a in any::<f64>(), b in any::<f64>(), spec in spec_strategy()) {
+        let col = KeyColumn::fixed(LogicalType::Float64, spec);
+        let (va, vb) = (Value::Float64(a), Value::Float64(b));
+        prop_assert_eq!(
+            encode(&va, &col).cmp(&encode(&vb, &col)),
+            spec.compare_values(&va, &vb)
+        );
+    }
+
+    /// Strings: a strict encoded order implies the same strict value order;
+    /// encoded equality only ever hides a tie (never an inversion).
+    #[test]
+    fn varchar_order_consistent(
+        a in prop_oneof![1 => Just(Value::Null), 5 => "[a-c\\x00]{0,20}".prop_map(Value::Varchar)],
+        b in prop_oneof![1 => Just(Value::Null), 5 => "[a-c\\x00]{0,20}".prop_map(Value::Varchar)],
+        spec in spec_strategy(),
+        prefix in 1usize..12,
+    ) {
+        let col = KeyColumn { ty: LogicalType::Varchar, spec, prefix_len: prefix };
+        let enc_ord = encode(&a, &col).cmp(&encode(&b, &col));
+        let val_ord = spec.compare_values(&a, &b);
+        match enc_ord {
+            Ordering::Equal => {} // tie: caller resolves against full strings
+            strict => prop_assert_eq!(strict, val_ord, "{:?} vs {:?}", a, b),
+        }
+    }
+
+    /// NULL placement is absolute: NULL vs valid ordering depends only on
+    /// the NULLS clause, never on ASC/DESC or the value.
+    #[test]
+    fn null_placement_absolute(
+        ty in fixed_type_strategy(),
+        spec in spec_strategy(),
+        v in any::<i32>(),
+    ) {
+        // Use a type-correct non-null value.
+        let value = match ty {
+            LogicalType::Boolean => Value::Boolean(v % 2 == 0),
+            LogicalType::Int8 => Value::Int8(v as i8),
+            LogicalType::Int16 => Value::Int16(v as i16),
+            LogicalType::Int32 => Value::Int32(v),
+            LogicalType::Int64 => Value::Int64(v as i64),
+            LogicalType::UInt8 => Value::UInt8(v as u8),
+            LogicalType::UInt16 => Value::UInt16(v as u16),
+            LogicalType::UInt32 => Value::UInt32(v as u32),
+            LogicalType::UInt64 => Value::UInt64(v as u64),
+            LogicalType::Float32 => Value::Float32(v as f32),
+            LogicalType::Float64 => Value::Float64(v as f64),
+            LogicalType::Date => Value::Date(v),
+            LogicalType::Timestamp => Value::Timestamp(v as i64),
+            LogicalType::Varchar => unreachable!(),
+        };
+        let col = key_column(ty, spec);
+        let null_enc = encode(&Value::Null, &col);
+        let val_enc = encode(&value, &col);
+        match spec.nulls {
+            NullOrder::NullsFirst => prop_assert!(null_enc < val_enc),
+            NullOrder::NullsLast => prop_assert!(null_enc > val_enc),
+        }
+    }
+
+    /// Multi-column keys: concatenated encodings order like the
+    /// lexicographic row comparator.
+    #[test]
+    fn multi_column_lexicographic(
+        rows in prop::collection::vec((any::<i32>(), any::<u8>(), 0usize..4), 2..20),
+        spec0 in spec_strategy(),
+        spec1 in spec_strategy(),
+    ) {
+        use rowsort_vector::{OrderBy, OrderByColumn};
+        let cols = [
+            KeyColumn::fixed(LogicalType::Int32, spec0),
+            KeyColumn::fixed(LogicalType::UInt8, spec1),
+        ];
+        let ob = OrderBy::new(vec![
+            OrderByColumn { column: 0, spec: spec0 },
+            OrderByColumn { column: 1, spec: spec1 },
+        ]);
+        let as_values: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|&(a, b, nulls)| {
+                vec![
+                    if nulls & 1 != 0 { Value::Null } else { Value::Int32(a) },
+                    if nulls & 2 != 0 { Value::Null } else { Value::UInt8(b) },
+                ]
+            })
+            .collect();
+        let keys: Vec<Vec<u8>> = as_values
+            .iter()
+            .map(|row| {
+                let mut k = Vec::new();
+                for (v, c) in row.iter().zip(cols.iter()) {
+                    k.extend_from_slice(&encode(v, c));
+                }
+                k
+            })
+            .collect();
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                prop_assert_eq!(
+                    keys[i].cmp(&keys[j]),
+                    ob.compare_rows(&as_values[i], &as_values[j]),
+                    "rows {} vs {}", i, j
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Fixed-width row shape computation.
+
+use rowsort_vector::LogicalType;
+
+/// How row slots and the overall row width are aligned.
+///
+/// The paper's DuckDB implementation pads rows to 8-byte multiples because
+/// aligned `memcpy` is measurably faster; `Packed` exists for the alignment
+/// ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowAlignment {
+    /// Slots aligned to their natural alignment (max 8); row width padded to
+    /// a multiple of 8. This is the production setting.
+    Aligned8,
+    /// Slots packed back to back; no row padding.
+    Packed,
+}
+
+/// Width of a VARCHAR slot: a `u32` heap offset plus a `u32` byte length.
+pub const VARLEN_SLOT_WIDTH: usize = 8;
+
+/// The shape of one fixed-width row.
+///
+/// A row is laid out as:
+///
+/// ```text
+/// [ null flags: 1 byte per column ][ value slots, in column order ][ pad ]
+/// ```
+///
+/// Fixed-width values are stored inline, little-endian (native). VARCHAR
+/// slots store `(heap_offset: u32, byte_len: u32)` pointing into the owning
+/// [`crate::RowBlock`]'s string heap, so rows themselves stay fixed-width and
+/// can be swapped in place during sorting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowLayout {
+    types: Vec<LogicalType>,
+    /// Byte offset of each column's value slot within a row.
+    offsets: Vec<usize>,
+    /// Byte offset of each column's null flag (0 = valid, 1 = NULL).
+    null_offsets: Vec<usize>,
+    width: usize,
+    alignment: RowAlignment,
+    has_varlen: bool,
+}
+
+impl RowLayout {
+    /// Compute the layout for a schema using the production 8-byte alignment.
+    pub fn new(types: &[LogicalType]) -> RowLayout {
+        RowLayout::with_alignment(types, RowAlignment::Aligned8)
+    }
+
+    /// Compute the layout with an explicit alignment policy.
+    pub fn with_alignment(types: &[LogicalType], alignment: RowAlignment) -> RowLayout {
+        let n = types.len();
+        let null_offsets: Vec<usize> = (0..n).collect();
+        let mut offset = n; // slots start right after the null-flag bytes
+        let mut offsets = Vec::with_capacity(n);
+        let mut has_varlen = false;
+        for &ty in types {
+            let (width, align) = match ty.fixed_width() {
+                Some(w) => (w, w),
+                None => {
+                    has_varlen = true;
+                    (VARLEN_SLOT_WIDTH, 4)
+                }
+            };
+            if alignment == RowAlignment::Aligned8 {
+                let align = align.clamp(1, 8);
+                offset = offset.div_ceil(align) * align;
+            }
+            offsets.push(offset);
+            offset += width;
+        }
+        let width = match alignment {
+            RowAlignment::Aligned8 => offset.div_ceil(8) * 8,
+            RowAlignment::Packed => offset,
+        };
+        RowLayout {
+            types: types.to_vec(),
+            offsets,
+            null_offsets,
+            width,
+            alignment,
+            has_varlen,
+        }
+    }
+
+    /// Column types, in order.
+    pub fn types(&self) -> &[LogicalType] {
+        &self.types
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Total bytes per row (including null flags and padding).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Byte offset of column `col`'s value slot.
+    pub fn offset(&self, col: usize) -> usize {
+        self.offsets[col]
+    }
+
+    /// Byte offset of column `col`'s null flag.
+    pub fn null_offset(&self, col: usize) -> usize {
+        self.null_offsets[col]
+    }
+
+    /// Width in bytes of column `col`'s slot.
+    pub fn slot_width(&self, col: usize) -> usize {
+        self.types[col].fixed_width().unwrap_or(VARLEN_SLOT_WIDTH)
+    }
+
+    /// Whether any column stores data out-of-row (VARCHAR).
+    pub fn has_varlen(&self) -> bool {
+        self.has_varlen
+    }
+
+    /// The alignment policy this layout was built with.
+    pub fn alignment(&self) -> RowAlignment {
+        self.alignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LogicalType as T;
+
+    #[test]
+    fn aligned_layout_pads_to_eight() {
+        // 4 x u32 keys as in the micro-benchmarks: 4 null bytes + 4*4 data.
+        let l = RowLayout::new(&[T::UInt32; 4]);
+        assert_eq!(l.column_count(), 4);
+        // null flags at 0..4, first slot aligned to 4.
+        assert_eq!(l.null_offset(0), 0);
+        assert_eq!(l.offset(0), 4);
+        assert_eq!(l.offset(3), 16);
+        assert_eq!(l.width(), 24, "4 + 16 = 20, padded to 24");
+        assert_eq!(l.width() % 8, 0);
+    }
+
+    #[test]
+    fn packed_layout_has_no_padding() {
+        let l = RowLayout::with_alignment(&[T::UInt32; 4], RowAlignment::Packed);
+        assert_eq!(l.offset(0), 4);
+        assert_eq!(l.offset(3), 16);
+        assert_eq!(l.width(), 20);
+    }
+
+    #[test]
+    fn mixed_widths_align_naturally() {
+        let l = RowLayout::new(&[T::Int8, T::Int64, T::Int16]);
+        // 3 null bytes; i8 slot at 3; i64 aligned to 8 -> offset 8; i16 at 16.
+        assert_eq!(l.offset(0), 3);
+        assert_eq!(l.offset(1), 8);
+        assert_eq!(l.offset(2), 16);
+        assert_eq!(l.width(), 24);
+    }
+
+    #[test]
+    fn varchar_slot_is_eight_bytes() {
+        let l = RowLayout::new(&[T::Varchar, T::Int32]);
+        assert!(l.has_varlen());
+        assert_eq!(l.slot_width(0), VARLEN_SLOT_WIDTH);
+        // 2 null bytes, varchar slot 4-aligned at 4, i32 at 12.
+        assert_eq!(l.offset(0), 4);
+        assert_eq!(l.offset(1), 12);
+        assert_eq!(l.width(), 16);
+    }
+
+    #[test]
+    fn fixed_only_has_no_varlen() {
+        let l = RowLayout::new(&[T::Int32, T::Float64]);
+        assert!(!l.has_varlen());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let l = RowLayout::new(&[]);
+        assert_eq!(l.width(), 0);
+        assert_eq!(l.column_count(), 0);
+    }
+
+    #[test]
+    fn every_type_fits_its_slot() {
+        for ty in T::ALL {
+            let l = RowLayout::new(&[ty]);
+            assert!(l.width() > l.slot_width(0), "{ty}");
+            assert!(l.offset(0) >= 1, "{ty}: slot after null byte");
+        }
+    }
+
+    #[test]
+    fn packed_vs_aligned_width_relation() {
+        let types = [T::Int8, T::Int64, T::Varchar, T::Int16, T::UInt32];
+        let aligned = RowLayout::new(&types);
+        let packed = RowLayout::with_alignment(&types, RowAlignment::Packed);
+        assert!(aligned.width() >= packed.width());
+        assert_eq!(packed.width(), 5 + 1 + 8 + 8 + 2 + 4);
+    }
+}

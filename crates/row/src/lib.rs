@@ -1,0 +1,21 @@
+//! NSM (N-ary Storage Model) row format.
+//!
+//! Sorting is inherently a row-wise operation: both of its dominant costs —
+//! comparing tuples and moving tuples — touch whole rows. The paper shows
+//! that even engines with columnar (DSM) execution win by converting the
+//! sort operator's input to a row format, sorting, and converting back
+//! (its Figure 1). This crate provides that row format:
+//!
+//! * [`RowLayout`] — computes fixed-width, 8-byte-aligned row shapes from a
+//!   column schema (variable-length values live out-of-row in a string heap),
+//! * [`RowBlock`] — a buffer of such rows plus its heap,
+//! * [`scatter`]/[`gather`] — the DSM→NSM and NSM→DSM conversions, performed
+//!   one vector at a time to amortize interpretation overhead.
+
+pub mod block;
+pub mod convert;
+pub mod layout;
+
+pub use block::RowBlock;
+pub use convert::{gather, scatter};
+pub use layout::{RowAlignment, RowLayout};

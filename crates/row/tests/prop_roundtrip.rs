@@ -1,0 +1,111 @@
+//! Property tests: DSM → NSM → DSM is the identity for arbitrary typed data.
+
+use proptest::prelude::*;
+use rowsort_row::{scatter, RowAlignment, RowLayout};
+use rowsort_vector::{DataChunk, LogicalType, Value};
+use std::sync::Arc;
+
+/// Strategy for a random cell of the given type (incl. NULLs).
+fn value_strategy(ty: LogicalType) -> BoxedStrategy<Value> {
+    let non_null: BoxedStrategy<Value> = match ty {
+        LogicalType::Boolean => any::<bool>().prop_map(Value::Boolean).boxed(),
+        LogicalType::Int8 => any::<i8>().prop_map(Value::Int8).boxed(),
+        LogicalType::Int16 => any::<i16>().prop_map(Value::Int16).boxed(),
+        LogicalType::Int32 => any::<i32>().prop_map(Value::Int32).boxed(),
+        LogicalType::Int64 => any::<i64>().prop_map(Value::Int64).boxed(),
+        LogicalType::UInt8 => any::<u8>().prop_map(Value::UInt8).boxed(),
+        LogicalType::UInt16 => any::<u16>().prop_map(Value::UInt16).boxed(),
+        LogicalType::UInt32 => any::<u32>().prop_map(Value::UInt32).boxed(),
+        LogicalType::UInt64 => any::<u64>().prop_map(Value::UInt64).boxed(),
+        LogicalType::Float32 => any::<f32>().prop_map(Value::Float32).boxed(),
+        LogicalType::Float64 => any::<f64>().prop_map(Value::Float64).boxed(),
+        LogicalType::Date => any::<i32>().prop_map(Value::Date).boxed(),
+        LogicalType::Timestamp => any::<i64>().prop_map(Value::Timestamp).boxed(),
+        LogicalType::Varchar => ".{0,24}".prop_map(Value::Varchar).boxed(),
+    };
+    prop_oneof![
+        1 => Just(Value::Null),
+        4 => non_null,
+    ]
+    .boxed()
+}
+
+/// Strategy for a random schema of 1..=5 columns.
+fn schema_strategy() -> impl Strategy<Value = Vec<LogicalType>> {
+    prop::collection::vec(prop::sample::select(LogicalType::ALL.to_vec()), 1..=5)
+}
+
+fn chunk_strategy() -> impl Strategy<Value = DataChunk> {
+    schema_strategy().prop_flat_map(|types| {
+        let row = types.iter().map(|&t| value_strategy(t)).collect::<Vec<_>>();
+        prop::collection::vec(row, 0..64).prop_map(move |rows| {
+            let mut chunk = DataChunk::new(&types);
+            for r in rows {
+                chunk.push_row(&r).unwrap();
+            }
+            chunk
+        })
+    })
+}
+
+/// Float NaNs compare unequal under `PartialEq`; compare via bit patterns.
+fn values_bit_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float32(x), Value::Float32(y)) => x.to_bits() == y.to_bits(),
+        (Value::Float64(x), Value::Float64(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn chunks_bit_eq(a: &DataChunk, b: &DataChunk) -> bool {
+    a.len() == b.len()
+        && (0..a.len()).all(|i| {
+            a.row(i)
+                .iter()
+                .zip(b.row(i).iter())
+                .all(|(x, y)| values_bit_eq(x, y))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scatter_gather_identity_aligned(chunk in chunk_strategy()) {
+        let layout = Arc::new(RowLayout::new(&chunk.types()));
+        let block = scatter(&chunk, layout);
+        let order: Vec<u32> = (0..chunk.len() as u32).collect();
+        let back = block.gather(&order);
+        prop_assert!(chunks_bit_eq(&chunk, &back));
+    }
+
+    #[test]
+    fn scatter_gather_identity_packed(chunk in chunk_strategy()) {
+        let layout = Arc::new(RowLayout::with_alignment(&chunk.types(), RowAlignment::Packed));
+        let block = scatter(&chunk, layout);
+        let order: Vec<u32> = (0..chunk.len() as u32).collect();
+        let back = block.gather(&order);
+        prop_assert!(chunks_bit_eq(&chunk, &back));
+    }
+
+    #[test]
+    fn reorder_then_gather_matches_take(chunk in chunk_strategy(), seed in any::<u64>()) {
+        prop_assume!(!chunk.is_empty());
+        let layout = Arc::new(RowLayout::new(&chunk.types()));
+        let block = scatter(&chunk, layout);
+        // Deterministic pseudo-random permutation from the seed.
+        let n = chunk.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let reordered = block.reorder(&order);
+        let idents: Vec<u32> = (0..n as u32).collect();
+        let via_reorder = reordered.gather(&idents);
+        let via_take = chunk.take(&order.iter().map(|&i| i as usize).collect::<Vec<_>>());
+        prop_assert!(chunks_bit_eq(&via_reorder, &via_take));
+    }
+}

@@ -1,0 +1,151 @@
+//! Branch predictor model.
+
+/// A gshare-style branch predictor: a table of 2-bit saturating counters
+/// indexed by the branch site XOR'd with recent global history.
+///
+/// This is a deliberately modest model of the Xeon's real predictor — what
+/// matters for the paper's experiments is the *pattern* sensitivity: a
+/// comparison branch whose outcome is a coin flip (random pivot vs random
+/// element) mispredicts ~50% here as on hardware, while a branch that is
+/// almost always taken predicts almost perfectly.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    /// 2-bit counters: 0,1 predict not-taken; 2,3 predict taken.
+    table: Vec<u8>,
+    mask: u64,
+    history: u64,
+    history_bits: u32,
+    branches: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Default geometry: 4096 counters, 8 bits of global history.
+    pub fn new() -> BranchPredictor {
+        BranchPredictor::with_geometry(4096, 8)
+    }
+
+    /// Custom geometry (table size must be a power of two).
+    pub fn with_geometry(table_size: usize, history_bits: u32) -> BranchPredictor {
+        assert!(table_size.is_power_of_two());
+        BranchPredictor {
+            table: vec![1; table_size], // weakly not-taken
+            mask: (table_size - 1) as u64,
+            history: 0,
+            history_bits,
+            branches: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Record the outcome of a conditional branch at site `pc`. Returns
+    /// `true` if the prediction was wrong.
+    pub fn branch(&mut self, pc: u64, taken: bool) -> bool {
+        self.branches += 1;
+        let idx = ((pc ^ self.history) & self.mask) as usize;
+        let counter = self.table[idx];
+        let predicted_taken = counter >= 2;
+        let mispredicted = predicted_taken != taken;
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+        self.table[idx] = match (counter, taken) {
+            (3, true) => 3,
+            (c, true) => c + 1,
+            (0, false) => 0,
+            (c, false) => c - 1,
+        };
+        self.history = ((self.history << 1) | taken as u64) & ((1 << self.history_bits) - 1);
+        mispredicted
+    }
+
+    /// Total conditional branches recorded.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Total mispredictions.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Reset counters (predictor state is kept).
+    pub fn reset_counters(&mut self) {
+        self.branches = 0;
+        self.mispredictions = 0;
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        BranchPredictor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_taken_predicts_well() {
+        let mut bp = BranchPredictor::new();
+        for _ in 0..10_000 {
+            bp.branch(0x10, true);
+        }
+        assert!(bp.mispredictions() < 20, "{}", bp.mispredictions());
+    }
+
+    #[test]
+    fn never_taken_predicts_well() {
+        let mut bp = BranchPredictor::new();
+        for _ in 0..10_000 {
+            bp.branch(0x20, false);
+        }
+        assert!(bp.mispredictions() < 20);
+    }
+
+    #[test]
+    fn random_outcomes_mispredict_about_half() {
+        let mut bp = BranchPredictor::new();
+        let mut state = 0xDEADBEEFu64;
+        let n = 100_000;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            bp.branch(0x30, (state >> 33) & 1 == 1);
+        }
+        let rate = bp.mispredictions() as f64 / n as f64;
+        assert!((0.40..=0.60).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn short_period_pattern_learned_by_history() {
+        // Period-4 pattern: T T F F — gshare history should learn it.
+        let mut bp = BranchPredictor::new();
+        let pattern = [true, true, false, false];
+        for i in 0..40_000 {
+            bp.branch(0x40, pattern[i % 4]);
+        }
+        let rate = bp.mispredictions() as f64 / 40_000.0;
+        assert!(rate < 0.05, "pattern should be learned, rate {rate}");
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut bp = BranchPredictor::new();
+        bp.branch(1, true);
+        bp.reset_counters();
+        assert_eq!(bp.branches(), 0);
+        assert_eq!(bp.mispredictions(), 0);
+    }
+
+    #[test]
+    fn distinct_sites_do_not_interfere_much() {
+        let mut bp = BranchPredictor::with_geometry(4096, 0); // no history
+        for i in 0..10_000u64 {
+            bp.branch(0x100, true);
+            bp.branch(0x200, false);
+            let _ = i;
+        }
+        assert!(bp.mispredictions() < 10);
+    }
+}

@@ -1,0 +1,145 @@
+//! The combined CPU model: cache + branch predictor + address space.
+
+use crate::branch::BranchPredictor;
+use crate::cache::{CacheConfig, CacheSim};
+
+/// A snapshot of simulation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// L1-D line accesses.
+    pub l1_accesses: u64,
+    /// L1-D misses (the paper's `L1-dcache-load-misses` analogue).
+    pub l1_misses: u64,
+    /// Data-dependent conditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions (the paper's `branch-misses` analogue).
+    pub branch_misses: u64,
+}
+
+impl Counters {
+    /// Element-wise difference (`self` − `earlier`).
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            l1_accesses: self.l1_accesses - earlier.l1_accesses,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            branches: self.branches - earlier.branches,
+            branch_misses: self.branch_misses - earlier.branch_misses,
+        }
+    }
+}
+
+/// The simulated CPU: one L1-D cache, one branch predictor, and a bump
+/// allocator for laying out simulated arrays in a virtual address space.
+///
+/// Kernels in [`crate::trace`] call [`SimCpu::read`]/[`SimCpu::write`] for
+/// every data access and [`SimCpu::branch`] for every data-dependent
+/// conditional, then read the counters off with [`SimCpu::counters`].
+#[derive(Debug, Clone)]
+pub struct SimCpu {
+    cache: CacheSim,
+    predictor: BranchPredictor,
+    next_base: u64,
+}
+
+impl SimCpu {
+    /// A CPU with the paper's L1-D geometry and the default predictor.
+    pub fn new() -> SimCpu {
+        SimCpu::with_cache(CacheConfig::L1D)
+    }
+
+    /// A CPU with custom cache geometry.
+    pub fn with_cache(config: CacheConfig) -> SimCpu {
+        SimCpu {
+            cache: CacheSim::new(config),
+            predictor: BranchPredictor::new(),
+            next_base: 1 << 20,
+        }
+    }
+
+    /// Reserve `size` bytes of virtual address space, 1 MiB-aligned so
+    /// distinct arrays never share a cache line.
+    pub fn alloc(&mut self, size: usize) -> u64 {
+        let base = self.next_base;
+        let aligned = (size as u64).div_ceil(1 << 20) * (1 << 20);
+        self.next_base += aligned.max(1 << 20);
+        base
+    }
+
+    /// Simulate a load of `bytes` bytes at `addr`.
+    pub fn read(&mut self, addr: u64, bytes: usize) {
+        self.cache.access_range(addr, bytes);
+    }
+
+    /// Simulate a store of `bytes` bytes at `addr` (write-allocate).
+    pub fn write(&mut self, addr: u64, bytes: usize) {
+        self.cache.access_range(addr, bytes);
+    }
+
+    /// Simulate a data-dependent conditional branch at site `pc`.
+    pub fn branch(&mut self, pc: u64, taken: bool) -> bool {
+        self.predictor.branch(pc, taken)
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> Counters {
+        Counters {
+            l1_accesses: self.cache.accesses(),
+            l1_misses: self.cache.misses(),
+            branches: self.predictor.branches(),
+            branch_misses: self.predictor.mispredictions(),
+        }
+    }
+
+    /// Reset all counters (cache and predictor state survive).
+    pub fn reset_counters(&mut self) {
+        self.cache.reset_counters();
+        self.predictor.reset_counters();
+    }
+}
+
+impl Default for SimCpu {
+    fn default() -> Self {
+        SimCpu::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_disjoint_and_aligned() {
+        let mut cpu = SimCpu::new();
+        let a = cpu.alloc(100);
+        let b = cpu.alloc(5 << 20);
+        let c = cpu.alloc(1);
+        assert_eq!(a % (1 << 20), 0);
+        assert!(b >= a + 100);
+        assert!(c >= b + (5 << 20));
+    }
+
+    #[test]
+    fn read_write_and_counters() {
+        let mut cpu = SimCpu::new();
+        let base = cpu.alloc(4096);
+        cpu.read(base, 4);
+        cpu.write(base, 4);
+        let c = cpu.counters();
+        assert_eq!(c.l1_accesses, 2);
+        assert_eq!(c.l1_misses, 1, "write hits the line the read loaded");
+    }
+
+    #[test]
+    fn counters_since() {
+        let mut cpu = SimCpu::new();
+        let base = cpu.alloc(4096);
+        cpu.read(base, 1);
+        let snap = cpu.counters();
+        cpu.read(base + 64, 1);
+        cpu.branch(1, true);
+        let delta = cpu.counters().since(&snap);
+        assert_eq!(delta.l1_accesses, 1);
+        assert_eq!(delta.l1_misses, 1);
+        assert_eq!(delta.branches, 1);
+    }
+}

@@ -1,0 +1,958 @@
+//! Instrumented sorting kernels: every data access and data-dependent
+//! branch is routed through a [`SimCpu`].
+//!
+//! These kernels reproduce the paper's perf-counter experiments:
+//!
+//! * [`ColumnarTrace`] — DSM key columns sorted via an index array, with
+//!   tuple-at-a-time and subsort comparison strategies (Table II),
+//! * [`RowTrace`] — NSM rows physically moved during the sort, same two
+//!   strategies (Table III),
+//! * [`NormKeyTrace`] — normalized-key rows sorted by a quicksort with a
+//!   `memcmp` comparator versus LSD/MSD radix sort (Figure 10).
+//!
+//! The generic engine is a [`TraceSortable`] introsort with median-of-three
+//! pivots, an insertion-sort base case, and a depth-limited heapsort
+//! fallback — the same shape as the real introsort/pdqsort in
+//! `rowsort-algos`, minus pattern defeating (which only fires on
+//! adversarial inputs none of these experiments use).
+
+use crate::cpu::SimCpu;
+use std::cmp::Ordering;
+
+/// Branch-site tags, so distinct static branches train distinct predictor
+/// entries (like distinct branch instructions would).
+mod site {
+    pub const PARTITION_LEFT: u64 = 0xA1;
+    pub const PARTITION_RIGHT: u64 = 0xA2;
+    pub const INSERTION: u64 = 0xA3;
+    pub const HEAP_CHILD: u64 = 0xA4;
+    pub const HEAP_ROOT: u64 = 0xA5;
+    pub const MEDIAN: u64 = 0xA6;
+    pub const TIE_NEXT_COL: u64 = 0xB0; // + column index
+    pub const TIE_SCAN: u64 = 0xC0;
+}
+
+const SMALL: usize = 16;
+
+/// A sequence that a traced sort can compare and permute.
+///
+/// `compare` must perform its own traced reads (and any comparator-internal
+/// branches); `swap` its own traced reads/writes. The engine adds the
+/// partition/insertion/heap control branches that depend on comparison
+/// outcomes.
+pub trait TraceSortable {
+    /// Compare elements at positions `i` and `j`, tracing the accesses.
+    fn compare(&self, cpu: &mut SimCpu, i: usize, j: usize) -> Ordering;
+    /// Swap elements at positions `i` and `j`, tracing the accesses.
+    fn swap(&mut self, cpu: &mut SimCpu, i: usize, j: usize);
+}
+
+/// Traced introsort over positions `0..n` of `subject`.
+pub fn trace_introsort<T: TraceSortable + ?Sized>(cpu: &mut SimCpu, n: usize, subject: &mut T) {
+    if n < 2 {
+        return;
+    }
+    let depth = 2 * (usize::BITS - n.leading_zeros());
+    rec(cpu, 0, n, depth, subject);
+}
+
+fn rec<T: TraceSortable + ?Sized>(
+    cpu: &mut SimCpu,
+    mut lo: usize,
+    mut hi: usize,
+    mut depth: u32,
+    subject: &mut T,
+) {
+    loop {
+        let len = hi - lo;
+        if len <= SMALL {
+            traced_insertion(cpu, lo, hi, subject);
+            return;
+        }
+        if depth == 0 {
+            traced_heapsort(cpu, lo, hi, subject);
+            return;
+        }
+        depth -= 1;
+        let p = traced_partition(cpu, lo, hi, subject);
+        if p - lo < hi - p - 1 {
+            rec(cpu, lo, p, depth, subject);
+            lo = p + 1;
+        } else {
+            rec(cpu, p + 1, hi, depth, subject);
+            hi = p;
+        }
+    }
+}
+
+fn traced_insertion<T: TraceSortable + ?Sized>(
+    cpu: &mut SimCpu,
+    lo: usize,
+    hi: usize,
+    subject: &mut T,
+) {
+    for i in lo + 1..hi {
+        let mut j = i;
+        loop {
+            let less = j > lo && subject.compare(cpu, j, j - 1) == Ordering::Less;
+            if j > lo {
+                cpu.branch(site::INSERTION, less);
+            }
+            if !less {
+                break;
+            }
+            subject.swap(cpu, j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+fn traced_heapsort<T: TraceSortable + ?Sized>(
+    cpu: &mut SimCpu,
+    lo: usize,
+    hi: usize,
+    subject: &mut T,
+) {
+    let n = hi - lo;
+    fn sift<T: TraceSortable + ?Sized>(
+        cpu: &mut SimCpu,
+        lo: usize,
+        mut root: usize,
+        end: usize,
+        subject: &mut T,
+    ) {
+        loop {
+            let mut child = 2 * root + 1;
+            if child >= end {
+                return;
+            }
+            if child + 1 < end {
+                let right_bigger =
+                    subject.compare(cpu, lo + child, lo + child + 1) == Ordering::Less;
+                cpu.branch(site::HEAP_CHILD, right_bigger);
+                if right_bigger {
+                    child += 1;
+                }
+            }
+            let root_smaller = subject.compare(cpu, lo + root, lo + child) == Ordering::Less;
+            cpu.branch(site::HEAP_ROOT, root_smaller);
+            if !root_smaller {
+                return;
+            }
+            subject.swap(cpu, lo + root, lo + child);
+            root = child;
+        }
+    }
+    for start in (0..n / 2).rev() {
+        sift(cpu, lo, start, n, subject);
+    }
+    for end in (1..n).rev() {
+        subject.swap(cpu, lo, lo + end);
+        sift(cpu, lo, 0, end, subject);
+    }
+}
+
+fn traced_partition<T: TraceSortable + ?Sized>(
+    cpu: &mut SimCpu,
+    lo: usize,
+    hi: usize,
+    subject: &mut T,
+) -> usize {
+    // Median of three to the front.
+    let mid = lo + (hi - lo) / 2;
+    let last = hi - 1;
+    let order2 = |cpu: &mut SimCpu, subject: &mut T, a: usize, b: usize| {
+        let less = subject.compare(cpu, b, a) == Ordering::Less;
+        cpu.branch(site::MEDIAN, less);
+        if less {
+            subject.swap(cpu, a, b);
+        }
+    };
+    order2(cpu, subject, lo, mid);
+    order2(cpu, subject, mid, last);
+    order2(cpu, subject, lo, mid);
+    subject.swap(cpu, lo, mid);
+
+    let mut i = lo;
+    let mut j = hi;
+    loop {
+        loop {
+            i += 1;
+            let less = i <= last && subject.compare(cpu, i, lo) == Ordering::Less;
+            if i <= last {
+                cpu.branch(site::PARTITION_LEFT, less);
+            }
+            if !less {
+                break;
+            }
+        }
+        loop {
+            j -= 1;
+            let greater = j > lo && subject.compare(cpu, lo, j) == Ordering::Less;
+            if j > lo {
+                cpu.branch(site::PARTITION_RIGHT, greater);
+            }
+            if !greater {
+                break;
+            }
+        }
+        if i >= j {
+            break;
+        }
+        subject.swap(cpu, i, j);
+    }
+    subject.swap(cpu, lo, j);
+    j
+}
+
+// ---------------------------------------------------------------------------
+// Columnar (DSM) experiment — Table II
+// ---------------------------------------------------------------------------
+
+/// DSM key columns sorted through an index array.
+pub struct ColumnarTrace {
+    /// Key columns, column-major.
+    cols: Vec<Vec<u32>>,
+    /// The permutation being sorted.
+    idxs: Vec<u32>,
+    col_bases: Vec<u64>,
+    idx_base: u64,
+}
+
+impl ColumnarTrace {
+    /// Lay out `cols` and the index array in the CPU's address space.
+    pub fn new(cpu: &mut SimCpu, cols: Vec<Vec<u32>>) -> ColumnarTrace {
+        assert!(!cols.is_empty());
+        let n = cols[0].len();
+        assert!(cols.iter().all(|c| c.len() == n));
+        let col_bases = cols.iter().map(|c| cpu.alloc(c.len() * 4)).collect();
+        let idx_base = cpu.alloc(n * 4);
+        ColumnarTrace {
+            cols,
+            idxs: (0..n as u32).collect(),
+            col_bases,
+            idx_base,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.idxs.len()
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.idxs.is_empty()
+    }
+
+    fn read_idx(&self, cpu: &mut SimCpu, i: usize) -> usize {
+        cpu.read(self.idx_base + i as u64 * 4, 4);
+        self.idxs[i] as usize
+    }
+
+    fn read_col(&self, cpu: &mut SimCpu, c: usize, row: usize) -> u32 {
+        cpu.read(self.col_bases[c] + row as u64 * 4, 4);
+        self.cols[c][row]
+    }
+
+    fn swap_idxs(&mut self, cpu: &mut SimCpu, i: usize, j: usize) {
+        cpu.read(self.idx_base + i as u64 * 4, 4);
+        cpu.read(self.idx_base + j as u64 * 4, 4);
+        cpu.write(self.idx_base + i as u64 * 4, 4);
+        cpu.write(self.idx_base + j as u64 * 4, 4);
+        self.idxs.swap(i, j);
+    }
+
+    /// Sort with the tuple-at-a-time comparator: compare column 0, on a tie
+    /// branch into column 1, and so on — random access into every column
+    /// touched, a data-dependent branch per extra column.
+    pub fn sort_tuple_at_a_time(&mut self, cpu: &mut SimCpu) {
+        let n = self.len();
+        trace_introsort(cpu, n, &mut ColumnarTupleView(self));
+    }
+
+    /// Sort with the subsort strategy: sort by one column at a time, then
+    /// recurse into tied ranges on the next column. The per-column
+    /// comparator touches a single column and has no tie branch.
+    pub fn sort_subsort(&mut self, cpu: &mut SimCpu) {
+        let n = self.len();
+        self.subsort_range(cpu, 0, n, 0);
+    }
+
+    fn subsort_range(&mut self, cpu: &mut SimCpu, lo: usize, hi: usize, col: usize) {
+        if hi - lo < 2 || col >= self.cols.len() {
+            return;
+        }
+        trace_introsort(cpu, hi - lo, &mut ColumnarSubsortView { t: self, col, lo });
+        if col + 1 >= self.cols.len() {
+            return;
+        }
+        // Identify tied runs and recurse into them on the next column.
+        let mut run_start = lo;
+        for i in lo + 1..=hi {
+            let tied = if i < hi {
+                let ri = self.read_idx(cpu, i - 1);
+                let rj = self.read_idx(cpu, i);
+                let a = self.read_col(cpu, col, ri);
+                let b = self.read_col(cpu, col, rj);
+                let t = a == b;
+                cpu.branch(site::TIE_SCAN, t);
+                t
+            } else {
+                false
+            };
+            if !tied {
+                if i - run_start > 1 {
+                    self.subsort_range(cpu, run_start, i, col + 1);
+                }
+                run_start = i;
+            }
+        }
+    }
+
+    /// Whether the permutation sorts the columns lexicographically
+    /// (untraced; verification only).
+    pub fn is_sorted(&self) -> bool {
+        self.idxs.windows(2).all(|w| {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            for c in &self.cols {
+                match c[a].cmp(&c[b]) {
+                    Ordering::Less => return true,
+                    Ordering::Greater => return false,
+                    Ordering::Equal => continue,
+                }
+            }
+            true
+        })
+    }
+}
+
+struct ColumnarTupleView<'a>(&'a mut ColumnarTrace);
+
+impl TraceSortable for ColumnarTupleView<'_> {
+    fn compare(&self, cpu: &mut SimCpu, i: usize, j: usize) -> Ordering {
+        let t = &*self.0;
+        let ri = t.read_idx(cpu, i);
+        let rj = t.read_idx(cpu, j);
+        let ncols = t.cols.len();
+        for c in 0..ncols {
+            let a = t.read_col(cpu, c, ri);
+            let b = t.read_col(cpu, c, rj);
+            let ord = a.cmp(&b);
+            if c + 1 < ncols {
+                // The "values equal, compare next column?" branch.
+                cpu.branch(site::TIE_NEXT_COL + c as u64, ord == Ordering::Equal);
+            }
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn swap(&mut self, cpu: &mut SimCpu, i: usize, j: usize) {
+        self.0.swap_idxs(cpu, i, j);
+    }
+}
+
+struct ColumnarSubsortView<'a> {
+    t: &'a mut ColumnarTrace,
+    col: usize,
+    lo: usize,
+}
+
+impl TraceSortable for ColumnarSubsortView<'_> {
+    fn compare(&self, cpu: &mut SimCpu, i: usize, j: usize) -> Ordering {
+        let ri = self.t.read_idx(cpu, self.lo + i);
+        let rj = self.t.read_idx(cpu, self.lo + j);
+        self.t
+            .read_col(cpu, self.col, ri)
+            .cmp(&self.t.read_col(cpu, self.col, rj))
+    }
+
+    fn swap(&mut self, cpu: &mut SimCpu, i: usize, j: usize) {
+        self.t.swap_idxs(cpu, self.lo + i, self.lo + j);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row (NSM) experiment — Table III
+// ---------------------------------------------------------------------------
+
+/// NSM rows of `ncols` u32 keys, physically moved during sorting.
+pub struct RowTrace {
+    /// Row-major keys: row i occupies `vals[i*ncols .. (i+1)*ncols]`.
+    vals: Vec<u32>,
+    ncols: usize,
+    base: u64,
+}
+
+impl RowTrace {
+    /// Convert columns into rows and lay them out in the address space.
+    pub fn new(cpu: &mut SimCpu, cols: &[Vec<u32>]) -> RowTrace {
+        let n = cols[0].len();
+        let ncols = cols.len();
+        let mut vals = Vec::with_capacity(n * ncols);
+        for r in 0..n {
+            for c in cols {
+                vals.push(c[r]);
+            }
+        }
+        let base = cpu.alloc(vals.len() * 4);
+        RowTrace { vals, ncols, base }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.vals.len() / self.ncols
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    fn row_addr(&self, i: usize) -> u64 {
+        self.base + (i * self.ncols * 4) as u64
+    }
+
+    fn val(&self, i: usize, c: usize) -> u32 {
+        self.vals[i * self.ncols + c]
+    }
+
+    fn swap_rows(&mut self, cpu: &mut SimCpu, i: usize, j: usize) {
+        let bytes = self.ncols * 4;
+        cpu.read(self.row_addr(i), bytes);
+        cpu.read(self.row_addr(j), bytes);
+        cpu.write(self.row_addr(i), bytes);
+        cpu.write(self.row_addr(j), bytes);
+        for c in 0..self.ncols {
+            self.vals.swap(i * self.ncols + c, j * self.ncols + c);
+        }
+    }
+
+    /// Tuple-at-a-time comparator over co-located keys: values of one row
+    /// share a cache line, so a tie's extra reads rarely miss.
+    pub fn sort_tuple_at_a_time(&mut self, cpu: &mut SimCpu) {
+        let n = self.len();
+        trace_introsort(cpu, n, &mut RowTupleView(self));
+    }
+
+    /// Subsort over rows: per-column passes with tie recursion, still
+    /// physically moving whole rows.
+    pub fn sort_subsort(&mut self, cpu: &mut SimCpu) {
+        let n = self.len();
+        self.subsort_range(cpu, 0, n, 0);
+    }
+
+    fn subsort_range(&mut self, cpu: &mut SimCpu, lo: usize, hi: usize, col: usize) {
+        if hi - lo < 2 || col >= self.ncols {
+            return;
+        }
+        trace_introsort(cpu, hi - lo, &mut RowSubsortView { t: self, col, lo });
+        if col + 1 >= self.ncols {
+            return;
+        }
+        let mut run_start = lo;
+        for i in lo + 1..=hi {
+            let tied = if i < hi {
+                cpu.read(self.row_addr(i - 1) + col as u64 * 4, 4);
+                cpu.read(self.row_addr(i) + col as u64 * 4, 4);
+                let t = self.val(i - 1, col) == self.val(i, col);
+                cpu.branch(site::TIE_SCAN, t);
+                t
+            } else {
+                false
+            };
+            if !tied {
+                if i - run_start > 1 {
+                    self.subsort_range(cpu, run_start, i, col + 1);
+                }
+                run_start = i;
+            }
+        }
+    }
+
+    /// Untraced verification.
+    pub fn is_sorted(&self) -> bool {
+        (1..self.len()).all(|i| {
+            for c in 0..self.ncols {
+                match self.val(i - 1, c).cmp(&self.val(i, c)) {
+                    Ordering::Less => return true,
+                    Ordering::Greater => return false,
+                    Ordering::Equal => continue,
+                }
+            }
+            true
+        })
+    }
+}
+
+struct RowTupleView<'a>(&'a mut RowTrace);
+
+impl TraceSortable for RowTupleView<'_> {
+    fn compare(&self, cpu: &mut SimCpu, i: usize, j: usize) -> Ordering {
+        let t = &*self.0;
+        for c in 0..t.ncols {
+            cpu.read(t.row_addr(i) + c as u64 * 4, 4);
+            cpu.read(t.row_addr(j) + c as u64 * 4, 4);
+            let ord = t.val(i, c).cmp(&t.val(j, c));
+            if c + 1 < t.ncols {
+                cpu.branch(site::TIE_NEXT_COL + c as u64, ord == Ordering::Equal);
+            }
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn swap(&mut self, cpu: &mut SimCpu, i: usize, j: usize) {
+        self.0.swap_rows(cpu, i, j);
+    }
+}
+
+struct RowSubsortView<'a> {
+    t: &'a mut RowTrace,
+    col: usize,
+    lo: usize,
+}
+
+impl TraceSortable for RowSubsortView<'_> {
+    fn compare(&self, cpu: &mut SimCpu, i: usize, j: usize) -> Ordering {
+        let t = &*self.t;
+        cpu.read(t.row_addr(self.lo + i) + self.col as u64 * 4, 4);
+        cpu.read(t.row_addr(self.lo + j) + self.col as u64 * 4, 4);
+        t.val(self.lo + i, self.col)
+            .cmp(&t.val(self.lo + j, self.col))
+    }
+
+    fn swap(&mut self, cpu: &mut SimCpu, i: usize, j: usize) {
+        self.t.swap_rows(cpu, self.lo + i, self.lo + j);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normalized-key experiment — Figure 10
+// ---------------------------------------------------------------------------
+
+/// Fixed-width normalized-key rows sorted with a `memcmp` quicksort or a
+/// byte-wise radix sort.
+pub struct NormKeyTrace {
+    data: Vec<u8>,
+    width: usize,
+    base: u64,
+}
+
+impl NormKeyTrace {
+    /// Lay out `n = data.len() / width` key rows.
+    pub fn new(cpu: &mut SimCpu, data: Vec<u8>, width: usize) -> NormKeyTrace {
+        assert_eq!(data.len() % width, 0);
+        let base = cpu.alloc(data.len());
+        NormKeyTrace { data, width, base }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn row_addr(&self, i: usize) -> u64 {
+        self.base + (i * self.width) as u64
+    }
+
+    fn row(&self, i: usize) -> &[u8] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Quicksort with a dynamic `memcmp` comparator (the pdqsort-with-
+    /// normalized-keys configuration). Each comparison reads both keys up
+    /// to the first differing byte, word-wise, as a real `memcmp` does.
+    pub fn sort_quick_memcmp(&mut self, cpu: &mut SimCpu) {
+        let n = self.len();
+        trace_introsort(
+            cpu,
+            n,
+            &mut MemcmpView {
+                t: self,
+                from_byte: 0,
+                lo: 0,
+            },
+        );
+    }
+
+    /// LSD radix sort: one counting + scatter pass per key byte. No
+    /// data-dependent branches at all; writes scatter across 256 buckets.
+    pub fn sort_radix_lsd(&mut self, cpu: &mut SimCpu) {
+        let n = self.len();
+        let width = self.width;
+        if n < 2 {
+            return;
+        }
+        let aux_base = cpu.alloc(self.data.len());
+        let hist_base = cpu.alloc(256 * 8);
+        let mut aux = vec![0u8; self.data.len()];
+        let mut in_aux = false;
+        for byte in (0..width).rev() {
+            let (src, dst, src_base, dst_base) = if in_aux {
+                (&mut aux, &mut self.data, aux_base, self.base)
+            } else {
+                (&mut self.data, &mut aux, self.base, aux_base)
+            };
+            let mut counts = [0usize; 256];
+            for r in 0..n {
+                cpu.read(src_base + (r * width + byte) as u64, 1);
+                let b = src[r * width + byte] as usize;
+                cpu.read(hist_base + b as u64 * 8, 8);
+                cpu.write(hist_base + b as u64 * 8, 8);
+                counts[b] += 1;
+            }
+            if counts.contains(&n) {
+                continue; // single bucket: skip the copy
+            }
+            let mut offsets = [0usize; 256];
+            let mut sum = 0;
+            for (o, &c) in offsets.iter_mut().zip(counts.iter()) {
+                *o = sum;
+                sum += c;
+            }
+            for r in 0..n {
+                cpu.read(src_base + (r * width) as u64, width);
+                let b = src[r * width + byte] as usize;
+                cpu.read(hist_base + b as u64 * 8, 8);
+                cpu.write(hist_base + b as u64 * 8, 8);
+                let d = offsets[b];
+                offsets[b] += 1;
+                cpu.write(dst_base + (d * width) as u64, width);
+                dst[d * width..(d + 1) * width].copy_from_slice(&src[r * width..(r + 1) * width]);
+            }
+            in_aux = !in_aux;
+        }
+        if in_aux {
+            for r in 0..n {
+                cpu.read(aux_base + (r * width) as u64, width);
+                cpu.write(self.base + (r * width) as u64, width);
+            }
+            self.data.copy_from_slice(&aux);
+        }
+    }
+
+    /// MSD radix sort with an insertion-sort base case for buckets ≤ 24
+    /// rows — much better cache behaviour than LSD on wide keys because
+    /// each recursion works on a contiguous, shrinking range.
+    pub fn sort_radix_msd(&mut self, cpu: &mut SimCpu) {
+        let n = self.len();
+        if n < 2 {
+            return;
+        }
+        let aux_base = cpu.alloc(self.data.len());
+        let hist_base = cpu.alloc(256 * 8);
+        let mut aux = vec![0u8; self.data.len()];
+        self.msd_rec(cpu, &mut aux, aux_base, hist_base, 0, 0, n);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn msd_rec(
+        &mut self,
+        cpu: &mut SimCpu,
+        aux: &mut [u8],
+        aux_base: u64,
+        hist_base: u64,
+        mut byte: usize,
+        start: usize,
+        end: usize,
+    ) {
+        let width = self.width;
+        let n = end - start;
+        if n < 2 {
+            return;
+        }
+        if n <= 24 {
+            traced_insertion(
+                cpu,
+                0,
+                n,
+                &mut MemcmpView {
+                    t: self,
+                    from_byte: byte,
+                    lo: start,
+                },
+            );
+            return;
+        }
+
+        // Count (skipping common-prefix bytes without copying).
+        let counts = loop {
+            if byte >= width {
+                return;
+            }
+            let mut c = [0usize; 256];
+            for r in start..end {
+                cpu.read(self.base + (r * width + byte) as u64, 1);
+                let b = self.data[r * width + byte] as usize;
+                cpu.read(hist_base + b as u64 * 8, 8);
+                cpu.write(hist_base + b as u64 * 8, 8);
+                c[b] += 1;
+            }
+            if c.contains(&n) {
+                byte += 1;
+                continue;
+            }
+            break c;
+        };
+
+        let mut offsets = [0usize; 256];
+        let mut sum = start;
+        for (o, &c) in offsets.iter_mut().zip(counts.iter()) {
+            *o = sum;
+            sum += c;
+        }
+        let bucket_starts = offsets;
+        for r in start..end {
+            cpu.read(self.base + (r * width) as u64, width);
+            let b = self.data[r * width + byte] as usize;
+            cpu.read(hist_base + b as u64 * 8, 8);
+            cpu.write(hist_base + b as u64 * 8, 8);
+            let d = offsets[b];
+            offsets[b] += 1;
+            cpu.write(aux_base + (d * width) as u64, width);
+            aux[d * width..(d + 1) * width].copy_from_slice(&self.data[r * width..(r + 1) * width]);
+        }
+        for r in start..end {
+            cpu.read(aux_base + (r * width) as u64, width);
+            cpu.write(self.base + (r * width) as u64, width);
+        }
+        self.data[start * width..end * width].copy_from_slice(&aux[start * width..end * width]);
+
+        if byte + 1 < width {
+            for b in 0..256 {
+                let (bs, be) = (bucket_starts[b], offsets[b]);
+                if be - bs > 1 {
+                    self.msd_rec(cpu, aux, aux_base, hist_base, byte + 1, bs, be);
+                }
+            }
+        }
+    }
+
+    /// Untraced verification.
+    pub fn is_sorted(&self) -> bool {
+        (1..self.len()).all(|i| self.row(i - 1) <= self.row(i))
+    }
+}
+
+struct MemcmpView<'a> {
+    t: &'a mut NormKeyTrace,
+    from_byte: usize,
+    lo: usize,
+}
+
+impl TraceSortable for MemcmpView<'_> {
+    fn compare(&self, cpu: &mut SimCpu, i: usize, j: usize) -> Ordering {
+        let t = &*self.t;
+        let (bi, bj) = (self.lo + i, self.lo + j);
+        let a = &t.row(bi)[self.from_byte..];
+        let b = &t.row(bj)[self.from_byte..];
+        let rem = t.width - self.from_byte;
+        let diff = a
+            .iter()
+            .zip(b.iter())
+            .position(|(x, y)| x != y)
+            .map_or(rem, |p| p + 1);
+        let touched = (diff.div_ceil(8) * 8).min(rem);
+        cpu.read(t.row_addr(bi) + self.from_byte as u64, touched);
+        cpu.read(t.row_addr(bj) + self.from_byte as u64, touched);
+        a.cmp(b)
+    }
+
+    fn swap(&mut self, cpu: &mut SimCpu, i: usize, j: usize) {
+        let width = self.t.width;
+        let (bi, bj) = (self.lo + i, self.lo + j);
+        cpu.read(self.t.row_addr(bi), width);
+        cpu.read(self.t.row_addr(bj), width);
+        cpu.write(self.t.row_addr(bi), width);
+        cpu.write(self.t.row_addr(bj), width);
+        for b in 0..width {
+            self.t.data.swap(bi * width + b, bj * width + b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64, modk: u32) -> Vec<u32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as u32) % modk
+            })
+            .collect()
+    }
+
+    fn correlated_cols(n: usize, ncols: usize, seed: u64) -> Vec<Vec<u32>> {
+        // 128 unique values per column, as in the paper's CorrelatedP data.
+        (0..ncols)
+            .map(|c| pseudo_random(n, seed + c as u64, 128))
+            .collect()
+    }
+
+    #[test]
+    fn columnar_tuple_sorts() {
+        let mut cpu = SimCpu::new();
+        let mut t = ColumnarTrace::new(&mut cpu, correlated_cols(5_000, 4, 1));
+        t.sort_tuple_at_a_time(&mut cpu);
+        assert!(t.is_sorted());
+        assert!(cpu.counters().branches > 0);
+        assert!(cpu.counters().l1_misses > 0);
+    }
+
+    #[test]
+    fn columnar_subsort_sorts() {
+        let mut cpu = SimCpu::new();
+        let mut t = ColumnarTrace::new(&mut cpu, correlated_cols(5_000, 4, 2));
+        t.sort_subsort(&mut cpu);
+        assert!(t.is_sorted());
+    }
+
+    #[test]
+    fn row_tuple_sorts() {
+        let mut cpu = SimCpu::new();
+        let mut t = RowTrace::new(&mut cpu, &correlated_cols(5_000, 4, 3));
+        t.sort_tuple_at_a_time(&mut cpu);
+        assert!(t.is_sorted());
+    }
+
+    #[test]
+    fn row_subsort_sorts() {
+        let mut cpu = SimCpu::new();
+        let mut t = RowTrace::new(&mut cpu, &correlated_cols(5_000, 4, 4));
+        t.sort_subsort(&mut cpu);
+        assert!(t.is_sorted());
+    }
+
+    #[test]
+    fn rows_incur_fewer_cache_misses_than_columns() {
+        // The paper's central Table II vs III observation, at reduced scale:
+        // sorting rows misses the L1 far less than sorting columnar data.
+        let n = 1 << 15;
+        let cols = correlated_cols(n, 4, 5);
+        let mut cpu_col = SimCpu::new();
+        let mut col = ColumnarTrace::new(&mut cpu_col, cols.clone());
+        col.sort_tuple_at_a_time(&mut cpu_col);
+        let mut cpu_row = SimCpu::new();
+        let mut row = RowTrace::new(&mut cpu_row, &cols);
+        row.sort_tuple_at_a_time(&mut cpu_row);
+        assert!(col.is_sorted() && row.is_sorted());
+        let (cm, rm) = (cpu_col.counters().l1_misses, cpu_row.counters().l1_misses);
+        assert!(
+            cm > 2 * rm,
+            "columnar misses {cm} should far exceed row misses {rm}"
+        );
+    }
+
+    #[test]
+    fn subsort_has_fewer_branch_misses_than_tuple() {
+        // Table II's branch-misprediction ordering on correlated data.
+        let n = 1 << 14;
+        let cols = correlated_cols(n, 4, 6);
+        let mut cpu_t = SimCpu::new();
+        ColumnarTrace::new(&mut cpu_t, cols.clone()).sort_tuple_at_a_time(&mut cpu_t);
+        let mut cpu_s = SimCpu::new();
+        ColumnarTrace::new(&mut cpu_s, cols).sort_subsort(&mut cpu_s);
+        let (tm, sm) = (
+            cpu_t.counters().branch_misses,
+            cpu_s.counters().branch_misses,
+        );
+        assert!(sm < tm, "subsort misses {sm} should be below tuple {tm}");
+    }
+
+    #[test]
+    fn quick_memcmp_sorts_keys() {
+        let mut cpu = SimCpu::new();
+        let keys = pseudo_random(3_000, 7, u32::MAX);
+        let data: Vec<u8> = keys.iter().flat_map(|k| k.to_be_bytes()).collect();
+        let mut t = NormKeyTrace::new(&mut cpu, data, 4);
+        t.sort_quick_memcmp(&mut cpu);
+        assert!(t.is_sorted());
+    }
+
+    #[test]
+    fn radix_lsd_sorts_keys() {
+        let mut cpu = SimCpu::new();
+        let keys = pseudo_random(3_000, 8, u32::MAX);
+        let data: Vec<u8> = keys.iter().flat_map(|k| k.to_be_bytes()).collect();
+        let mut t = NormKeyTrace::new(&mut cpu, data, 4);
+        t.sort_radix_lsd(&mut cpu);
+        assert!(t.is_sorted());
+    }
+
+    #[test]
+    fn radix_msd_sorts_keys() {
+        let mut cpu = SimCpu::new();
+        let keys = pseudo_random(3_000, 9, u32::MAX);
+        let wide: Vec<u8> = keys
+            .iter()
+            .flat_map(|k| {
+                let mut row = k.to_be_bytes().to_vec();
+                row.extend_from_slice(&k.to_le_bytes());
+                row
+            })
+            .collect();
+        let mut t = NormKeyTrace::new(&mut cpu, wide, 8);
+        t.sort_radix_msd(&mut cpu);
+        assert!(t.is_sorted());
+    }
+
+    #[test]
+    fn radix_has_far_fewer_branch_misses_than_quicksort() {
+        // Figure 10's branch story: radix is (nearly) branchless.
+        let n = 1 << 13;
+        let keys = pseudo_random(n, 10, 128);
+        let data: Vec<u8> = keys.iter().flat_map(|k| k.to_be_bytes()).collect();
+        let mut cpu_q = SimCpu::new();
+        let mut q = NormKeyTrace::new(&mut cpu_q, data.clone(), 4);
+        q.sort_quick_memcmp(&mut cpu_q);
+        let mut cpu_r = SimCpu::new();
+        let mut r = NormKeyTrace::new(&mut cpu_r, data, 4);
+        r.sort_radix_lsd(&mut cpu_r);
+        assert!(q.is_sorted() && r.is_sorted());
+        let (qb, rb) = (
+            cpu_q.counters().branch_misses,
+            cpu_r.counters().branch_misses,
+        );
+        assert!(rb * 10 < qb.max(1), "radix {rb} vs quicksort {qb}");
+    }
+
+    #[test]
+    fn msd_has_fewer_cache_misses_than_lsd_on_wide_keys() {
+        // The paper's reason for preferring MSD beyond 4 key bytes.
+        let n = 1 << 13;
+        let width = 20;
+        let rows: Vec<u8> = (0..n)
+            .flat_map(|i| {
+                let ks = pseudo_random(5, i as u64, 128);
+                ks.iter().flat_map(|k| k.to_be_bytes()).collect::<Vec<u8>>()
+            })
+            .collect();
+        let mut cpu_l = SimCpu::new();
+        let mut l = NormKeyTrace::new(&mut cpu_l, rows.clone(), width);
+        l.sort_radix_lsd(&mut cpu_l);
+        let mut cpu_m = SimCpu::new();
+        let mut m = NormKeyTrace::new(&mut cpu_m, rows, width);
+        m.sort_radix_msd(&mut cpu_m);
+        assert!(l.is_sorted() && m.is_sorted());
+        assert!(
+            cpu_m.counters().l1_misses < cpu_l.counters().l1_misses,
+            "MSD {} should miss less than LSD {}",
+            cpu_m.counters().l1_misses,
+            cpu_l.counters().l1_misses
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Columnar (DSM) substrate for the `rowsort` workspace.
+//!
+//! Analytical query engines with a vectorized interpreted execution model
+//! (DuckDB, VectorWise) move data between operators as *data chunks*: small
+//! batches of column vectors, each [`VECTOR_SIZE`] rows long at most. This
+//! crate provides that representation:
+//!
+//! * [`LogicalType`] — the SQL-level type system supported by the workspace,
+//! * [`Value`] — a single (nullable) cell, used at API boundaries and in tests,
+//! * [`Validity`] — a bit mask tracking NULLs,
+//! * [`Vector`] — one column of values (the Decomposition Storage Model, DSM),
+//! * [`DataChunk`] — a batch of equal-length vectors,
+//! * [`SortSpec`]/[`OrderBy`] — ORDER BY semantics (ASC/DESC, NULLS FIRST/LAST).
+//!
+//! Everything downstream — row (NSM) conversion, normalized keys, the sort
+//! operator itself — is built on these types.
+
+pub mod chunk;
+pub mod sort;
+pub mod strings;
+pub mod types;
+pub mod validity;
+pub mod value;
+pub mod vector;
+
+pub use chunk::{DataChunk, VECTOR_SIZE};
+pub use sort::{NullOrder, OrderBy, OrderByColumn, SortOrder, SortSpec};
+pub use strings::StringVec;
+pub use types::LogicalType;
+pub use validity::Validity;
+pub use value::Value;
+pub use vector::{Vector, VectorData};
+
+/// Errors produced by the vector substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorError {
+    /// A value of one type was pushed into a vector of another type.
+    TypeMismatch {
+        /// Type of the vector.
+        expected: LogicalType,
+        /// Type of the offending value.
+        got: String,
+    },
+    /// Vectors within a chunk must share one length.
+    LengthMismatch {
+        /// Length of the first column.
+        expected: usize,
+        /// Length of the offending column.
+        got: usize,
+    },
+    /// Index past the end of a vector or chunk.
+    OutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Container length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for VectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VectorError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: vector holds {expected}, got {got}")
+            }
+            VectorError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            VectorError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VectorError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, VectorError>;

@@ -1,0 +1,252 @@
+//! ORDER BY semantics: sort direction, NULL placement, and reference
+//! comparators over boxed values.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Sort direction for one key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// `ASC` (the SQL default).
+    Ascending,
+    /// `DESC`.
+    Descending,
+}
+
+impl SortOrder {
+    /// Apply the direction to an ascending ordering.
+    pub fn apply(self, ord: Ordering) -> Ordering {
+        match self {
+            SortOrder::Ascending => ord,
+            SortOrder::Descending => ord.reverse(),
+        }
+    }
+}
+
+/// NULL placement for one key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NullOrder {
+    /// `NULLS FIRST`.
+    NullsFirst,
+    /// `NULLS LAST`.
+    NullsLast,
+}
+
+/// Direction + NULL placement for one key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SortSpec {
+    /// ASC / DESC.
+    pub order: SortOrder,
+    /// NULLS FIRST / LAST.
+    pub nulls: NullOrder,
+}
+
+impl SortSpec {
+    /// `ASC NULLS LAST` — DuckDB's (and this workspace's) default.
+    pub const ASC: SortSpec = SortSpec {
+        order: SortOrder::Ascending,
+        nulls: NullOrder::NullsLast,
+    };
+
+    /// `DESC NULLS LAST`.
+    pub const DESC: SortSpec = SortSpec {
+        order: SortOrder::Descending,
+        nulls: NullOrder::NullsLast,
+    };
+
+    /// Construct a spec.
+    pub const fn new(order: SortOrder, nulls: NullOrder) -> SortSpec {
+        SortSpec { order, nulls }
+    }
+
+    /// Compare two cells under this spec.
+    ///
+    /// NULL placement is *absolute*: `NULLS FIRST` puts NULLs first in the
+    /// output regardless of ASC/DESC, matching the SQL standard (and the
+    /// example query in the paper: `DESC NULLS LAST, ASC NULLS FIRST`).
+    pub fn compare_values(&self, a: &Value, b: &Value) -> Ordering {
+        match (a.is_null(), b.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => match self.nulls {
+                NullOrder::NullsFirst => Ordering::Less,
+                NullOrder::NullsLast => Ordering::Greater,
+            },
+            (false, true) => match self.nulls {
+                NullOrder::NullsFirst => Ordering::Greater,
+                NullOrder::NullsLast => Ordering::Less,
+            },
+            (false, false) => self.order.apply(a.compare_non_null(b)),
+        }
+    }
+}
+
+/// One ORDER BY item: which column, and how to sort it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderByColumn {
+    /// Index of the key column within the sorted relation.
+    pub column: usize,
+    /// Direction and NULL placement.
+    pub spec: SortSpec,
+}
+
+impl OrderByColumn {
+    /// `column ASC NULLS LAST`.
+    pub const fn asc(column: usize) -> OrderByColumn {
+        OrderByColumn {
+            column,
+            spec: SortSpec::ASC,
+        }
+    }
+
+    /// `column DESC NULLS LAST`.
+    pub const fn desc(column: usize) -> OrderByColumn {
+        OrderByColumn {
+            column,
+            spec: SortSpec::DESC,
+        }
+    }
+}
+
+/// A full ORDER BY clause: a lexicographic sequence of key columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderBy {
+    /// Key columns in priority order.
+    pub keys: Vec<OrderByColumn>,
+}
+
+impl OrderBy {
+    /// Build from a list of items.
+    pub fn new(keys: Vec<OrderByColumn>) -> OrderBy {
+        OrderBy { keys }
+    }
+
+    /// `col_0 ASC, col_1 ASC, …, col_{n-1} ASC` over the first `n` columns.
+    pub fn ascending(n: usize) -> OrderBy {
+        OrderBy {
+            keys: (0..n).map(OrderByColumn::asc).collect(),
+        }
+    }
+
+    /// Number of key columns.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` iff there are no key columns.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Compare two materialized rows lexicographically under this clause —
+    /// the reference ("ground truth") comparator used by the test suite and
+    /// the naive executor. Row slices index the *whole* relation; each key
+    /// picks its column.
+    pub fn compare_rows(&self, a: &[Value], b: &[Value]) -> Ordering {
+        for key in &self.keys {
+            let ord = key.spec.compare_values(&a[key.column], &b[key.column]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asc_desc_basic() {
+        let asc = SortSpec::ASC;
+        let desc = SortSpec::DESC;
+        assert_eq!(
+            asc.compare_values(&Value::Int32(1), &Value::Int32(2)),
+            Ordering::Less
+        );
+        assert_eq!(
+            desc.compare_values(&Value::Int32(1), &Value::Int32(2)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn null_placement_is_absolute() {
+        // NULLS FIRST puts NULL first even under DESC.
+        let spec = SortSpec::new(SortOrder::Descending, NullOrder::NullsFirst);
+        assert_eq!(
+            spec.compare_values(&Value::Null, &Value::Int32(5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            spec.compare_values(&Value::Int32(5), &Value::Null),
+            Ordering::Greater
+        );
+        assert_eq!(
+            spec.compare_values(&Value::Null, &Value::Null),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn nulls_last() {
+        let spec = SortSpec::ASC; // NULLS LAST
+        assert_eq!(
+            spec.compare_values(&Value::Null, &Value::Int32(5)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn paper_example_query_ordering() {
+        // ORDER BY c_birth_country DESC NULLS LAST, c_birth_year ASC NULLS FIRST
+        let ob = OrderBy::new(vec![
+            OrderByColumn {
+                column: 0,
+                spec: SortSpec::new(SortOrder::Descending, NullOrder::NullsLast),
+            },
+            OrderByColumn {
+                column: 1,
+                spec: SortSpec::new(SortOrder::Ascending, NullOrder::NullsFirst),
+            },
+        ]);
+        let nl_1990 = vec![Value::from("NETHERLANDS"), Value::Int32(1990)];
+        let de_1990 = vec![Value::from("GERMANY"), Value::Int32(1990)];
+        let de_null = vec![Value::from("GERMANY"), Value::Null];
+        let null_c = vec![Value::Null, Value::Int32(1980)];
+
+        // DESC on country: NETHERLANDS before GERMANY.
+        assert_eq!(ob.compare_rows(&nl_1990, &de_1990), Ordering::Less);
+        // NULL country goes last.
+        assert_eq!(ob.compare_rows(&de_1990, &null_c), Ordering::Less);
+        // Tie on country: NULL year first.
+        assert_eq!(ob.compare_rows(&de_null, &de_1990), Ordering::Less);
+    }
+
+    #[test]
+    fn lexicographic_tiebreak() {
+        let ob = OrderBy::ascending(2);
+        let a = vec![Value::UInt32(1), Value::UInt32(9)];
+        let b = vec![Value::UInt32(1), Value::UInt32(3)];
+        assert_eq!(ob.compare_rows(&a, &b), Ordering::Greater);
+        assert_eq!(ob.compare_rows(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn ascending_constructor() {
+        let ob = OrderBy::ascending(3);
+        assert_eq!(ob.len(), 3);
+        assert!(!ob.is_empty());
+        assert_eq!(ob.keys[2], OrderByColumn::asc(2));
+    }
+
+    #[test]
+    fn order_applies_to_strings() {
+        let spec = SortSpec::DESC;
+        assert_eq!(
+            spec.compare_values(&Value::from("GERMANY"), &Value::from("NETHERLANDS")),
+            Ordering::Greater
+        );
+    }
+}

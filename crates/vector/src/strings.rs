@@ -1,0 +1,168 @@
+//! Compact string column storage.
+
+/// A string column stored as a contiguous byte buffer plus offsets.
+///
+/// This is the usual columnar VARCHAR layout (Arrow-style): string `i` is
+/// `bytes[offsets[i] .. offsets[i + 1]]`. Compared to `Vec<String>` it does
+/// one large allocation instead of one per string, and reading neighbouring
+/// strings is sequential in memory — which matters for the paper's
+/// cache-behaviour arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StringVec {
+    offsets: Vec<u32>,
+    bytes: Vec<u8>,
+}
+
+impl StringVec {
+    /// An empty string column.
+    pub fn new() -> StringVec {
+        StringVec {
+            offsets: vec![0],
+            bytes: Vec::new(),
+        }
+    }
+
+    /// An empty column with room for `rows` strings of ~`avg_len` bytes.
+    pub fn with_capacity(rows: usize, avg_len: usize) -> StringVec {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        StringVec {
+            offsets,
+            bytes: Vec::with_capacity(rows * avg_len),
+        }
+    }
+
+    /// Number of strings stored.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` iff the column holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a string.
+    ///
+    /// # Panics
+    /// If total byte length would exceed `u32::MAX` (columns are chunked long
+    /// before that in practice).
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        let end = u32::try_from(self.bytes.len()).expect("string column exceeds 4 GiB");
+        self.offsets.push(end);
+    }
+
+    /// The string at `idx`.
+    ///
+    /// # Panics
+    /// If `idx >= len`.
+    pub fn get(&self, idx: usize) -> &str {
+        let start = self.offsets[idx] as usize;
+        let end = self.offsets[idx + 1] as usize;
+        // SAFETY-free: contents were pushed from &str, so always valid UTF-8.
+        std::str::from_utf8(&self.bytes[start..end]).expect("StringVec holds valid UTF-8")
+    }
+
+    /// The raw bytes of the string at `idx` (no UTF-8 revalidation).
+    pub fn get_bytes(&self, idx: usize) -> &[u8] {
+        let start = self.offsets[idx] as usize;
+        let end = self.offsets[idx + 1] as usize;
+        &self.bytes[start..end]
+    }
+
+    /// Byte length of the string at `idx`.
+    pub fn byte_len(&self, idx: usize) -> usize {
+        (self.offsets[idx + 1] - self.offsets[idx]) as usize
+    }
+
+    /// Iterate over all strings in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &str> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Total payload bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Maximum string byte length in the column (0 if empty). Used to pick
+    /// normalized-key prefix lengths from statistics, as DuckDB does.
+    pub fn max_len(&self) -> usize {
+        (0..self.len()).map(|i| self.byte_len(i)).max().unwrap_or(0)
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for StringVec {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> StringVec {
+        let mut v = StringVec::new();
+        for s in iter {
+            v.push(s.as_ref());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut v = StringVec::new();
+        v.push("GERMANY");
+        v.push("");
+        v.push("NETHERLANDS");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get(0), "GERMANY");
+        assert_eq!(v.get(1), "");
+        assert_eq!(v.get(2), "NETHERLANDS");
+        assert_eq!(v.byte_len(2), 11);
+        assert_eq!(v.total_bytes(), 7 + 11);
+    }
+
+    #[test]
+    fn empty_column() {
+        let v = StringVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.max_len(), 0);
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_iterator_and_iter_round_trip() {
+        let names = ["alice", "bob", "carol"];
+        let v: StringVec = names.iter().collect();
+        let back: Vec<&str> = v.iter().collect();
+        assert_eq!(back, names);
+    }
+
+    #[test]
+    fn get_bytes_matches_get() {
+        let v: StringVec = ["héllo", "wörld"].iter().collect();
+        assert_eq!(v.get_bytes(0), "héllo".as_bytes());
+        assert_eq!(v.get(1), "wörld");
+        assert_eq!(v.byte_len(0), "héllo".len());
+    }
+
+    #[test]
+    fn max_len() {
+        let v: StringVec = ["ab", "abcd", "a"].iter().collect();
+        assert_eq!(v.max_len(), 4);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut v = StringVec::with_capacity(10, 8);
+        v.push("x");
+        assert_eq!(v.get(0), "x");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let v = StringVec::new();
+        let _ = v.get(0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The logical (SQL-level) type system.
+
+use serde::{Deserialize, Serialize};
+
+/// SQL-level data types supported by the workspace.
+///
+/// The paper's micro-benchmarks use unsigned 32-bit integers, and its
+/// end-to-end benchmarks add signed integers, floats, and VARCHAR
+/// (TPC-DS `customer` names). We support the full fixed-width integer
+/// family plus floats, dates, timestamps, and variable-length strings so the
+/// row layout and normalized-key encodings are exercised across widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicalType {
+    /// `BOOLEAN`.
+    Boolean,
+    /// `TINYINT`, signed 8-bit.
+    Int8,
+    /// `SMALLINT`, signed 16-bit.
+    Int16,
+    /// `INTEGER`, signed 32-bit.
+    Int32,
+    /// `BIGINT`, signed 64-bit.
+    Int64,
+    /// Unsigned 8-bit.
+    UInt8,
+    /// Unsigned 16-bit.
+    UInt16,
+    /// Unsigned 32-bit (the paper's micro-benchmark key type).
+    UInt32,
+    /// Unsigned 64-bit.
+    UInt64,
+    /// `REAL`, IEEE-754 binary32.
+    Float32,
+    /// `DOUBLE`, IEEE-754 binary64.
+    Float64,
+    /// `DATE`, days since the UNIX epoch, signed 32-bit.
+    Date,
+    /// `TIMESTAMP`, microseconds since the UNIX epoch, signed 64-bit.
+    Timestamp,
+    /// `VARCHAR`, UTF-8 string of arbitrary length.
+    Varchar,
+}
+
+impl LogicalType {
+    /// Width in bytes of the in-memory fixed-size representation, or `None`
+    /// for variable-length types.
+    ///
+    /// This is the width of the value itself; NULL tracking is external
+    /// (a [`crate::Validity`] in DSM, a flag byte in the NSM row layout).
+    pub const fn fixed_width(self) -> Option<usize> {
+        match self {
+            LogicalType::Boolean | LogicalType::Int8 | LogicalType::UInt8 => Some(1),
+            LogicalType::Int16 | LogicalType::UInt16 => Some(2),
+            LogicalType::Int32 | LogicalType::UInt32 | LogicalType::Float32 | LogicalType::Date => {
+                Some(4)
+            }
+            LogicalType::Int64
+            | LogicalType::UInt64
+            | LogicalType::Float64
+            | LogicalType::Timestamp => Some(8),
+            LogicalType::Varchar => None,
+        }
+    }
+
+    /// Whether the type is stored inline at a fixed width.
+    pub const fn is_fixed_width(self) -> bool {
+        self.fixed_width().is_some()
+    }
+
+    /// Whether the type is numeric (integer or float).
+    pub const fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            LogicalType::Int8
+                | LogicalType::Int16
+                | LogicalType::Int32
+                | LogicalType::Int64
+                | LogicalType::UInt8
+                | LogicalType::UInt16
+                | LogicalType::UInt32
+                | LogicalType::UInt64
+                | LogicalType::Float32
+                | LogicalType::Float64
+        )
+    }
+
+    /// Whether the type is an integer (signed or unsigned).
+    pub const fn is_integer(self) -> bool {
+        self.is_numeric() && !matches!(self, LogicalType::Float32 | LogicalType::Float64)
+    }
+
+    /// The width of this type's normalized-key body in bytes, excluding the
+    /// leading NULL byte. Variable-length types contribute a prefix whose
+    /// length is chosen at plan time; `prefix_len` caps it.
+    pub const fn norm_key_body_width(self, prefix_len: usize) -> usize {
+        match self.fixed_width() {
+            Some(w) => w,
+            None => prefix_len,
+        }
+    }
+
+    /// Human-readable SQL-ish name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LogicalType::Boolean => "BOOLEAN",
+            LogicalType::Int8 => "TINYINT",
+            LogicalType::Int16 => "SMALLINT",
+            LogicalType::Int32 => "INTEGER",
+            LogicalType::Int64 => "BIGINT",
+            LogicalType::UInt8 => "UTINYINT",
+            LogicalType::UInt16 => "USMALLINT",
+            LogicalType::UInt32 => "UINTEGER",
+            LogicalType::UInt64 => "UBIGINT",
+            LogicalType::Float32 => "REAL",
+            LogicalType::Float64 => "DOUBLE",
+            LogicalType::Date => "DATE",
+            LogicalType::Timestamp => "TIMESTAMP",
+            LogicalType::Varchar => "VARCHAR",
+        }
+    }
+
+    /// Parse a SQL type name (case-insensitive). Returns `None` if unknown.
+    pub fn parse(name: &str) -> Option<LogicalType> {
+        let upper = name.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "BOOLEAN" | "BOOL" => LogicalType::Boolean,
+            "TINYINT" | "INT1" => LogicalType::Int8,
+            "SMALLINT" | "INT2" => LogicalType::Int16,
+            "INTEGER" | "INT" | "INT4" => LogicalType::Int32,
+            "BIGINT" | "INT8" => LogicalType::Int64,
+            "UTINYINT" => LogicalType::UInt8,
+            "USMALLINT" => LogicalType::UInt16,
+            "UINTEGER" | "UINT" => LogicalType::UInt32,
+            "UBIGINT" => LogicalType::UInt64,
+            "REAL" | "FLOAT4" | "FLOAT" => LogicalType::Float32,
+            "DOUBLE" | "FLOAT8" => LogicalType::Float64,
+            "DATE" => LogicalType::Date,
+            "TIMESTAMP" => LogicalType::Timestamp,
+            "VARCHAR" | "TEXT" | "STRING" => LogicalType::Varchar,
+            _ => return None,
+        })
+    }
+
+    /// All types, in a stable order. Useful for exhaustive tests.
+    pub const ALL: [LogicalType; 14] = [
+        LogicalType::Boolean,
+        LogicalType::Int8,
+        LogicalType::Int16,
+        LogicalType::Int32,
+        LogicalType::Int64,
+        LogicalType::UInt8,
+        LogicalType::UInt16,
+        LogicalType::UInt32,
+        LogicalType::UInt64,
+        LogicalType::Float32,
+        LogicalType::Float64,
+        LogicalType::Date,
+        LogicalType::Timestamp,
+        LogicalType::Varchar,
+    ];
+}
+
+impl std::fmt::Display for LogicalType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_widths_match_rust_types() {
+        assert_eq!(LogicalType::Boolean.fixed_width(), Some(1));
+        assert_eq!(LogicalType::Int8.fixed_width(), Some(1));
+        assert_eq!(LogicalType::Int16.fixed_width(), Some(2));
+        assert_eq!(LogicalType::Int32.fixed_width(), Some(4));
+        assert_eq!(LogicalType::Int64.fixed_width(), Some(8));
+        assert_eq!(LogicalType::UInt32.fixed_width(), Some(4));
+        assert_eq!(LogicalType::Float32.fixed_width(), Some(4));
+        assert_eq!(LogicalType::Float64.fixed_width(), Some(8));
+        assert_eq!(LogicalType::Date.fixed_width(), Some(4));
+        assert_eq!(LogicalType::Timestamp.fixed_width(), Some(8));
+        assert_eq!(LogicalType::Varchar.fixed_width(), None);
+    }
+
+    #[test]
+    fn varchar_is_variable_width() {
+        assert!(!LogicalType::Varchar.is_fixed_width());
+        assert!(!LogicalType::Varchar.is_numeric());
+        assert_eq!(LogicalType::Varchar.norm_key_body_width(12), 12);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(LogicalType::UInt32.is_integer());
+        assert!(LogicalType::Float64.is_numeric());
+        assert!(!LogicalType::Float64.is_integer());
+        assert!(!LogicalType::Boolean.is_numeric());
+        assert!(!LogicalType::Date.is_numeric());
+    }
+
+    #[test]
+    fn parse_round_trips_name() {
+        for ty in LogicalType::ALL {
+            assert_eq!(LogicalType::parse(ty.name()), Some(ty), "{ty}");
+            assert_eq!(
+                LogicalType::parse(&ty.name().to_lowercase()),
+                Some(ty),
+                "{ty} lowercase"
+            );
+        }
+        assert_eq!(LogicalType::parse("no_such_type"), None);
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(LogicalType::parse("int"), Some(LogicalType::Int32));
+        assert_eq!(LogicalType::parse("text"), Some(LogicalType::Varchar));
+        assert_eq!(LogicalType::parse("bool"), Some(LogicalType::Boolean));
+        assert_eq!(LogicalType::parse("float"), Some(LogicalType::Float32));
+    }
+
+    #[test]
+    fn norm_key_body_width_fixed_ignores_prefix() {
+        assert_eq!(LogicalType::Int64.norm_key_body_width(3), 8);
+        assert_eq!(LogicalType::UInt8.norm_key_body_width(99), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! NULL tracking via bit masks.
+
+/// A validity mask: one bit per row, set ⇔ the row's value is valid (not NULL).
+///
+/// The common all-valid case stores no bits at all, so scanning a column with
+/// no NULLs costs nothing. The mask lazily materializes 64-bit words on the
+/// first `set_invalid` call, mirroring how vectorized engines keep validity
+/// out of the hot path until NULLs actually appear.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Validity {
+    /// `None` ⇒ every row valid. `Some(words)` ⇒ bit i of word i/64 is row i.
+    words: Option<Vec<u64>>,
+    len: usize,
+}
+
+impl Validity {
+    /// An all-valid mask covering `len` rows.
+    pub fn new_valid(len: usize) -> Validity {
+        Validity { words: None, len }
+    }
+
+    /// An all-NULL mask covering `len` rows.
+    pub fn new_invalid(len: usize) -> Validity {
+        let mut v = Validity::new_valid(len);
+        for i in 0..len {
+            v.set_invalid(i);
+        }
+        v
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` iff no row is NULL (fast path: no mask materialized, or all
+    /// bits set).
+    pub fn all_valid(&self) -> bool {
+        match &self.words {
+            None => true,
+            Some(_) => self.count_invalid() == 0,
+        }
+    }
+
+    /// Whether row `idx` is valid.
+    ///
+    /// # Panics
+    /// If `idx >= len`.
+    pub fn is_valid(&self, idx: usize) -> bool {
+        assert!(
+            idx < self.len,
+            "validity index {idx} out of range {}",
+            self.len
+        );
+        match &self.words {
+            None => true,
+            Some(words) => words[idx / 64] & (1u64 << (idx % 64)) != 0,
+        }
+    }
+
+    /// Mark row `idx` NULL.
+    pub fn set_invalid(&mut self, idx: usize) {
+        assert!(
+            idx < self.len,
+            "validity index {idx} out of range {}",
+            self.len
+        );
+        let words = self.materialize();
+        words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Mark row `idx` valid.
+    pub fn set_valid(&mut self, idx: usize) {
+        assert!(
+            idx < self.len,
+            "validity index {idx} out of range {}",
+            self.len
+        );
+        if let Some(words) = &mut self.words {
+            words[idx / 64] |= 1u64 << (idx % 64);
+        }
+        // all-valid representation: nothing to do
+    }
+
+    /// Set row `idx` to `valid`.
+    pub fn set(&mut self, idx: usize, valid: bool) {
+        if valid {
+            self.set_valid(idx);
+        } else {
+            self.set_invalid(idx);
+        }
+    }
+
+    /// Append one row with the given validity.
+    pub fn push(&mut self, valid: bool) {
+        let idx = self.len;
+        self.len += 1;
+        if let Some(words) = &mut self.words {
+            if words.len() * 64 < self.len {
+                words.push(u64::MAX);
+            }
+            // New bit defaults to valid (word pushed as MAX); clear if needed.
+            if !valid {
+                words[idx / 64] &= !(1u64 << (idx % 64));
+            }
+        } else if !valid {
+            self.materialize();
+            self.set_invalid(idx);
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn count_invalid(&self) -> usize {
+        match &self.words {
+            None => 0,
+            Some(words) => {
+                let mut nulls = 0usize;
+                for (w, word) in words.iter().enumerate() {
+                    let bits_in_word = if (w + 1) * 64 <= self.len {
+                        64
+                    } else {
+                        self.len - w * 64
+                    };
+                    let mask = if bits_in_word == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << bits_in_word) - 1
+                    };
+                    nulls += (!word & mask).count_ones() as usize;
+                }
+                nulls
+            }
+        }
+    }
+
+    /// Number of valid (non-NULL) rows.
+    pub fn count_valid(&self) -> usize {
+        self.len - self.count_invalid()
+    }
+
+    /// Copy out the sub-mask covering rows `start..end`.
+    pub fn slice(&self, start: usize, end: usize) -> Validity {
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} of {}",
+            self.len
+        );
+        match &self.words {
+            None => Validity::new_valid(end - start),
+            Some(_) => {
+                let mut out = Validity::new_valid(0);
+                for i in start..end {
+                    out.push(self.is_valid(i));
+                }
+                out
+            }
+        }
+    }
+
+    fn materialize(&mut self) -> &mut Vec<u64> {
+        if self.words.is_none() {
+            self.words = Some(vec![u64::MAX; self.len.div_ceil(64).max(1)]);
+        }
+        self.words.as_mut().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_valid_is_lazy() {
+        let v = Validity::new_valid(1000);
+        assert!(v.all_valid());
+        assert_eq!(v.count_invalid(), 0);
+        assert_eq!(v.count_valid(), 1000);
+        assert!(v.is_valid(0));
+        assert!(v.is_valid(999));
+    }
+
+    #[test]
+    fn set_and_query() {
+        let mut v = Validity::new_valid(130);
+        v.set_invalid(0);
+        v.set_invalid(64);
+        v.set_invalid(129);
+        assert!(!v.is_valid(0));
+        assert!(v.is_valid(1));
+        assert!(!v.is_valid(64));
+        assert!(!v.is_valid(129));
+        assert_eq!(v.count_invalid(), 3);
+        assert!(!v.all_valid());
+        v.set_valid(64);
+        assert!(v.is_valid(64));
+        assert_eq!(v.count_invalid(), 2);
+    }
+
+    #[test]
+    fn set_valid_on_lazy_mask_is_noop() {
+        let mut v = Validity::new_valid(10);
+        v.set_valid(3);
+        assert!(v.all_valid());
+    }
+
+    #[test]
+    fn all_invalid() {
+        let v = Validity::new_invalid(70);
+        assert_eq!(v.count_invalid(), 70);
+        assert_eq!(v.count_valid(), 0);
+        for i in 0..70 {
+            assert!(!v.is_valid(i));
+        }
+    }
+
+    #[test]
+    fn push_grows_mask() {
+        let mut v = Validity::new_valid(0);
+        for i in 0..200 {
+            v.push(i % 3 != 0);
+        }
+        assert_eq!(v.len(), 200);
+        for i in 0..200 {
+            assert_eq!(v.is_valid(i), i % 3 != 0, "row {i}");
+        }
+        // ceil(200/3) = 67 NULLs
+        assert_eq!(v.count_invalid(), 67);
+    }
+
+    #[test]
+    fn push_all_valid_stays_lazy() {
+        let mut v = Validity::new_valid(0);
+        for _ in 0..100 {
+            v.push(true);
+        }
+        assert!(v.all_valid());
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn count_handles_partial_last_word() {
+        // 65 rows: 2 words, the second with only 1 live bit.
+        let mut v = Validity::new_valid(65);
+        v.set_invalid(64);
+        assert_eq!(v.count_invalid(), 1);
+        v.set_valid(64);
+        assert_eq!(v.count_invalid(), 0);
+        assert!(v.all_valid(), "all bits restored counts as all_valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let v = Validity::new_valid(5);
+        let _ = v.is_valid(5);
+    }
+
+    #[test]
+    fn set_converts_between_states() {
+        let mut v = Validity::new_valid(8);
+        v.set(2, false);
+        assert!(!v.is_valid(2));
+        v.set(2, true);
+        assert!(v.is_valid(2));
+    }
+
+    #[test]
+    fn empty_mask() {
+        let v = Validity::new_valid(0);
+        assert!(v.is_empty());
+        assert!(v.all_valid());
+        assert_eq!(v.count_valid(), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! A single, nullable cell value.
+
+use crate::types::LogicalType;
+use std::cmp::Ordering;
+
+/// One cell of relational data.
+///
+/// `Value` is the slow, boxed representation used at API boundaries, in the
+/// reference query executor, and throughout the test suite as ground truth.
+/// Hot paths never materialize `Value`s; they operate on [`crate::Vector`]
+/// storage or on NSM rows directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL (untyped; the containing vector carries the type).
+    Null,
+    /// BOOLEAN.
+    Boolean(bool),
+    /// TINYINT.
+    Int8(i8),
+    /// SMALLINT.
+    Int16(i16),
+    /// INTEGER.
+    Int32(i32),
+    /// BIGINT.
+    Int64(i64),
+    /// UTINYINT.
+    UInt8(u8),
+    /// USMALLINT.
+    UInt16(u16),
+    /// UINTEGER.
+    UInt32(u32),
+    /// UBIGINT.
+    UInt64(u64),
+    /// REAL.
+    Float32(f32),
+    /// DOUBLE.
+    Float64(f64),
+    /// DATE (days since epoch).
+    Date(i32),
+    /// TIMESTAMP (microseconds since epoch).
+    Timestamp(i64),
+    /// VARCHAR.
+    Varchar(String),
+}
+
+impl Value {
+    /// `true` iff this is SQL NULL.
+    pub const fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The logical type of this value, or `None` for NULL (which is untyped).
+    pub fn logical_type(&self) -> Option<LogicalType> {
+        Some(match self {
+            Value::Null => return None,
+            Value::Boolean(_) => LogicalType::Boolean,
+            Value::Int8(_) => LogicalType::Int8,
+            Value::Int16(_) => LogicalType::Int16,
+            Value::Int32(_) => LogicalType::Int32,
+            Value::Int64(_) => LogicalType::Int64,
+            Value::UInt8(_) => LogicalType::UInt8,
+            Value::UInt16(_) => LogicalType::UInt16,
+            Value::UInt32(_) => LogicalType::UInt32,
+            Value::UInt64(_) => LogicalType::UInt64,
+            Value::Float32(_) => LogicalType::Float32,
+            Value::Float64(_) => LogicalType::Float64,
+            Value::Date(_) => LogicalType::Date,
+            Value::Timestamp(_) => LogicalType::Timestamp,
+            Value::Varchar(_) => LogicalType::Varchar,
+        })
+    }
+
+    /// Compare two non-NULL values of the same type.
+    ///
+    /// Floats use IEEE-754 `total_cmp`, matching the total order that
+    /// normalized-key encoding produces (NaN sorts above +inf). Comparing
+    /// NULLs or mismatched types is a logic error and panics; NULL ordering
+    /// is a property of the ORDER BY clause, handled by
+    /// [`crate::SortSpec::compare_values`].
+    pub fn compare_non_null(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Boolean(a), Value::Boolean(b)) => a.cmp(b),
+            (Value::Int8(a), Value::Int8(b)) => a.cmp(b),
+            (Value::Int16(a), Value::Int16(b)) => a.cmp(b),
+            (Value::Int32(a), Value::Int32(b)) => a.cmp(b),
+            (Value::Int64(a), Value::Int64(b)) => a.cmp(b),
+            (Value::UInt8(a), Value::UInt8(b)) => a.cmp(b),
+            (Value::UInt16(a), Value::UInt16(b)) => a.cmp(b),
+            (Value::UInt32(a), Value::UInt32(b)) => a.cmp(b),
+            (Value::UInt64(a), Value::UInt64(b)) => a.cmp(b),
+            (Value::Float32(a), Value::Float32(b)) => a.total_cmp(b),
+            (Value::Float64(a), Value::Float64(b)) => a.total_cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (Value::Timestamp(a), Value::Timestamp(b)) => a.cmp(b),
+            (Value::Varchar(a), Value::Varchar(b)) => a.as_bytes().cmp(b.as_bytes()),
+            (a, b) => panic!("compare_non_null on incompatible values {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Extract an `i64` from any integer-like value. `None` for other types.
+    pub fn as_i64(&self) -> Option<i64> {
+        Some(match self {
+            Value::Int8(v) => *v as i64,
+            Value::Int16(v) => *v as i64,
+            Value::Int32(v) => *v as i64,
+            Value::Int64(v) => *v,
+            Value::UInt8(v) => *v as i64,
+            Value::UInt16(v) => *v as i64,
+            Value::UInt32(v) => *v as i64,
+            Value::UInt64(v) => i64::try_from(*v).ok()?,
+            Value::Date(v) => *v as i64,
+            Value::Timestamp(v) => *v,
+            _ => return None,
+        })
+    }
+
+    /// Extract an `f64` from any numeric value. `None` for other types.
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self {
+            Value::Float32(v) => *v as f64,
+            Value::Float64(v) => *v,
+            other => other.as_i64()? as f64,
+        })
+    }
+
+    /// Extract a string slice from a VARCHAR value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Boolean(v) => write!(f, "{v}"),
+            Value::Int8(v) => write!(f, "{v}"),
+            Value::Int16(v) => write!(f, "{v}"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::UInt8(v) => write!(f, "{v}"),
+            Value::UInt16(v) => write!(f, "{v}"),
+            Value::UInt32(v) => write!(f, "{v}"),
+            Value::UInt64(v) => write!(f, "{v}"),
+            Value::Float32(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "date({v})"),
+            Value::Timestamp(v) => write!(f, "ts({v})"),
+            Value::Varchar(v) => write!(f, "'{v}'"),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($rust:ty => $variant:ident) => {
+        impl From<$rust> for Value {
+            fn from(v: $rust) -> Value {
+                Value::$variant(v)
+            }
+        }
+    };
+}
+
+impl_from!(bool => Boolean);
+impl_from!(i8 => Int8);
+impl_from!(i16 => Int16);
+impl_from!(i32 => Int32);
+impl_from!(i64 => Int64);
+impl_from!(u8 => UInt8);
+impl_from!(u16 => UInt16);
+impl_from!(u32 => UInt32);
+impl_from!(u64 => UInt64);
+impl_from!(f32 => Float32);
+impl_from!(f64 => Float64);
+impl_from!(String => Varchar);
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Varchar(v.to_owned())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_properties() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.logical_type(), None);
+        assert!(!Value::Int32(0).is_null());
+    }
+
+    #[test]
+    fn logical_types() {
+        assert_eq!(Value::UInt32(7).logical_type(), Some(LogicalType::UInt32));
+        assert_eq!(
+            Value::Varchar("x".into()).logical_type(),
+            Some(LogicalType::Varchar)
+        );
+        assert_eq!(Value::Date(1).logical_type(), Some(LogicalType::Date));
+    }
+
+    #[test]
+    fn integer_comparisons() {
+        assert_eq!(
+            Value::Int32(-5).compare_non_null(&Value::Int32(3)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::UInt64(10).compare_non_null(&Value::UInt64(10)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn float_total_order() {
+        // total_cmp: -NaN < -inf < ... < +inf < +NaN
+        assert_eq!(
+            Value::Float64(f64::NEG_INFINITY).compare_non_null(&Value::Float64(-1.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float64(f64::NAN).compare_non_null(&Value::Float64(f64::INFINITY)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float32(-0.0).compare_non_null(&Value::Float32(0.0)),
+            Ordering::Less,
+            "total order distinguishes -0.0 from +0.0"
+        );
+    }
+
+    #[test]
+    fn string_comparison_is_bytewise() {
+        assert_eq!(
+            Value::from("GERMANY").compare_non_null(&Value::from("NETHERLANDS")),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::from("abc").compare_non_null(&Value::from("ab")),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn mismatched_types_panic() {
+        let _ = Value::Int32(1).compare_non_null(&Value::Int64(1));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3u32), Value::UInt32(3));
+        assert_eq!(Value::from(Some(3i64)), Value::Int64(3));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from("hi"), Value::Varchar("hi".into()));
+    }
+
+    #[test]
+    fn numeric_extraction() {
+        assert_eq!(Value::Int16(-4).as_i64(), Some(-4));
+        assert_eq!(Value::UInt64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::Float32(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::from("s").as_f64(), None);
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::Int32(1).as_str(), None);
+    }
+}

@@ -1,0 +1,85 @@
+//! Drive the CPU simulation directly: reproduce the paper's Table II/III
+//! counter comparison at a chosen size and watch *why* rows win.
+//!
+//! Run with `cargo run --release --example cpu_sim [log2_rows]`.
+
+use rowsort::datagen::{key_columns, KeyDistribution};
+use rowsort::simcpu::trace::{ColumnarTrace, RowTrace};
+use rowsort::simcpu::SimCpu;
+
+fn main() {
+    let pow: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(15);
+    let n = 1usize << pow;
+    let ncols = 4;
+    println!(
+        "simulating introsort over 2^{pow} rows x {ncols} u32 key columns, Correlated0.5\n\
+         (L1-D: 32 KiB, 64 B lines, 8-way LRU; gshare branch predictor)\n"
+    );
+    let cols = key_columns(KeyDistribution::Correlated(0.5), n, ncols, 7);
+
+    let report = |label: &str, counters: rowsort::simcpu::Counters| {
+        println!(
+            "{label:<28} l1 accesses {:>12}  l1 misses {:>10}  branches {:>11}  br misses {:>9}",
+            counters.l1_accesses, counters.l1_misses, counters.branches, counters.branch_misses
+        );
+    };
+
+    // Columnar: the comparator does random access into every column.
+    let mut cpu = SimCpu::new();
+    let mut t = ColumnarTrace::new(&mut cpu, cols.clone());
+    t.sort_tuple_at_a_time(&mut cpu);
+    assert!(t.is_sorted());
+    let col_tuple = cpu.counters();
+    report("columnar tuple-at-a-time", col_tuple);
+
+    let mut cpu = SimCpu::new();
+    let mut t = ColumnarTrace::new(&mut cpu, cols.clone());
+    t.sort_subsort(&mut cpu);
+    assert!(t.is_sorted());
+    report("columnar subsort", cpu.counters());
+
+    // Rows: values of one tuple share a cache line; rows move physically.
+    let mut cpu = SimCpu::new();
+    let mut t = RowTrace::new(&mut cpu, &cols);
+    t.sort_tuple_at_a_time(&mut cpu);
+    assert!(t.is_sorted());
+    let row_tuple = cpu.counters();
+    report("row tuple-at-a-time", row_tuple);
+
+    let mut cpu = SimCpu::new();
+    let mut t = RowTrace::new(&mut cpu, &cols);
+    t.sort_subsort(&mut cpu);
+    assert!(t.is_sorted());
+    report("row subsort", cpu.counters());
+
+    println!(
+        "\nthe paper's Table II vs III claim, reproduced: the row format takes {:.1}x \
+         fewer L1 misses than columnar for the same comparisons ({} vs {}).",
+        col_tuple.l1_misses as f64 / row_tuple.l1_misses.max(1) as f64,
+        row_tuple.l1_misses,
+        col_tuple.l1_misses,
+    );
+
+    // With a streaming prefetcher modeled, sequential row access gets even
+    // cheaper while the columnar comparator's random access stays cold —
+    // the gap widens.
+    use rowsort::simcpu::CacheConfig;
+    let mut cpu = rowsort::simcpu::SimCpu::with_cache(CacheConfig::L1D_PREFETCH);
+    let mut t = ColumnarTrace::new(&mut cpu, cols.clone());
+    t.sort_tuple_at_a_time(&mut cpu);
+    let col_pf = cpu.counters();
+    let mut cpu = rowsort::simcpu::SimCpu::with_cache(CacheConfig::L1D_PREFETCH);
+    let mut t = RowTrace::new(&mut cpu, &cols);
+    t.sort_tuple_at_a_time(&mut cpu);
+    let row_pf = cpu.counters();
+    println!(
+        "with a next-line prefetcher: {:.1}x ({} vs {}) — hardware prefetching \
+         amplifies the row format's sequential-access advantage.",
+        col_pf.l1_misses as f64 / row_pf.l1_misses.max(1) as f64,
+        row_pf.l1_misses,
+        col_pf.l1_misses,
+    );
+}

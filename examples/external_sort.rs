@@ -1,0 +1,59 @@
+//! Graceful degradation under memory pressure — the paper's §IX future
+//! work, demonstrated: the external sorter spills sorted runs to disk and
+//! stream-merges them, so shrinking the memory budget costs a constant
+//! factor instead of failing the query.
+//!
+//! Run with `cargo run --release --example external_sort [rows]`.
+
+use rowsort::core::external::{ExternalSortOptions, ExternalSorter};
+use rowsort::core::pipeline::{SortOptions, SortPipeline};
+use rowsort::datagen::shuffled_integers;
+use rowsort::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000_000);
+    println!("sorting {n} shuffled integers under shrinking memory budgets\n");
+    let chunk = DataChunk::from_columns(vec![Vector::from_i32s(shuffled_integers(n, 42))]).unwrap();
+    let order = OrderBy::ascending(1);
+
+    // Baseline: the fully in-memory pipeline.
+    let start = Instant::now();
+    let reference =
+        SortPipeline::new(chunk.types(), order.clone(), SortOptions::default()).sort(&chunk);
+    let base = start.elapsed().as_secs_f64();
+    println!("{:<28} {:>9.3}s  (baseline)", "in-memory pipeline", base);
+
+    for denom in [1usize, 2, 4, 8, 16] {
+        let budget = (n / denom).max(1);
+        let sorter = ExternalSorter::new(
+            chunk.types(),
+            order.clone(),
+            ExternalSortOptions {
+                memory_limit_rows: budget,
+                spill_dir: None,
+            },
+        );
+        let start = Instant::now();
+        let sorted = sorter.sort(&chunk).expect("external sort");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(sorted.len(), reference.len());
+        assert_eq!(sorted.row(0), reference.row(0));
+        assert_eq!(sorted.row(n - 1), reference.row(n - 1));
+        println!(
+            "{:<28} {:>9.3}s  ({:.2}x baseline, {} spilled runs)",
+            format!("external, budget 1/{denom}"),
+            secs,
+            secs / base,
+            n.div_ceil(budget),
+        );
+    }
+
+    println!(
+        "\nthe query always completes; the slowdown stays a small constant factor \
+         instead of the cliff (or failure) the paper's §IX warns about."
+    );
+}

@@ -1,0 +1,69 @@
+//! Sort-merge join — the paper's §V-B example of an operator that consumes
+//! *sorted* data and therefore needs full-tuple comparisons on every step.
+//!
+//! Joins a catalog_sales-like fact table to its warehouse dimension through
+//! the SQL layer, with the underlying sorts executed by each system
+//! profile in turn.
+//!
+//! Run with `cargo run --release --example merge_join`.
+
+use rowsort::core::systems::SystemProfile;
+use rowsort::datagen::tpcds;
+use rowsort::engine::{Engine, Table};
+use rowsort::vector::Value;
+use std::time::Instant;
+
+fn register(engine: &mut Engine, t: &tpcds::NamedTable) {
+    engine.register_table(Table::new(
+        t.name.clone(),
+        t.columns.iter().map(|(n, _)| n.clone()).collect(),
+        t.data.clone(),
+    ));
+}
+
+fn main() {
+    let n = 200_000;
+    let sf = 10.0;
+    let cs = tpcds::catalog_sales(n, sf, 11);
+    let w = tpcds::warehouse(sf, 11);
+    println!(
+        "joining catalog_sales ({} rows) to warehouse ({} rows) on cs_warehouse_sk\n",
+        cs.data.len(),
+        w.data.len()
+    );
+
+    let sql = "SELECT count(*) FROM (\
+                 SELECT cs_item_sk FROM catalog_sales JOIN warehouse \
+                 ON cs_warehouse_sk = w_warehouse_sk \
+                 ORDER BY w_warehouse_name OFFSET 1) t";
+    println!("query:\n  {sql}\n");
+
+    let mut expected = None;
+    println!("{:<32} {:>10}  {:>8}", "system profile", "time", "count");
+    for profile in SystemProfile::ALL {
+        let mut engine = Engine::new();
+        engine.options_mut().profile = profile;
+        register(&mut engine, &cs);
+        register(&mut engine, &w);
+        let start = Instant::now();
+        let result = engine.query(sql).expect("join query runs");
+        let secs = start.elapsed().as_secs_f64();
+        let count = match &result.row(0)[0] {
+            Value::Int64(c) => *c,
+            other => panic!("unexpected {other:?}"),
+        };
+        println!("{:<32} {:>9.3}s  {:>8}", profile.label(), secs, count);
+        match expected {
+            None => expected = Some(count),
+            Some(e) => assert_eq!(count, e, "profiles must agree"),
+        }
+    }
+
+    println!(
+        "\nNULL warehouse keys drop out of the join (~3% of rows), so the count \
+         is slightly below {n}. Both join inputs were sorted by the configured \
+         profile; the merge then compared the key on every step — the access \
+         pattern that makes the paper prefer one memcmp-able normalized key \
+         over per-column interpreted comparators."
+    );
+}

@@ -1,0 +1,97 @@
+//! An interactive mini SQL shell over the TPC-DS-like tables.
+//!
+//! Run with `cargo run --release --example sql_shell`, then type queries:
+//!
+//! ```sql
+//! SELECT c_customer_sk FROM customer ORDER BY c_last_name, c_first_name LIMIT 10;
+//! SELECT count(*) FROM (SELECT cs_item_sk FROM catalog_sales ORDER BY cs_quantity OFFSET 1) t;
+//! .profile columnar-1t     -- switch the sort operator's system profile
+//! .explain SELECT ...      -- show the optimized plan
+//! .quit
+//! ```
+
+use rowsort::core::systems::SystemProfile;
+use rowsort::datagen::tpcds;
+use rowsort::engine::{plan, sql, Engine, Table};
+use std::io::{BufRead, Write};
+
+fn register(engine: &mut Engine, t: &tpcds::NamedTable) {
+    engine.register_table(Table::new(
+        t.name.clone(),
+        t.columns.iter().map(|(n, _)| n.clone()).collect(),
+        t.data.clone(),
+    ));
+}
+
+fn main() {
+    let mut engine = Engine::new();
+    register(&mut engine, &tpcds::catalog_sales(50_000, 10.0, 1));
+    register(&mut engine, &tpcds::customer(50_000, 2));
+    println!(
+        "rowsort shell — tables: catalog_sales (50k rows), customer (50k rows)\n\
+         commands: .profile <name>, .explain <query>, .quit"
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("rowsort> ");
+        out.flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ".quit" || line == ".exit" {
+            break;
+        }
+        if let Some(name) = line.strip_prefix(".profile") {
+            let name = name.trim();
+            let profile = SystemProfile::ALL
+                .iter()
+                .find(|p| p.label().starts_with(name));
+            match profile {
+                Some(p) => {
+                    engine.options_mut().profile = *p;
+                    println!("sort operator now runs as {}", p.label());
+                }
+                None => {
+                    println!("unknown profile; options:");
+                    for p in SystemProfile::ALL {
+                        println!("  {}", p.label());
+                    }
+                }
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(".explain") {
+            match sql::parse(q.trim()) {
+                Ok(ast) => match plan::build(&ast, engine.catalog()) {
+                    Ok(p) => print!("{}", plan::optimize(p).explain()),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let start = std::time::Instant::now();
+        match engine.query(line) {
+            Ok(result) => {
+                let elapsed = start.elapsed();
+                let show = result.len().min(20);
+                for i in 0..show {
+                    let cells: Vec<String> = result.row(i).iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                if result.len() > show {
+                    println!("… ({} rows total)", result.len());
+                }
+                println!("({} rows in {:.3}s)", result.len(), elapsed.as_secs_f64());
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

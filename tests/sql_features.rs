@@ -1,0 +1,133 @@
+//! Integration tests for the engine features beyond the benchmark query:
+//! sort-merge joins, window functions, CSV loading — exercised through the
+//! facade crate and across system profiles.
+
+use rowsort::core::systems::SystemProfile;
+use rowsort::datagen::tpcds;
+use rowsort::engine::{csv, Engine, Table};
+use rowsort::prelude::*;
+
+fn register(engine: &mut Engine, t: &tpcds::NamedTable) {
+    engine.register_table(Table::new(
+        t.name.clone(),
+        t.columns.iter().map(|(n, _)| n.clone()).collect(),
+        t.data.clone(),
+    ));
+}
+
+#[test]
+fn join_counts_agree_across_profiles() {
+    let cs = tpcds::catalog_sales(5_000, 10.0, 3);
+    let w = tpcds::warehouse(10.0, 3);
+    let sql = "SELECT count(*) FROM (\
+               SELECT cs_item_sk FROM catalog_sales JOIN warehouse \
+               ON cs_warehouse_sk = w_warehouse_sk ORDER BY w_warehouse_name OFFSET 1) t";
+    let mut counts = Vec::new();
+    for p in SystemProfile::ALL {
+        let mut e = Engine::new();
+        e.options_mut().profile = p;
+        register(&mut e, &cs);
+        register(&mut e, &w);
+        counts.push(e.query(sql).unwrap().row(0)[0].clone());
+    }
+    for c in &counts[1..] {
+        assert_eq!(c, &counts[0]);
+    }
+    // NULL FKs (~3%) drop out; everything else matches a warehouse.
+    if let Value::Int64(c) = counts[0] {
+        assert!(c > 4_500 && c < 5_000, "count {c}");
+    } else {
+        panic!("expected a count");
+    }
+}
+
+#[test]
+fn join_count_equals_non_null_fk_count() {
+    let cs = tpcds::catalog_sales(3_000, 10.0, 9);
+    let w = tpcds::warehouse(10.0, 9);
+    let mut e = Engine::new();
+    register(&mut e, &cs);
+    register(&mut e, &w);
+    let joined = e
+        .query(
+            "SELECT count(*) FROM (SELECT cs_item_sk FROM catalog_sales JOIN warehouse \
+             ON cs_warehouse_sk = w_warehouse_sk ORDER BY cs_item_sk OFFSET 1) t",
+        )
+        .unwrap();
+    let non_null = e
+        .query("SELECT count(*) FROM catalog_sales WHERE cs_warehouse_sk IS NOT NULL")
+        .unwrap();
+    // Warehouse sks are unique, so join multiplicity is exactly 1.
+    let (Value::Int64(j), Value::Int64(n)) = (&joined.row(0)[0], &non_null.row(0)[0]) else {
+        panic!("expected counts");
+    };
+    assert_eq!(*j, *n - 1, "join count (minus the OFFSET row) = non-NULL FKs");
+}
+
+#[test]
+fn window_row_number_is_dense_and_ordered() {
+    let cust = tpcds::customer(2_000, 5);
+    let mut e = Engine::new();
+    register(&mut e, &cust);
+    let r = e
+        .query(
+            "SELECT c_customer_sk, row_number() OVER (ORDER BY c_last_name, c_first_name, \
+             c_customer_sk) FROM customer ORDER BY row_number",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 2_000);
+    for i in 0..r.len() {
+        assert_eq!(r.row(i)[1], Value::Int64(i as i64 + 1), "dense numbering");
+    }
+    // The row numbered 1 must hold the lexicographically first name pair.
+    let first_sk = r.row(0)[0].clone();
+    let by_name = e
+        .query(
+            "SELECT c_customer_sk FROM customer \
+             ORDER BY c_last_name, c_first_name, c_customer_sk LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(first_sk, by_name.row(0)[0]);
+}
+
+#[test]
+fn csv_export_import_preserves_query_results() {
+    let cust = tpcds::customer(500, 8);
+    let mut e = Engine::new();
+    register(&mut e, &cust);
+    let table = e.catalog().get("customer").unwrap().clone();
+    let mut buf = Vec::new();
+    csv::write_csv(&table, &mut buf).unwrap();
+    let reloaded = csv::read_csv("customer2", &table.types(), buf.as_slice()).unwrap();
+    let mut e2 = Engine::new();
+    e2.register_table(reloaded);
+
+    let q1 = e
+        .query("SELECT c_customer_sk FROM customer ORDER BY c_last_name, c_customer_sk")
+        .unwrap();
+    let q2 = e2
+        .query("SELECT c_customer_sk FROM customer2 ORDER BY c_last_name, c_customer_sk")
+        .unwrap();
+    assert_eq!(q1.to_rows(), q2.to_rows());
+}
+
+#[test]
+fn window_over_join() {
+    // Compose the two new operators: number joined rows by warehouse name.
+    let cs = tpcds::catalog_sales(1_000, 10.0, 4);
+    let w = tpcds::warehouse(10.0, 4);
+    let mut e = Engine::new();
+    register(&mut e, &cs);
+    register(&mut e, &w);
+    let r = e
+        .query(
+            "SELECT cs_item_sk, row_number() OVER (ORDER BY w_warehouse_name, cs_item_sk) \
+             FROM catalog_sales JOIN warehouse ON cs_warehouse_sk = w_warehouse_sk \
+             ORDER BY row_number LIMIT 10",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 10);
+    for i in 0..10 {
+        assert_eq!(r.row(i)[1], Value::Int64(i as i64 + 1));
+    }
+}
