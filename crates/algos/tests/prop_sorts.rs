@@ -1,7 +1,6 @@
 //! Property tests: every sorting algorithm in the crate agrees with the
 //! standard library sort and produces a permutation of its input.
 
-use proptest::prelude::*;
 use rowsort_algos::heapsort::{heapsort, heapsort_rows};
 use rowsort_algos::insertion::{insertion_sort, insertion_sort_rows};
 use rowsort_algos::introsort::{introsort, introsort_rows};
@@ -11,6 +10,8 @@ use rowsort_algos::mergesort::{merge_sort, merge_sort_rows};
 use rowsort_algos::pdqsort::{pdqsort, pdqsort_rows};
 use rowsort_algos::radix::{lsd_radix_sort_rows, msd_radix_sort_rows, radix_sort_rows};
 use rowsort_algos::rows::RowsMut;
+use rowsort_testkit::prop::{f64_in, full, one_of, vec_of, BoxedGen, GenExt};
+use rowsort_testkit::{prop, prop_assert, prop_assert_eq};
 
 fn expect_sorted(input: &[u32]) -> Vec<u32> {
     let mut e = input.to_vec();
@@ -18,21 +19,26 @@ fn expect_sorted(input: &[u32]) -> Vec<u32> {
     e
 }
 
-/// Input strategy covering random, low-cardinality, sorted, and reversed.
-fn input_strategy() -> impl Strategy<Value = Vec<u32>> {
-    prop_oneof![
-        prop::collection::vec(any::<u32>(), 0..400),
-        prop::collection::vec(0u32..4, 0..400),
-        prop::collection::vec(any::<u32>(), 0..400).prop_map(|mut v| {
-            v.sort_unstable();
-            v
-        }),
-        prop::collection::vec(any::<u32>(), 0..400).prop_map(|mut v| {
-            v.sort_unstable();
-            v.reverse();
-            v
-        }),
-    ]
+/// Input generator covering random, low-cardinality, sorted, and reversed.
+fn input_gen() -> BoxedGen<Vec<u32>> {
+    one_of(vec![
+        vec_of(full::<u32>(), 0..400).boxed(),
+        vec_of(0u32..4, 0..400).boxed(),
+        vec_of(full::<u32>(), 0..400)
+            .prop_map(|mut v| {
+                v.sort_unstable();
+                v
+            })
+            .boxed(),
+        vec_of(full::<u32>(), 0..400)
+            .prop_map(|mut v| {
+                v.sort_unstable();
+                v.reverse();
+                v
+            })
+            .boxed(),
+    ])
+    .boxed()
 }
 
 fn rows_from_keys(keys: &[u32], width: usize) -> Vec<u8> {
@@ -52,11 +58,10 @@ fn keys_from_rows(data: &[u8], width: usize) -> Vec<u32> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+prop! {
+    #![cases(128)]
 
-    #[test]
-    fn typed_sorts_agree_with_std(v in input_strategy()) {
+    fn typed_sorts_agree_with_std(v in input_gen()) {
         let expected = expect_sorted(&v);
         for (name, f) in [
             ("insertion", insertion_sort::<u32, _> as fn(&mut [u32], &mut _)),
@@ -75,8 +80,7 @@ proptest! {
         prop_assert_eq!(&got, &expected, "pdqsort diverged");
     }
 
-    #[test]
-    fn row_sorts_agree_with_std(v in input_strategy(), extra in 0usize..12) {
+    fn row_sorts_agree_with_std(v in input_gen(), extra in 0usize..12) {
         let width = 4 + extra.max(0);
         let expected = expect_sorted(&v);
         macro_rules! check_row_sort {
@@ -101,8 +105,7 @@ proptest! {
         check_row_sort!("pdqsort_rows", pdqsort_rows);
     }
 
-    #[test]
-    fn radix_sorts_agree_with_std(v in input_strategy(), extra in 0usize..12) {
+    fn radix_sorts_agree_with_std(v in input_gen(), extra in 0usize..12) {
         let width = 4 + extra;
         let expected = expect_sorted(&v);
         for (name, f) in [
@@ -116,9 +119,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn radix_wide_keys_match_memcmp_order(
-        v in prop::collection::vec((any::<u32>(), 0u32..16), 0..200)
+        v in vec_of((full::<u32>(), 0u32..16), 0..200)
     ) {
         // 8-byte keys built from two BE u32s: byte order == tuple order.
         let width = 12;
@@ -141,9 +143,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn kway_merge_matches_sorted_concat(
-        runs in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..60), 1..9)
+        runs in vec_of(vec_of(full::<u32>(), 0..60), 1..9)
     ) {
         let sorted_runs: Vec<Vec<u32>> = runs
             .iter()
@@ -160,9 +161,8 @@ proptest! {
         prop_assert_eq!(out, expected);
     }
 
-    #[test]
     fn kway_rows_matches_typed(
-        runs in prop::collection::vec(prop::collection::vec(any::<u16>(), 0..40), 1..6)
+        runs in vec_of(vec_of(full::<u16>(), 0..40), 1..6)
     ) {
         let sorted_runs: Vec<Vec<u16>> = runs
             .iter()
@@ -187,11 +187,10 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 
-    #[test]
     fn merge_path_every_diag_valid(
-        mut a in prop::collection::vec(any::<u32>(), 0..80),
-        mut b in prop::collection::vec(any::<u32>(), 0..80),
-        frac in 0.0f64..=1.0,
+        a in vec_of(full::<u32>(), 0..80),
+        b in vec_of(full::<u32>(), 0..80),
+        frac in f64_in(0.0, 1.0),
     ) {
         a.sort_unstable();
         b.sort_unstable();

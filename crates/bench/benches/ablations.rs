@@ -2,7 +2,8 @@
 //! VARCHAR prefix length, radix variant by key width, merge structure,
 //! row alignment, and the §IX algorithm chooser.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::{bench_group, bench_main};
 use rowsort_algos::kway::kway_merge_rows;
 use rowsort_algos::mergesort::merge_rows_into;
 use rowsort_algos::pdqsort::pdqsort_rows;
@@ -33,7 +34,7 @@ fn pseudo_random_bytes(n: usize, width: usize, seed: u64, distinct: u64) -> Vec<
 
 /// VARCHAR prefix length: short prefixes create ties (resolved against the
 /// full strings); long prefixes inflate key width.
-fn ablation_prefix(c: &mut Criterion) {
+fn ablation_prefix(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_prefix");
     group
         .sample_size(10)
@@ -61,7 +62,7 @@ fn ablation_prefix(c: &mut Criterion) {
                         kb
                     },
                     |mut kb| kb.sort(|a, b| strings[a as usize].cmp(&strings[b as usize])),
-                    criterion::BatchSize::LargeInput,
+                    rowsort_testkit::bench::BatchSize::LargeInput,
                 )
             },
         );
@@ -71,7 +72,7 @@ fn ablation_prefix(c: &mut Criterion) {
 
 /// LSD vs MSD vs pdqsort(memcmp) across key widths — the basis of the
 /// "LSD for ≤4 bytes, else MSD" rule.
-fn ablation_radix(c: &mut Criterion) {
+fn ablation_radix(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_radix");
     group
         .sample_size(10)
@@ -83,14 +84,14 @@ fn ablation_radix(c: &mut Criterion) {
             b.iter_batched(
                 || data.clone(),
                 |mut d| lsd_radix_sort_rows(&mut d, width, 0, width),
-                criterion::BatchSize::LargeInput,
+                rowsort_testkit::bench::BatchSize::LargeInput,
             )
         });
         group.bench_with_input(BenchmarkId::new("msd", width), &data, |b, data| {
             b.iter_batched(
                 || data.clone(),
                 |mut d| msd_radix_sort_rows(&mut d, width, 0, width),
-                criterion::BatchSize::LargeInput,
+                rowsort_testkit::bench::BatchSize::LargeInput,
             )
         });
         group.bench_with_input(BenchmarkId::new("pdq_memcmp", width), &data, |b, data| {
@@ -100,7 +101,7 @@ fn ablation_radix(c: &mut Criterion) {
                     let mut rows = RowsMut::new(&mut d, width);
                     pdqsort_rows(&mut rows, &mut |a: &[u8], b: &[u8]| a < b);
                 },
-                criterion::BatchSize::LargeInput,
+                rowsort_testkit::bench::BatchSize::LargeInput,
             )
         });
     }
@@ -108,7 +109,7 @@ fn ablation_radix(c: &mut Criterion) {
 }
 
 /// Cascaded 2-way merge vs k-way loser tree over the same 8 sorted runs.
-fn ablation_merge(c: &mut Criterion) {
+fn ablation_merge(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_merge");
     group
         .sample_size(10)
@@ -154,7 +155,7 @@ fn ablation_merge(c: &mut Criterion) {
 }
 
 /// 8-byte-aligned vs packed rows: scatter + row sort.
-fn ablation_align(c: &mut Criterion) {
+fn ablation_align(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_align");
     group
         .sample_size(10)
@@ -179,7 +180,7 @@ fn ablation_align(c: &mut Criterion) {
 
 /// §IX chooser: on the regime where the heuristic and the shipped rule
 /// disagree (small runs, wide keys), measure both choices.
-fn ablation_chooser(c: &mut Criterion) {
+fn ablation_chooser(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_chooser");
     group
         .sample_size(10)
@@ -199,7 +200,7 @@ fn ablation_chooser(c: &mut Criterion) {
         b.iter_batched(
             || data.clone(),
             |mut d| msd_radix_sort_rows(&mut d, width, 0, width),
-            criterion::BatchSize::LargeInput,
+            rowsort_testkit::bench::BatchSize::LargeInput,
         )
     });
     group.bench_function("heuristic(pdq)", |b| {
@@ -209,7 +210,7 @@ fn ablation_chooser(c: &mut Criterion) {
                 let mut rows = RowsMut::new(&mut d, width);
                 pdqsort_rows(&mut rows, &mut |a: &[u8], b: &[u8]| a < b);
             },
-            criterion::BatchSize::LargeInput,
+            rowsort_testkit::bench::BatchSize::LargeInput,
         )
     });
     group.finish();
@@ -218,7 +219,7 @@ fn ablation_chooser(c: &mut Criterion) {
 /// Run-size sweep for the full pipeline: smaller thread-local runs sort
 /// faster individually (cache-resident) but leave more merge work — the
 /// §II trade-off in practice.
-fn ablation_runsize(c: &mut Criterion) {
+fn ablation_runsize(c: &mut Harness) {
     use rowsort_core::pipeline::{SortOptions, SortPipeline};
     use rowsort_datagen::{key_chunk, KeyDistribution};
     let mut group = c.benchmark_group("ablation_runsize");
@@ -239,7 +240,7 @@ fn ablation_runsize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     ablation_prefix,
     ablation_radix,
@@ -248,4 +249,4 @@ criterion_group!(
     ablation_chooser,
     ablation_runsize
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion benches for the §VII end-to-end comparisons (Figures 12–14):
+//! Wall-clock benches for the §VII end-to-end comparisons (Figures 12–14):
 //! the benchmark query through the engine, sort operator configured as
 //! each system profile.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::{bench_group, bench_main};
 use rowsort_core::systems::SystemProfile;
 use rowsort_datagen::{shuffled_integers, tpcds, uniform_floats};
 use rowsort_engine::{Engine, Table};
@@ -18,7 +19,7 @@ fn engine_for(table: Table, profile: SystemProfile) -> Engine {
     e
 }
 
-fn bench_fig12(c: &mut Criterion) {
+fn bench_fig12(c: &mut Harness) {
     let mut group = c.benchmark_group("fig12_ints_floats");
     group
         .sample_size(10)
@@ -48,7 +49,7 @@ fn bench_fig12(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_fig13(c: &mut Criterion) {
+fn bench_fig13(c: &mut Harness) {
     let mut group = c.benchmark_group("fig13_catalog_sales");
     group
         .sample_size(10)
@@ -81,7 +82,7 @@ fn bench_fig13(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_fig14(c: &mut Criterion) {
+fn bench_fig14(c: &mut Harness) {
     let mut group = c.benchmark_group("fig14_customer");
     group
         .sample_size(10)
@@ -111,5 +112,5 @@ fn bench_fig14(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig12, bench_fig13, bench_fig14);
-criterion_main!(benches);
+bench_group!(benches, bench_fig12, bench_fig13, bench_fig14);
+bench_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion benches for the §IV/§V micro-benchmarks (Figures 2–6):
+//! Wall-clock benches for the §IV/§V micro-benchmarks (Figures 2–6):
 //! every data format × comparison strategy combination on one input size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::{bench_group, bench_main};
 use rowsort_core::strategy::{
     columnar_subsort, columnar_tuple, row_subsort, row_tuple_dynamic, row_tuple_fused,
     row_tuple_static, to_static_rows, Algo, ByteRows,
@@ -15,7 +16,7 @@ fn dists() -> Vec<KeyDistribution> {
     vec![KeyDistribution::Random, KeyDistribution::Correlated(0.5)]
 }
 
-fn bench_formats(c: &mut Criterion) {
+fn bench_formats(c: &mut Harness) {
     let mut group = c.benchmark_group("fig2-5_formats");
     group
         .sample_size(10)
@@ -43,7 +44,7 @@ fn bench_formats(c: &mut Criterion) {
                         b.iter_batched(
                             || ByteRows::from_cols(cols),
                             |mut r| row_tuple_fused(&mut r, algo),
-                            criterion::BatchSize::LargeInput,
+                            rowsort_testkit::bench::BatchSize::LargeInput,
                         )
                     },
                 );
@@ -54,7 +55,7 @@ fn bench_formats(c: &mut Criterion) {
                         b.iter_batched(
                             || ByteRows::from_cols(cols),
                             |mut r| row_subsort(&mut r, algo),
-                            criterion::BatchSize::LargeInput,
+                            rowsort_testkit::bench::BatchSize::LargeInput,
                         )
                     },
                 );
@@ -64,7 +65,7 @@ fn bench_formats(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_comparator_binding(c: &mut Criterion) {
+fn bench_comparator_binding(c: &mut Harness) {
     let mut group = c.benchmark_group("fig6_comparator_binding");
     group
         .sample_size(10)
@@ -80,12 +81,12 @@ fn bench_comparator_binding(c: &mut Criterion) {
                     1 => b.iter_batched(
                         || to_static_rows::<1>(cols),
                         |mut r| row_tuple_static(&mut r, Algo::Introsort),
-                        criterion::BatchSize::LargeInput,
+                        rowsort_testkit::bench::BatchSize::LargeInput,
                     ),
                     4 => b.iter_batched(
                         || to_static_rows::<4>(cols),
                         |mut r| row_tuple_static(&mut r, Algo::Introsort),
-                        criterion::BatchSize::LargeInput,
+                        rowsort_testkit::bench::BatchSize::LargeInput,
                     ),
                     _ => unreachable!(),
                 },
@@ -94,7 +95,7 @@ fn bench_comparator_binding(c: &mut Criterion) {
                 b.iter_batched(
                     || ByteRows::from_cols(cols),
                     |mut r| row_tuple_dynamic(&mut r, Algo::Introsort),
-                    criterion::BatchSize::LargeInput,
+                    rowsort_testkit::bench::BatchSize::LargeInput,
                 )
             });
         }
@@ -102,5 +103,5 @@ fn bench_comparator_binding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_formats, bench_comparator_binding);
-criterion_main!(benches);
+bench_group!(benches, bench_formats, bench_comparator_binding);
+bench_main!(benches);

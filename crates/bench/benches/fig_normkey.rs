@@ -1,7 +1,8 @@
-//! Criterion benches for the §VI normalized-key techniques (Figures 8, 9):
+//! Wall-clock benches for the §VI normalized-key techniques (Figures 8, 9):
 //! memcmp comparison sorts vs byte-wise radix sort on encoded keys.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::{bench_group, bench_main};
 use rowsort_core::strategy::{
     normkey_radix, normkey_sort, row_tuple_static, to_static_rows, Algo, NormRows,
 };
@@ -10,7 +11,7 @@ use std::time::Duration;
 
 const N: usize = 1 << 16;
 
-fn bench_normkey(c: &mut Criterion) {
+fn bench_normkey(c: &mut Harness) {
     let mut group = c.benchmark_group("fig8-9_normkeys");
     group
         .sample_size(10)
@@ -30,12 +31,12 @@ fn bench_normkey(c: &mut Criterion) {
                     1 => b.iter_batched(
                         || to_static_rows::<1>(cols),
                         |mut r| row_tuple_static(&mut r, Algo::Introsort),
-                        criterion::BatchSize::LargeInput,
+                        rowsort_testkit::bench::BatchSize::LargeInput,
                     ),
                     4 => b.iter_batched(
                         || to_static_rows::<4>(cols),
                         |mut r| row_tuple_static(&mut r, Algo::Introsort),
-                        criterion::BatchSize::LargeInput,
+                        rowsort_testkit::bench::BatchSize::LargeInput,
                     ),
                     _ => unreachable!(),
                 },
@@ -47,7 +48,7 @@ fn bench_normkey(c: &mut Criterion) {
                     b.iter_batched(
                         || NormRows::from_cols(cols),
                         |mut r| normkey_sort(&mut r, Algo::Introsort),
-                        criterion::BatchSize::LargeInput,
+                        rowsort_testkit::bench::BatchSize::LargeInput,
                     )
                 },
             );
@@ -58,7 +59,7 @@ fn bench_normkey(c: &mut Criterion) {
                     b.iter_batched(
                         || NormRows::from_cols(cols),
                         |mut r| normkey_sort(&mut r, Algo::Pdq),
-                        criterion::BatchSize::LargeInput,
+                        rowsort_testkit::bench::BatchSize::LargeInput,
                     )
                 },
             );
@@ -66,7 +67,7 @@ fn bench_normkey(c: &mut Criterion) {
                 b.iter_batched(
                     || NormRows::from_cols(cols),
                     |mut r| normkey_radix(&mut r),
-                    criterion::BatchSize::LargeInput,
+                    rowsort_testkit::bench::BatchSize::LargeInput,
                 )
             });
         }
@@ -74,5 +75,5 @@ fn bench_normkey(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_normkey);
-criterion_main!(benches);
+bench_group!(benches, bench_normkey);
+bench_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Every experiment is a library function returning an
 //! [`ExperimentResult`], so the `repro` binary can print it, integration
-//! tests can smoke-test it at tiny scale, and the criterion benches can
+//! tests can smoke-test it at tiny scale, and the wall-clock benches can
 //! reuse the same kernels.
 //!
 //! # Scale

@@ -15,7 +15,7 @@
 
 use crate::comparator::FusedRowComparator;
 use crate::keys::KeyBlock;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use rowsort_algos::merge_path::merge_path_partition_by;
 use rowsort_row::{RowBlock, RowLayout};
 use rowsort_vector::{DataChunk, LogicalType, OrderBy, Vector};
@@ -184,11 +184,11 @@ impl SortPipeline {
                     }
                     let lo = m * run_rows;
                     let run = make_run(lo, (lo + run_rows).min(n));
-                    runs.lock().push(run);
+                    runs.lock().unwrap().push(run);
                 });
             }
         });
-        runs.into_inner()
+        runs.into_inner().unwrap()
     }
 
     /// Phase 2: cascaded 2-way merge until one run remains.
@@ -224,11 +224,11 @@ impl SortPipeline {
                     for (a, b) in &pending {
                         scope.spawn(|| {
                             let m = self.merge_pair(a, b, kw, threads_per_pair, &tie_cmp);
-                            merged.lock().push(m);
+                            merged.lock().unwrap().push(m);
                         });
                     }
                 });
-                next_round.extend(merged.into_inner());
+                next_round.extend(merged.into_inner().unwrap());
             }
             runs = next_round;
         }

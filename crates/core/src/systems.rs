@@ -17,7 +17,7 @@
 
 use crate::comparator::FusedRowComparator;
 use crate::pipeline::{SortOptions, SortPipeline};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use rowsort_algos::kway::LoserTree;
 use rowsort_algos::pdqsort::pdqsort;
 use rowsort_algos::radix::lsd_radix_sort_rows;
@@ -224,7 +224,7 @@ fn columnar_jit_sort(input: &DataChunk, order: &OrderBy, threads: usize) -> Data
             let lo = m * RUN_ROWS;
             out.push(make_run(lo, (lo + RUN_ROWS).min(n)));
         }
-        *runs.lock() = out;
+        *runs.lock().unwrap() = out;
     } else {
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -235,12 +235,12 @@ fn columnar_jit_sort(input: &DataChunk, order: &OrderBy, threads: usize) -> Data
                     }
                     let lo = m * RUN_ROWS;
                     let run = make_run(lo, (lo + RUN_ROWS).min(n));
-                    runs.lock().push(run);
+                    runs.lock().unwrap().push(run);
                 });
             }
         });
     }
-    let runs = runs.into_inner();
+    let runs = runs.into_inner().unwrap();
 
     // K-way merge of the index runs.
     let merged = kway_merge_indices(&runs, |a, b| tuple_cmp(&cmps, a, b));
@@ -393,7 +393,7 @@ fn compiled_rows_sort(
             let lo = m * RUN_ROWS;
             out.push(make_run(lo, (lo + RUN_ROWS).min(n)));
         }
-        *runs.lock() = out;
+        *runs.lock().unwrap() = out;
     } else {
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -404,12 +404,12 @@ fn compiled_rows_sort(
                     }
                     let lo = m * RUN_ROWS;
                     let run = make_run(lo, (lo + RUN_ROWS).min(n));
-                    runs.lock().push(run);
+                    runs.lock().unwrap().push(run);
                 });
             }
         });
     }
-    let mut runs = runs.into_inner();
+    let mut runs = runs.into_inner().unwrap();
 
     // Merge pointers only; rows move once, at output.
     let merged: Vec<u32> = match merge {

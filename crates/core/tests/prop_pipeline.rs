@@ -1,31 +1,34 @@
 //! Property tests: the sort pipeline and every system profile produce a
 //! correctly ordered permutation of arbitrary typed inputs.
 
-use proptest::prelude::*;
 use rowsort_core::pipeline::{SortOptions, SortPipeline};
 use rowsort_core::systems::{sort_with_system, SystemProfile};
+use rowsort_testkit::prop::{
+    full, full_bool, select, string_from, vec_of, weighted, BoxedGen, GenExt, Just, PropResult,
+};
+use rowsort_testkit::{prop, prop_assert_eq, prop_assert_ne};
 use rowsort_vector::{
     DataChunk, LogicalType, NullOrder, OrderBy, OrderByColumn, SortOrder, SortSpec, Value,
 };
 use std::cmp::Ordering;
 
-fn value_strategy(ty: LogicalType) -> BoxedStrategy<Value> {
-    let non_null: BoxedStrategy<Value> = match ty {
+fn value_gen(ty: LogicalType) -> BoxedGen<Value> {
+    let non_null: BoxedGen<Value> = match ty {
         LogicalType::Int32 => (-50i32..50).prop_map(Value::Int32).boxed(),
-        LogicalType::Int64 => any::<i64>().prop_map(Value::Int64).boxed(),
+        LogicalType::Int64 => full::<i64>().prop_map(Value::Int64).boxed(),
         LogicalType::UInt32 => (0u32..40).prop_map(Value::UInt32).boxed(),
         LogicalType::Float64 => (-4i32..4)
             .prop_map(|v| Value::Float64(v as f64 * 1.5))
             .boxed(),
-        LogicalType::Varchar => "[a-c]{0,14}".prop_map(Value::Varchar).boxed(),
-        _ => unreachable!("strategy only draws from the five types below"),
+        LogicalType::Varchar => string_from("abc", 0..=14).prop_map(Value::Varchar).boxed(),
+        _ => unreachable!("generator only draws from the five types below"),
     };
-    prop_oneof![1 => Just(Value::Null), 5 => non_null].boxed()
+    weighted(vec![(1, Just(Value::Null).boxed()), (5, non_null)]).boxed()
 }
 
-fn schema_strategy() -> impl Strategy<Value = Vec<LogicalType>> {
-    prop::collection::vec(
-        prop::sample::select(vec![
+fn schema_gen() -> BoxedGen<Vec<LogicalType>> {
+    vec_of(
+        select(vec![
             LogicalType::Int32,
             LogicalType::Int64,
             LogicalType::UInt32,
@@ -34,53 +37,57 @@ fn schema_strategy() -> impl Strategy<Value = Vec<LogicalType>> {
         ]),
         1..=3,
     )
+    .boxed()
 }
 
-fn spec_strategy() -> impl Strategy<Value = SortSpec> {
-    (any::<bool>(), any::<bool>()).prop_map(|(d, nf)| {
-        SortSpec::new(
-            if d {
-                SortOrder::Descending
-            } else {
-                SortOrder::Ascending
-            },
-            if nf {
-                NullOrder::NullsFirst
-            } else {
-                NullOrder::NullsLast
-            },
-        )
-    })
+fn spec_gen() -> BoxedGen<SortSpec> {
+    (full_bool(), full_bool())
+        .prop_map(|(d, nf)| {
+            SortSpec::new(
+                if d {
+                    SortOrder::Descending
+                } else {
+                    SortOrder::Ascending
+                },
+                if nf {
+                    NullOrder::NullsFirst
+                } else {
+                    NullOrder::NullsLast
+                },
+            )
+        })
+        .boxed()
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Case {
     chunk: DataChunk,
     order: OrderBy,
 }
 
-fn case_strategy() -> impl Strategy<Value = Case> {
-    schema_strategy().prop_flat_map(|types| {
-        let ncols = types.len();
-        let row_strat: Vec<BoxedStrategy<Value>> =
-            types.iter().map(|&t| value_strategy(t)).collect();
-        let rows = prop::collection::vec(row_strat, 0..120);
-        let specs = prop::collection::vec(spec_strategy(), 1..=ncols);
-        (rows, specs, Just(types)).prop_map(|(rows, specs, types)| {
-            let mut chunk = DataChunk::new(&types);
-            for r in &rows {
-                chunk.push_row(r).unwrap();
-            }
-            let order = OrderBy::new(
-                specs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, spec)| OrderByColumn { column: i, spec })
-                    .collect(),
-            );
-            Case { chunk, order }
+fn case_gen() -> BoxedGen<Case> {
+    schema_gen()
+        .prop_flat_map(|types| {
+            let ncols = types.len();
+            let row_gen: Vec<BoxedGen<Value>> = types.iter().map(|&t| value_gen(t)).collect();
+            let rows = vec_of(row_gen, 0..120);
+            let specs = vec_of(spec_gen(), 1..=ncols);
+            (rows, specs, Just(types)).prop_map(|(rows, specs, types)| {
+                let mut chunk = DataChunk::new(&types);
+                for r in &rows {
+                    chunk.push_row(r).unwrap();
+                }
+                let order = OrderBy::new(
+                    specs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, spec)| OrderByColumn { column: i, spec })
+                        .collect(),
+                );
+                Case { chunk, order }
+            })
         })
-    })
+        .boxed()
 }
 
 fn float_safe(v: &Value) -> String {
@@ -91,7 +98,7 @@ fn float_safe(v: &Value) -> String {
     }
 }
 
-fn check_sorted_permutation(got: &DataChunk, case: &Case) -> Result<(), TestCaseError> {
+fn check_sorted_permutation(got: &DataChunk, case: &Case) -> PropResult {
     let got_rows = got.to_rows();
     prop_assert_eq!(got_rows.len(), case.chunk.len());
     for w in got_rows.windows(2) {
@@ -115,11 +122,10 @@ fn check_sorted_permutation(got: &DataChunk, case: &Case) -> Result<(), TestCase
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+prop! {
+    #![cases(64)]
 
-    #[test]
-    fn pipeline_sorts_arbitrary_input(case in case_strategy(), run_rows in 1usize..64, threads in 1usize..4) {
+    fn pipeline_sorts_arbitrary_input(case in case_gen(), run_rows in 1usize..64, threads in 1usize..4) {
         let pipeline = SortPipeline::new(
             case.chunk.types(),
             case.order.clone(),
@@ -129,8 +135,7 @@ proptest! {
         check_sorted_permutation(&got, &case)?;
     }
 
-    #[test]
-    fn system_profiles_sort_arbitrary_input(case in case_strategy()) {
+    fn system_profiles_sort_arbitrary_input(case in case_gen()) {
         for p in SystemProfile::ALL {
             let got = sort_with_system(p, &case.chunk, &case.order, 2);
             check_sorted_permutation(&got, &case)?;

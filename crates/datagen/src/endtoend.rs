@@ -1,23 +1,21 @@
 //! Figure 12's end-to-end workload: random integers and floats.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rowsort_testkit::Rng;
 
 /// The integers `0..n`, shuffled — the paper's first Figure 12 data set
 /// ("32-bit integers from 0 to 99,999,999, shuffled").
 pub fn shuffled_integers(n: usize, seed: u64) -> Vec<i32> {
     let mut v: Vec<i32> = (0..n as i32).collect();
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x00c0_ffee_1234_5678);
-    v.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x00c0_ffee_1234_5678);
+    rng.shuffle(&mut v);
     v
 }
 
 /// `n` floats uniform in `[-1e9, 1e9]` — the paper's second Figure 12 data
 /// set.
 pub fn uniform_floats(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0f10_a7f0_0d5e_edaa);
-    (0..n).map(|_| rng.gen_range(-1e9f32..=1e9f32)).collect()
+    let mut rng = Rng::seed_from_u64(seed ^ 0x0f10_a7f0_0d5e_edaa);
+    (0..n).map(|_| rng.f32_range(-1e9, 1e9)).collect()
 }
 
 #[cfg(test)]

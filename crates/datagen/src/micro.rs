@@ -1,7 +1,6 @@
 //! The §III micro-benchmark workload.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rowsort_testkit::Rng;
 use rowsort_vector::{DataChunk, Vector};
 
 /// Number of unique values per column in the Correlated distributions, as
@@ -49,10 +48,10 @@ impl KeyDistribution {
 /// `q = sqrt((P - 1/128) / (1 - 1/128))`, making the *pairwise* conditional
 /// equality probability equal to `P` as the paper defines it.
 pub fn key_columns(dist: KeyDistribution, rows: usize, cols: usize, seed: u64) -> Vec<Vec<u32>> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x8d3c_5a1f_0042_77ee);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x8d3c_5a1f_0042_77ee);
     match dist {
         KeyDistribution::Random => (0..cols)
-            .map(|_| (0..rows).map(|_| rng.gen::<u32>()).collect())
+            .map(|_| (0..rows).map(|_| rng.next_u32()).collect())
             .collect(),
         KeyDistribution::Correlated(p) => {
             let u = CORRELATED_UNIQUE_VALUES;
@@ -63,18 +62,18 @@ pub fn key_columns(dist: KeyDistribution, rows: usize, cols: usize, seed: u64) -
                 ((p - base) / (1.0 - base)).sqrt().min(1.0)
             };
             let mut out: Vec<Vec<u32>> = Vec::with_capacity(cols);
-            let first: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..u)).collect();
+            let first: Vec<u32> = (0..rows).map(|_| rng.range(0, u)).collect();
             out.push(first);
             for c in 1..cols {
                 let prev = &out[c - 1];
                 let col: Vec<u32> = (0..rows)
                     .map(|r| {
-                        if rng.gen_bool(q) {
+                        if rng.chance(q) {
                             // Tied: a deterministic, value-scrambling
                             // function of the previous column's value.
                             prev[r].wrapping_mul(2654435761).wrapping_add(c as u32) % u
                         } else {
-                            rng.gen_range(0..u)
+                            rng.range(0, u)
                         }
                     })
                     .collect();

@@ -8,8 +8,7 @@
 //! NULL presence, and — for `customer` — name strings with realistic
 //! lengths and skew. Cardinalities follow Table IV.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rowsort_testkit::Rng;
 use rowsort_vector::{DataChunk, LogicalType, Value};
 
 /// A generated table: a name, a named schema, and the data.
@@ -95,7 +94,7 @@ const NULL_FRACTION: f64 = 0.03;
 /// `cs_quantity` — all INTEGER, the key columns nullable.
 pub fn catalog_sales(rows: usize, sf: f64, seed: u64) -> NamedTable {
     let (warehouses, promotions, items) = dimension_sizes(sf);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7c05_ca7a_1095_a1e5);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7c05_ca7a_1095_a1e5);
     let columns = vec![
         ("cs_item_sk".to_owned(), LogicalType::Int32),
         ("cs_warehouse_sk".to_owned(), LogicalType::Int32),
@@ -108,18 +107,18 @@ pub fn catalog_sales(rows: usize, sf: f64, seed: u64) -> NamedTable {
     let mut row = Vec::with_capacity(columns.len());
     for _ in 0..rows {
         row.clear();
-        row.push(Value::Int32(rng.gen_range(1..=items)));
+        row.push(Value::Int32(rng.range_inclusive(1, items)));
         for domain in [warehouses, 20, promotions] {
-            if rng.gen_bool(NULL_FRACTION) {
+            if rng.chance(NULL_FRACTION) {
                 row.push(Value::Null);
             } else {
-                row.push(Value::Int32(rng.gen_range(1..=domain)));
+                row.push(Value::Int32(rng.range_inclusive(1, domain)));
             }
         }
-        if rng.gen_bool(NULL_FRACTION) {
+        if rng.chance(NULL_FRACTION) {
             row.push(Value::Null);
         } else {
-            row.push(Value::Int32(rng.gen_range(1..=100)));
+            row.push(Value::Int32(rng.range_inclusive(1, 100)));
         }
         data.push_row(&row).expect("schema matches");
     }
@@ -440,9 +439,9 @@ const LAST_NAMES: &[&str] = &[
 
 /// Skewed pick from a name list: low indices (common names) are favoured,
 /// giving the duplicate-heavy prefix structure real name data has.
-fn pick_name<'a>(rng: &mut SmallRng, names: &'a [&'a str]) -> &'a str {
-    let a = rng.gen_range(0..names.len());
-    let b = rng.gen_range(0..names.len());
+fn pick_name<'a>(rng: &mut Rng, names: &'a [&'a str]) -> &'a str {
+    let a = rng.range(0, names.len());
+    let b = rng.range(0, names.len());
     names[a.min(b)]
 }
 
@@ -457,7 +456,7 @@ const WAREHOUSE_WORDS: &[&str] = &[
 /// `catalog_sales.cs_warehouse_sk` in the sort-merge-join example.
 pub fn warehouse(sf: f64, seed: u64) -> NamedTable {
     let (count, _, _) = dimension_sizes(sf);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x00aa_5e00_77a1_e000);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x00aa_5e00_77a1_e000);
     let columns = vec![
         ("w_warehouse_sk".to_owned(), LogicalType::Int32),
         ("w_warehouse_name".to_owned(), LogicalType::Varchar),
@@ -466,12 +465,12 @@ pub fn warehouse(sf: f64, seed: u64) -> NamedTable {
     let types: Vec<LogicalType> = columns.iter().map(|(_, t)| *t).collect();
     let mut data = DataChunk::new(&types);
     for sk in 1..=count {
-        let a = WAREHOUSE_WORDS[rng.gen_range(0..WAREHOUSE_WORDS.len())];
-        let b = WAREHOUSE_WORDS[rng.gen_range(0..WAREHOUSE_WORDS.len())];
+        let a = WAREHOUSE_WORDS[rng.range(0, WAREHOUSE_WORDS.len())];
+        let b = WAREHOUSE_WORDS[rng.range(0, WAREHOUSE_WORDS.len())];
         data.push_row(&[
             Value::Int32(sk),
             Value::from(format!("{a} {b} Warehouse")),
-            Value::Int32(rng.gen_range(50_000..=1_000_000)),
+            Value::Int32(rng.range_inclusive(50_000, 1_000_000)),
         ])
         .expect("schema matches");
     }
@@ -489,7 +488,7 @@ pub fn warehouse(sf: f64, seed: u64) -> NamedTable {
 /// `c_birth_day` (INTEGER, nullable), `c_first_name`/`c_last_name`
 /// (VARCHAR, nullable).
 pub fn customer(rows: usize, seed: u64) -> NamedTable {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc057_04e5_7a81_e000);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xc057_04e5_7a81_e000);
     let columns = vec![
         ("c_customer_sk".to_owned(), LogicalType::Int32),
         ("c_first_name".to_owned(), LogicalType::Varchar),
@@ -504,21 +503,21 @@ pub fn customer(rows: usize, seed: u64) -> NamedTable {
     for sk in 0..rows {
         row.clear();
         row.push(Value::Int32(sk as i32 + 1));
-        if rng.gen_bool(NULL_FRACTION) {
+        if rng.chance(NULL_FRACTION) {
             row.push(Value::Null);
         } else {
             row.push(Value::from(pick_name(&mut rng, FIRST_NAMES)));
         }
-        if rng.gen_bool(NULL_FRACTION) {
+        if rng.chance(NULL_FRACTION) {
             row.push(Value::Null);
         } else {
             row.push(Value::from(pick_name(&mut rng, LAST_NAMES)));
         }
         for (lo, hi) in [(1924, 1992), (1, 12), (1, 28)] {
-            if rng.gen_bool(NULL_FRACTION) {
+            if rng.chance(NULL_FRACTION) {
                 row.push(Value::Null);
             } else {
-                row.push(Value::Int32(rng.gen_range(lo..=hi)));
+                row.push(Value::Int32(rng.range_inclusive(lo, hi)));
             }
         }
         data.push_row(&row).expect("schema matches");

@@ -1,8 +1,9 @@
 //! Differential tests: the vectorized executor vs. the naive reference
 //! executor, over generated TPC-DS-like data and randomized queries.
 
-use proptest::prelude::*;
 use rowsort_core::systems::SystemProfile;
+use rowsort_testkit::prop::{full_bool, option_of, vec_of};
+use rowsort_testkit::prop;
 use rowsort_engine::reference::execute_reference;
 use rowsort_engine::{plan, sql, Engine, Table};
 use rowsort_vector::Value;
@@ -150,15 +151,14 @@ fn every_system_profile_equals_reference() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop! {
+    #![cases(64)]
 
-    #[test]
     fn random_order_by_queries_match_reference(
-        key_cols in prop::collection::vec(0usize..5, 1..4),
-        descs in prop::collection::vec(any::<bool>(), 3),
-        limit in prop::option::of(0u64..50),
-        offset in prop::option::of(0u64..20),
+        key_cols in vec_of(0usize..5, 1..4),
+        descs in vec_of(full_bool(), 3..=3),
+        limit in option_of(0u64..50),
+        offset in option_of(0u64..20),
     ) {
         let cols = [
             "cs_item_sk",

@@ -1,25 +1,30 @@
 //! Property tests: memcmp order of normalized keys equals ORDER BY order.
 
-use proptest::prelude::*;
 use rowsort_normkey::{encode_value_into, KeyColumn};
+use rowsort_testkit::prop::{
+    bool_weighted, full, full_bool, select, string_from, vec_of, weighted, BoxedGen, GenExt, Just,
+};
+use rowsort_testkit::{prop, prop_assert, prop_assert_eq};
 use rowsort_vector::{LogicalType, NullOrder, SortOrder, SortSpec, Value};
 use std::cmp::Ordering;
 
-fn spec_strategy() -> impl Strategy<Value = SortSpec> {
-    (any::<bool>(), any::<bool>()).prop_map(|(desc, nf)| {
-        SortSpec::new(
-            if desc {
-                SortOrder::Descending
-            } else {
-                SortOrder::Ascending
-            },
-            if nf {
-                NullOrder::NullsFirst
-            } else {
-                NullOrder::NullsLast
-            },
-        )
-    })
+fn spec_gen() -> BoxedGen<SortSpec> {
+    (full_bool(), full_bool())
+        .prop_map(|(desc, nf)| {
+            SortSpec::new(
+                if desc {
+                    SortOrder::Descending
+                } else {
+                    SortOrder::Ascending
+                },
+                if nf {
+                    NullOrder::NullsFirst
+                } else {
+                    NullOrder::NullsLast
+                },
+            )
+        })
+        .boxed()
 }
 
 fn key_column(ty: LogicalType, spec: SortSpec) -> KeyColumn {
@@ -36,29 +41,44 @@ fn encode(v: &Value, col: &KeyColumn) -> Vec<u8> {
     out
 }
 
-fn fixed_type_strategy() -> impl Strategy<Value = LogicalType> {
-    prop::sample::select(
+fn fixed_type_gen() -> BoxedGen<LogicalType> {
+    select(
         LogicalType::ALL
             .iter()
             .copied()
             .filter(|t| t.is_fixed_width())
             .collect::<Vec<_>>(),
     )
+    .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// `Value::Null` one time in six, otherwise a short string over `a`–`c`
+/// plus NUL (embedded zero bytes stress the prefix encoding).
+fn varchar_gen() -> BoxedGen<Value> {
+    weighted(vec![
+        (1, Just(Value::Null).boxed()),
+        (
+            5,
+            string_from("abc\u{0}", 0..=20)
+                .prop_map(Value::Varchar)
+                .boxed(),
+        ),
+    ])
+    .boxed()
+}
+
+prop! {
+    #![cases(512)]
 
     /// Fixed-width types: encoding order == value order, exactly.
     /// Values are derived from raw bits so every type sees its full domain.
-    #[test]
     fn fixed_width_order_preserved(
-        ty in fixed_type_strategy(),
-        spec in spec_strategy(),
-        bits_a in any::<u64>(),
-        bits_b in any::<u64>(),
-        null_a in prop::bool::weighted(0.15),
-        null_b in prop::bool::weighted(0.15),
+        ty in fixed_type_gen(),
+        spec in spec_gen(),
+        bits_a in full::<u64>(),
+        bits_b in full::<u64>(),
+        null_a in bool_weighted(0.15),
+        null_b in bool_weighted(0.15),
     ) {
         let from_bits = |bits: u64, null: bool| -> Value {
             if null {
@@ -90,8 +110,7 @@ proptest! {
     }
 
     /// Fixed-width paired values drawn directly.
-    #[test]
-    fn i64_pairs_exact(a in any::<i64>(), b in any::<i64>(), spec in spec_strategy()) {
+    fn i64_pairs_exact(a in full::<i64>(), b in full::<i64>(), spec in spec_gen()) {
         let col = KeyColumn::fixed(LogicalType::Int64, spec);
         let (va, vb) = (Value::Int64(a), Value::Int64(b));
         prop_assert_eq!(
@@ -100,8 +119,7 @@ proptest! {
         );
     }
 
-    #[test]
-    fn f64_pairs_exact(a in any::<f64>(), b in any::<f64>(), spec in spec_strategy()) {
+    fn f64_pairs_exact(a in rowsort_testkit::prop::full_f64(), b in rowsort_testkit::prop::full_f64(), spec in spec_gen()) {
         let col = KeyColumn::fixed(LogicalType::Float64, spec);
         let (va, vb) = (Value::Float64(a), Value::Float64(b));
         prop_assert_eq!(
@@ -112,11 +130,10 @@ proptest! {
 
     /// Strings: a strict encoded order implies the same strict value order;
     /// encoded equality only ever hides a tie (never an inversion).
-    #[test]
     fn varchar_order_consistent(
-        a in prop_oneof![1 => Just(Value::Null), 5 => "[a-c\\x00]{0,20}".prop_map(Value::Varchar)],
-        b in prop_oneof![1 => Just(Value::Null), 5 => "[a-c\\x00]{0,20}".prop_map(Value::Varchar)],
-        spec in spec_strategy(),
+        a in varchar_gen(),
+        b in varchar_gen(),
+        spec in spec_gen(),
         prefix in 1usize..12,
     ) {
         let col = KeyColumn { ty: LogicalType::Varchar, spec, prefix_len: prefix };
@@ -130,11 +147,10 @@ proptest! {
 
     /// NULL placement is absolute: NULL vs valid ordering depends only on
     /// the NULLS clause, never on ASC/DESC or the value.
-    #[test]
     fn null_placement_absolute(
-        ty in fixed_type_strategy(),
-        spec in spec_strategy(),
-        v in any::<i32>(),
+        ty in fixed_type_gen(),
+        spec in spec_gen(),
+        v in full::<i32>(),
     ) {
         // Use a type-correct non-null value.
         let value = match ty {
@@ -164,11 +180,10 @@ proptest! {
 
     /// Multi-column keys: concatenated encodings order like the
     /// lexicographic row comparator.
-    #[test]
     fn multi_column_lexicographic(
-        rows in prop::collection::vec((any::<i32>(), any::<u8>(), 0usize..4), 2..20),
-        spec0 in spec_strategy(),
-        spec1 in spec_strategy(),
+        rows in vec_of((full::<i32>(), full::<u8>(), 0usize..4), 2..20),
+        spec0 in spec_gen(),
+        spec1 in spec_gen(),
     ) {
         use rowsort_vector::{OrderBy, OrderByColumn};
         let cols = [

@@ -1,51 +1,53 @@
 //! Property tests: DSM → NSM → DSM is the identity for arbitrary typed data.
 
-use proptest::prelude::*;
 use rowsort_row::{scatter, RowAlignment, RowLayout};
+use rowsort_testkit::prop::{
+    any_string, full, full_bool, full_f32, full_f64, select, vec_of, weighted, BoxedGen, GenExt,
+    Just,
+};
+use rowsort_testkit::{prop, prop_assert, prop_assume};
 use rowsort_vector::{DataChunk, LogicalType, Value};
 use std::sync::Arc;
 
-/// Strategy for a random cell of the given type (incl. NULLs).
-fn value_strategy(ty: LogicalType) -> BoxedStrategy<Value> {
-    let non_null: BoxedStrategy<Value> = match ty {
-        LogicalType::Boolean => any::<bool>().prop_map(Value::Boolean).boxed(),
-        LogicalType::Int8 => any::<i8>().prop_map(Value::Int8).boxed(),
-        LogicalType::Int16 => any::<i16>().prop_map(Value::Int16).boxed(),
-        LogicalType::Int32 => any::<i32>().prop_map(Value::Int32).boxed(),
-        LogicalType::Int64 => any::<i64>().prop_map(Value::Int64).boxed(),
-        LogicalType::UInt8 => any::<u8>().prop_map(Value::UInt8).boxed(),
-        LogicalType::UInt16 => any::<u16>().prop_map(Value::UInt16).boxed(),
-        LogicalType::UInt32 => any::<u32>().prop_map(Value::UInt32).boxed(),
-        LogicalType::UInt64 => any::<u64>().prop_map(Value::UInt64).boxed(),
-        LogicalType::Float32 => any::<f32>().prop_map(Value::Float32).boxed(),
-        LogicalType::Float64 => any::<f64>().prop_map(Value::Float64).boxed(),
-        LogicalType::Date => any::<i32>().prop_map(Value::Date).boxed(),
-        LogicalType::Timestamp => any::<i64>().prop_map(Value::Timestamp).boxed(),
-        LogicalType::Varchar => ".{0,24}".prop_map(Value::Varchar).boxed(),
+/// Generator for a random cell of the given type (incl. NULLs).
+fn value_gen(ty: LogicalType) -> BoxedGen<Value> {
+    let non_null: BoxedGen<Value> = match ty {
+        LogicalType::Boolean => full_bool().prop_map(Value::Boolean).boxed(),
+        LogicalType::Int8 => full::<i8>().prop_map(Value::Int8).boxed(),
+        LogicalType::Int16 => full::<i16>().prop_map(Value::Int16).boxed(),
+        LogicalType::Int32 => full::<i32>().prop_map(Value::Int32).boxed(),
+        LogicalType::Int64 => full::<i64>().prop_map(Value::Int64).boxed(),
+        LogicalType::UInt8 => full::<u8>().prop_map(Value::UInt8).boxed(),
+        LogicalType::UInt16 => full::<u16>().prop_map(Value::UInt16).boxed(),
+        LogicalType::UInt32 => full::<u32>().prop_map(Value::UInt32).boxed(),
+        LogicalType::UInt64 => full::<u64>().prop_map(Value::UInt64).boxed(),
+        LogicalType::Float32 => full_f32().prop_map(Value::Float32).boxed(),
+        LogicalType::Float64 => full_f64().prop_map(Value::Float64).boxed(),
+        LogicalType::Date => full::<i32>().prop_map(Value::Date).boxed(),
+        LogicalType::Timestamp => full::<i64>().prop_map(Value::Timestamp).boxed(),
+        LogicalType::Varchar => any_string(0..=24).prop_map(Value::Varchar).boxed(),
     };
-    prop_oneof![
-        1 => Just(Value::Null),
-        4 => non_null,
-    ]
-    .boxed()
+    weighted(vec![(1, Just(Value::Null).boxed()), (4, non_null)]).boxed()
 }
 
-/// Strategy for a random schema of 1..=5 columns.
-fn schema_strategy() -> impl Strategy<Value = Vec<LogicalType>> {
-    prop::collection::vec(prop::sample::select(LogicalType::ALL.to_vec()), 1..=5)
+/// Generator for a random schema of 1..=5 columns.
+fn schema_gen() -> BoxedGen<Vec<LogicalType>> {
+    vec_of(select(LogicalType::ALL.to_vec()), 1..=5).boxed()
 }
 
-fn chunk_strategy() -> impl Strategy<Value = DataChunk> {
-    schema_strategy().prop_flat_map(|types| {
-        let row = types.iter().map(|&t| value_strategy(t)).collect::<Vec<_>>();
-        prop::collection::vec(row, 0..64).prop_map(move |rows| {
-            let mut chunk = DataChunk::new(&types);
-            for r in rows {
-                chunk.push_row(&r).unwrap();
-            }
-            chunk
+fn chunk_gen() -> BoxedGen<DataChunk> {
+    schema_gen()
+        .prop_flat_map(|types| {
+            let row = types.iter().map(|&t| value_gen(t)).collect::<Vec<_>>();
+            vec_of(row, 0..64).prop_map(move |rows| {
+                let mut chunk = DataChunk::new(&types);
+                for r in rows {
+                    chunk.push_row(&r).unwrap();
+                }
+                chunk
+            })
         })
-    })
+        .boxed()
 }
 
 /// Float NaNs compare unequal under `PartialEq`; compare via bit patterns.
@@ -67,11 +69,10 @@ fn chunks_bit_eq(a: &DataChunk, b: &DataChunk) -> bool {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop! {
+    #![cases(64)]
 
-    #[test]
-    fn scatter_gather_identity_aligned(chunk in chunk_strategy()) {
+    fn scatter_gather_identity_aligned(chunk in chunk_gen()) {
         let layout = Arc::new(RowLayout::new(&chunk.types()));
         let block = scatter(&chunk, layout);
         let order: Vec<u32> = (0..chunk.len() as u32).collect();
@@ -79,8 +80,7 @@ proptest! {
         prop_assert!(chunks_bit_eq(&chunk, &back));
     }
 
-    #[test]
-    fn scatter_gather_identity_packed(chunk in chunk_strategy()) {
+    fn scatter_gather_identity_packed(chunk in chunk_gen()) {
         let layout = Arc::new(RowLayout::with_alignment(&chunk.types(), RowAlignment::Packed));
         let block = scatter(&chunk, layout);
         let order: Vec<u32> = (0..chunk.len() as u32).collect();
@@ -88,8 +88,7 @@ proptest! {
         prop_assert!(chunks_bit_eq(&chunk, &back));
     }
 
-    #[test]
-    fn reorder_then_gather_matches_take(chunk in chunk_strategy(), seed in any::<u64>()) {
+    fn reorder_then_gather_matches_take(chunk in chunk_gen(), seed in full::<u64>()) {
         prop_assume!(!chunk.is_empty());
         let layout = Arc::new(RowLayout::new(&chunk.types()));
         let block = scatter(&chunk, layout);

@@ -1,0 +1,419 @@
+//! A tiny wall-clock benchmark harness in the shape of criterion's API.
+//!
+//! The bench targets in `crates/bench` were written against criterion;
+//! this module keeps their structure (groups, `bench_with_input`,
+//! `iter`/`iter_batched`, `sample_size`, `measurement_time`) while
+//! measuring with plain [`std::time::Instant`]: after a calibration pass
+//! that picks an iteration batch big enough to time reliably, each
+//! benchmark runs one warmup batch plus N sample batches and reports the
+//! median per-iteration time.
+//!
+//! Results print as text; set `ROWSORT_BENCH_JSON=<path>` to also write a
+//! machine-readable report — a JSON array of
+//! `{"id", "median_ns", "iters_per_sample", "samples_ns": [...]}` objects,
+//! one per benchmark, in execution order.
+//!
+//! ```no_run
+//! use rowsort_testkit::bench::Harness;
+//!
+//! fn my_bench(h: &mut Harness) {
+//!     let mut group = h.benchmark_group("demo");
+//!     group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+//!     group.finish();
+//! }
+//!
+//! rowsort_testkit::bench_group!(benches, my_bench);
+//! rowsort_testkit::bench_main!(benches);
+//! ```
+
+use crate::json::Json;
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Smallest batch duration the calibration pass accepts; below this the
+/// clock's resolution dominates the measurement.
+const MIN_BATCH: Duration = Duration::from_millis(1);
+
+/// Calibration gives up doubling here and accepts the batch as-is.
+const MAX_CALIBRATION_ITERS: u64 = 1 << 22;
+
+/// A benchmark identifier: a function name plus an optional parameter,
+/// rendered `name/param` like criterion's.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected.
+pub trait IntoBenchId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// How `iter_batched` amortises setup; kept for criterion source
+/// compatibility (the measurement strategy is the same for every variant).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to set up and small.
+    SmallInput,
+    /// Inputs are expensive to set up or large.
+    LargeInput,
+    /// One setup per measured call.
+    PerIteration,
+}
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id (`group/function/param`).
+    pub id: String,
+    /// Per-iteration wall time of each sample batch, in nanoseconds.
+    pub samples_ns: Vec<f64>,
+    /// Median of `samples_ns`.
+    pub median_ns: f64,
+    /// Iterations per sample batch chosen by calibration.
+    pub iters_per_sample: u64,
+}
+
+/// Collects results across groups and writes the final report.
+pub struct Harness {
+    results: Vec<BenchResult>,
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// An empty harness.
+    pub fn new() -> Harness {
+        Harness { results: Vec::new() }
+    }
+
+    /// Start a named group; benchmarks in it are reported as
+    /// `group_name/…`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        BenchGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// A standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, f: F) {
+        let id = id.into_id();
+        run_one(self, id, 10, Duration::from_secs(1), f);
+    }
+
+    /// Print the summary and, if `ROWSORT_BENCH_JSON` is set, write the
+    /// JSON report there. Called by [`bench_main!`](crate::bench_main).
+    pub fn finish(self) {
+        println!("\n{} benchmarks complete", self.results.len());
+        if let Ok(path) = std::env::var("ROWSORT_BENCH_JSON") {
+            let report = Json::Arr(
+                self.results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("id", Json::str(r.id.clone())),
+                            ("median_ns", Json::Num(r.median_ns)),
+                            ("iters_per_sample", Json::Num(r.iters_per_sample as f64)),
+                            (
+                                "samples_ns",
+                                Json::Arr(r.samples_ns.iter().map(|&s| Json::Num(s)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            match std::fs::write(&path, report.render() + "\n") {
+                Ok(()) => println!("wrote JSON report to {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+pub struct BenchGroup<'h> {
+    harness: &'h mut Harness,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchGroup<'_> {
+    /// Number of sample batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget the sample batches should roughly fill.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, f: F) {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(self.harness, id, self.sample_size, self.measurement_time, f);
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (a no-op; results were recorded as they ran).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    harness: &mut Harness,
+    id: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        samples_ns: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut bencher);
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[sorted.len() / 2]
+    };
+    println!(
+        "bench {id:<60} {:>12}  ({} samples x {} iters)",
+        format_ns(median_ns),
+        sorted.len(),
+        bencher.iters_per_sample,
+    );
+    harness.results.push(BenchResult {
+        id,
+        samples_ns: bencher.samples_ns,
+        median_ns,
+        iters_per_sample: bencher.iters_per_sample,
+    });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`] exactly once.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` alone.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: double the batch until one batch is long enough to
+        // time reliably (this also serves as warmup).
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || iters >= MAX_CALIBRATION_ITERS {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        let deadline = Instant::now() + self.measurement_time;
+        for sample in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+            // Always take at least two samples so the median is not a
+            // single outlier, then respect the time budget.
+            if sample >= 1 && Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut measured = |iters: u64| -> Duration {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                let out = routine(black_box(input));
+                total += start.elapsed();
+                black_box(out);
+            }
+            total
+        };
+        let mut iters = 1u64;
+        loop {
+            let elapsed = measured(iters);
+            if elapsed >= MIN_BATCH || iters >= MAX_CALIBRATION_ITERS {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        let deadline = Instant::now() + self.measurement_time;
+        for sample in 0..self.sample_size {
+            let elapsed = measured(iters);
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+            if sample >= 1 && Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Define a benchmark group function from target functions, like
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(harness: &mut $crate::bench::Harness) {
+            $($target(harness);)+
+        }
+    };
+}
+
+/// Define `main` from group functions, like `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Harness::new();
+            $($group(&mut harness);)+
+            harness.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples_and_median() {
+        let mut harness = Harness::new();
+        {
+            let mut group = harness.benchmark_group("g");
+            group.sample_size(3).measurement_time(Duration::from_millis(50));
+            group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            group.finish();
+        }
+        assert_eq!(harness.results.len(), 2);
+        let r = &harness.results[0];
+        assert_eq!(r.id, "g/sum");
+        assert!(!r.samples_ns.is_empty());
+        assert!(r.median_ns > 0.0);
+        assert_eq!(harness.results[1].id, "g/scaled/7");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut harness = Harness::new();
+        {
+            let mut group = harness.benchmark_group("g");
+            group.sample_size(2).measurement_time(Duration::from_millis(50));
+            group.bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![3u32, 1, 2],
+                    |mut v| {
+                        v.sort_unstable();
+                        v
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        assert!(harness.results[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("merge", 4096).into_id(), "merge/4096");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

@@ -1,0 +1,133 @@
+//! A minimal JSON writer — just enough for the bench harness's output.
+//!
+//! Build values with [`Json`] and render with [`Json::render`]. Only the
+//! types benchmark reports need are supported (no parsing).
+
+use std::fmt::Write as _;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite floats render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 9e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj(vec![
+            ("name", Json::str("fig2/Random \"quoted\"")),
+            ("median_ns", Json::Num(1234.0)),
+            ("ratio", Json::Num(1.5)),
+            ("ok", Json::Bool(true)),
+            ("samples", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ("missing", Json::Null),
+        ]);
+        assert_eq!(
+            j.render(),
+            "{\"name\":\"fig2/Random \\\"quoted\\\"\",\"median_ns\":1234,\
+             \"ratio\":1.5,\"ok\":true,\"samples\":[1,2],\"missing\":null}"
+        );
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        assert_eq!(Json::str("a\nb\u{1}").render(), "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_is_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+}

@@ -1,0 +1,43 @@
+//! Hermetic test infrastructure for the rowsort workspace.
+//!
+//! Everything the workspace's tests and benches previously pulled from
+//! crates.io (`rand`, `proptest`, `criterion`) lives here instead, with no
+//! dependencies outside `std`, so `cargo build && cargo test` succeeds with
+//! the registry unreachable:
+//!
+//! * [`rng`] — a deterministic xoshiro256** PRNG ([`Rng`]) with the
+//!   distribution helpers the workload generators and property tests need:
+//!   uniform integers and floats, biased coin flips, Zipfian sampling,
+//!   shuffles, and string/byte-vector generation.
+//! * [`prop`] — a mini property-testing harness: [`prop!`] declares
+//!   `#[test]` functions over [`prop::Gen`] value generators, runs a
+//!   configurable number of cases from a deterministic (env-overridable)
+//!   seed, and on failure greedily shrinks the input (halving numerics,
+//!   truncating vectors and strings) before printing the minimal failing
+//!   value together with a re-runnable seed.
+//! * [`bench`] — a small wall-clock benchmark harness in the shape of
+//!   criterion's API (groups, `iter`/`iter_batched`, warmup,
+//!   median-of-N samples) that reports results as text and JSON.
+//!
+//! # Reproducing a failure
+//!
+//! A failing property prints its run seed:
+//!
+//! ```text
+//! property 'typed_sorts_agree_with_std' failed (case 17 of 128, seed 0x92d68ca2)
+//! ...
+//! rerun: TESTKIT_SEED=0x92d68ca2 cargo test -p <crate> typed_sorts_agree_with_std
+//! ```
+//!
+//! Setting `TESTKIT_SEED` replays the identical case sequence. Without the
+//! variable, the seed is derived from the property name, so CI runs are
+//! fully deterministic; set `TESTKIT_SEED` to a fresh value (or
+//! `TESTKIT_CASES` to a larger count) to explore new inputs.
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use prop::{Gen, PropResult, Runner};
+pub use rng::{Rng, Zipf};

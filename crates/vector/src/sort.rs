@@ -2,11 +2,10 @@
 //! comparators over boxed values.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
 /// Sort direction for one key column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SortOrder {
     /// `ASC` (the SQL default).
     Ascending,
@@ -25,7 +24,7 @@ impl SortOrder {
 }
 
 /// NULL placement for one key column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NullOrder {
     /// `NULLS FIRST`.
     NullsFirst,
@@ -34,7 +33,7 @@ pub enum NullOrder {
 }
 
 /// Direction + NULL placement for one key column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SortSpec {
     /// ASC / DESC.
     pub order: SortOrder,
@@ -82,7 +81,7 @@ impl SortSpec {
 }
 
 /// One ORDER BY item: which column, and how to sort it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OrderByColumn {
     /// Index of the key column within the sorted relation.
     pub column: usize,
@@ -109,7 +108,7 @@ impl OrderByColumn {
 }
 
 /// A full ORDER BY clause: a lexicographic sequence of key columns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OrderBy {
     /// Key columns in priority order.
     pub keys: Vec<OrderByColumn>,

@@ -1,6 +1,5 @@
 //! The logical (SQL-level) type system.
 
-use serde::{Deserialize, Serialize};
 
 /// SQL-level data types supported by the workspace.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// (TPC-DS `customer` names). We support the full fixed-width integer
 /// family plus floats, dates, timestamps, and variable-length strings so the
 /// row layout and normalized-key encodings are exercised across widths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LogicalType {
     /// `BOOLEAN`.
     Boolean,

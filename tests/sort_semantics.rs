@@ -1,0 +1,185 @@
+//! Tier-1 sort-semantics tests: NULL ordering, mixed directions, and
+//! duplicate-heavy inputs through the parallel [`SortPipeline`], checked
+//! against a single-threaded run of the same pipeline.
+
+use rowsort::prelude::*;
+use rowsort_testkit::Rng;
+use std::cmp::Ordering;
+
+/// A duplicate-heavy chunk: an Int32 column with ~6 distinct values plus
+/// NULLs, a Varchar column with ~4 distinct values plus NULLs, and a
+/// unique UInt32 row id usable as a deterministic tiebreak.
+fn dup_heavy_chunk(rows: usize, seed: u64) -> DataChunk {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut chunk = DataChunk::new(&[
+        LogicalType::Int32,
+        LogicalType::Varchar,
+        LogicalType::UInt32,
+    ]);
+    let words = ["alpha", "beta", "gamma", ""];
+    for i in 0..rows {
+        let a = if rng.chance(0.15) {
+            Value::Null
+        } else {
+            Value::Int32(rng.range(-3i32, 3))
+        };
+        let b = if rng.chance(0.15) {
+            Value::Null
+        } else {
+            Value::from(*rng.pick(&words))
+        };
+        chunk.push_row(&[a, b, Value::UInt32(i as u32)]).unwrap();
+    }
+    chunk
+}
+
+fn all_specs() -> Vec<SortSpec> {
+    let mut out = Vec::new();
+    for dir in [SortOrder::Ascending, SortOrder::Descending] {
+        for nulls in [NullOrder::NullsFirst, NullOrder::NullsLast] {
+            out.push(SortSpec::new(dir, nulls));
+        }
+    }
+    out
+}
+
+fn sort_with(chunk: &DataChunk, order: &OrderBy, threads: usize) -> DataChunk {
+    SortPipeline::new(
+        chunk.types(),
+        order.clone(),
+        SortOptions {
+            threads,
+            run_rows: 257, // small runs => the merge tree actually runs
+        },
+    )
+    .sort(chunk)
+}
+
+fn assert_sorted(chunk: &DataChunk, order: &OrderBy, context: &str) {
+    let rows = chunk.to_rows();
+    for w in rows.windows(2) {
+        assert_ne!(
+            order.compare_rows(&w[0], &w[1]),
+            Ordering::Greater,
+            "{context}: out of order: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// Every NULLS FIRST/LAST × ASC/DESC combination over both key columns,
+/// with a unique tiebreak so the output is fully deterministic: the
+/// multi-threaded pipeline must equal the single-threaded one exactly.
+#[test]
+fn null_order_and_direction_sweep_parallel_equals_serial() {
+    let chunk = dup_heavy_chunk(5_000, 21);
+    for spec_a in all_specs() {
+        for spec_b in all_specs() {
+            let order = OrderBy::new(vec![
+                OrderByColumn {
+                    column: 0,
+                    spec: spec_a,
+                },
+                OrderByColumn {
+                    column: 1,
+                    spec: spec_b,
+                },
+                OrderByColumn {
+                    column: 2,
+                    spec: SortSpec::ASC,
+                },
+            ]);
+            let context = format!("specs {spec_a:?} / {spec_b:?}");
+            let reference = sort_with(&chunk, &order, 1);
+            assert_sorted(&reference, &order, &context);
+            for threads in [2, 4] {
+                let got = sort_with(&chunk, &order, threads);
+                assert_eq!(
+                    got.to_rows(),
+                    reference.to_rows(),
+                    "{context}, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// NULL rows land in one contiguous block at the correct end, regardless
+/// of direction or thread count.
+#[test]
+fn nulls_form_contiguous_block_at_the_requested_end() {
+    let chunk = dup_heavy_chunk(3_000, 22);
+    let n_null = (0..chunk.len())
+        .filter(|&i| !chunk.column(0).is_valid(i))
+        .count();
+    assert!(n_null > 0, "test data must contain NULLs");
+    for spec in all_specs() {
+        let order = OrderBy::new(vec![OrderByColumn { column: 0, spec }]);
+        let sorted = sort_with(&chunk, &order, 3);
+        let is_null: Vec<bool> = (0..sorted.len())
+            .map(|i| !sorted.column(0).is_valid(i))
+            .collect();
+        let expected: Vec<bool> = match spec.nulls {
+            NullOrder::NullsFirst => (0..sorted.len()).map(|i| i < n_null).collect(),
+            NullOrder::NullsLast => (0..sorted.len())
+                .map(|i| i >= sorted.len() - n_null)
+                .collect(),
+        };
+        assert_eq!(is_null, expected, "spec {spec:?}");
+    }
+}
+
+/// Without a tiebreak the output need not be bit-identical across thread
+/// counts, but it must be a correctly ordered permutation every time.
+#[test]
+fn duplicate_heavy_input_stays_a_sorted_permutation() {
+    let chunk = dup_heavy_chunk(8_000, 23);
+    let order = OrderBy::new(vec![
+        OrderByColumn {
+            column: 1,
+            spec: SortSpec::new(SortOrder::Descending, NullOrder::NullsLast),
+        },
+        OrderByColumn {
+            column: 0,
+            spec: SortSpec::new(SortOrder::Ascending, NullOrder::NullsFirst),
+        },
+    ]);
+    let canon = |c: &DataChunk| {
+        let mut rows: Vec<String> = c.to_rows().iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    };
+    let input_canon = canon(&chunk);
+    for threads in [1, 2, 4] {
+        let sorted = sort_with(&chunk, &order, threads);
+        assert_eq!(sorted.len(), chunk.len(), "{threads} threads");
+        assert_sorted(&sorted, &order, &format!("{threads} threads"));
+        assert_eq!(canon(&sorted), input_canon, "{threads} threads: multiset");
+    }
+}
+
+/// Mixed ASC/DESC over three keys with duplicates: parallel equals serial
+/// once a unique tiebreak pins the order.
+#[test]
+fn mixed_directions_three_keys_parallel_equals_serial() {
+    let chunk = dup_heavy_chunk(6_000, 24);
+    let order = OrderBy::new(vec![
+        OrderByColumn {
+            column: 1,
+            spec: SortSpec::new(SortOrder::Ascending, NullOrder::NullsLast),
+        },
+        OrderByColumn {
+            column: 0,
+            spec: SortSpec::new(SortOrder::Descending, NullOrder::NullsFirst),
+        },
+        OrderByColumn {
+            column: 2,
+            spec: SortSpec::new(SortOrder::Descending, NullOrder::NullsLast),
+        },
+    ]);
+    let reference = sort_with(&chunk, &order, 1);
+    assert_sorted(&reference, &order, "reference");
+    let got = sort_with(&chunk, &order, 4);
+    assert_eq!(got.to_rows(), reference.to_rows());
+}
