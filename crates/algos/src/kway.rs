@@ -8,15 +8,17 @@
 /// A tournament (loser) tree over `k` input cursors.
 ///
 /// Internal node `x` stores the *loser* of the match played at `x`; the
-/// overall winner sits in slot 0. After the winner's head element is
-/// consumed, [`LoserTree::replay`] walks only the winner's root path:
-/// ⌈log₂ k⌉ matches. Inputs are padded to a power of two with virtual
-/// always-exhausted leaves; exhausted inputs lose every match, and ties
-/// break toward the lower input index so merges are stable.
+/// overall winner is kept in a dedicated field. After the winner's head
+/// element is consumed, [`LoserTree::replay`] walks only the winner's root
+/// path: ⌈log₂ k⌉ matches. Inputs are padded to a power of two with
+/// virtual always-exhausted leaves; exhausted inputs lose every match, and
+/// ties break toward the lower input index so merges are stable.
 pub struct LoserTree {
-    /// `tree[0]`: current winner. `tree[1..cap]`: losers. Leaf for input
-    /// `i` is virtual node `cap + i`.
+    /// `tree[1..cap]`: losers of each internal match. Leaf for input `i`
+    /// is virtual node `cap + i`. Slot 0 is unused.
     tree: Vec<usize>,
+    /// The input that won the whole tournament (smallest current head).
+    winner: usize,
     cap: usize,
     k: usize,
 }
@@ -34,27 +36,34 @@ impl LoserTree {
     {
         assert!(k > 0, "loser tree needs at least one input");
         let cap = k.next_power_of_two();
-        let mut winner = vec![0usize; 2 * cap];
+        let mut round = vec![0usize; 2 * cap];
         for i in 0..cap {
-            winner[cap + i] = i;
+            round[cap + i] = i;
         }
         let mut tree = vec![0usize; cap];
         let mut beats = |a: usize, b: usize| -> bool {
             Self::beats_impl(a, b, k, &mut is_exhausted, &mut leaf_less)
         };
         for node in (1..cap).rev() {
-            let (a, b) = (winner[2 * node], winner[2 * node + 1]);
+            let (a, b) = (round[2 * node], round[2 * node + 1]);
             let (w, l) = if beats(a, b) { (a, b) } else { (b, a) };
-            winner[node] = w;
+            round[node] = w;
             tree[node] = l;
         }
-        tree[0] = if cap > 1 { winner[1] } else { 0 };
-        LoserTree { tree, cap, k }
+        // The root match's winner is the champion; with a single input
+        // (cap == 1) no match was played and input 0 wins by default.
+        let winner = round.get(1).copied().unwrap_or(0);
+        LoserTree {
+            tree,
+            winner,
+            cap,
+            k,
+        }
     }
 
     /// The input whose head is currently smallest.
     pub fn winner(&self) -> usize {
-        self.tree[0]
+        self.winner
     }
 
     /// Replay the path from input `leaf`'s position to the root after its
@@ -74,7 +83,7 @@ impl LoserTree {
             }
             node /= 2;
         }
-        self.tree[0] = contender;
+        self.winner = contender;
     }
 
     fn beats_impl<E, L>(
@@ -130,6 +139,8 @@ where
     };
     for _ in 0..total {
         let w = tree.winner();
+        // lint:allow(R003): this clone is the merge's output emission —
+        // one per emitted element, required for generic `T: Clone`.
         out.push(runs[w][pos[w]].clone());
         pos[w] += 1;
         let pos_ref = &pos;

@@ -67,8 +67,9 @@ where
         bounds.push(merge_path_partition(a, b, diag, is_less));
     }
     bounds
-        .windows(2)
-        .map(|w| (w[0].0..w[1].0, w[0].1..w[1].1))
+        .iter()
+        .zip(bounds.iter().skip(1))
+        .map(|(lo, hi)| (lo.0..hi.0, lo.1..hi.1))
         .collect()
 }
 

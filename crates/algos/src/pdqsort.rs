@@ -112,8 +112,14 @@ where
         was_partitioned = already;
 
         let (left, rest) = v.split_at_mut(mid);
-        let pivot_val = rest[0].clone();
-        let right = &mut rest[1..];
+        // `rest` starts at the pivot slot — partition_right returns
+        // `mid < len`, so it is never empty.
+        let Some((pivot_slot, right)) = rest.split_first_mut() else {
+            return;
+        };
+        // lint:allow(R003): one pivot copy per partition step — O(log n)
+        // clones per sort for the predecessor-pivot check, not per element.
+        let pivot_val = pivot_slot.clone();
         if left.len() < right.len() {
             recurse(left, is_less, pred, limit);
             v = right;
@@ -201,8 +207,11 @@ where
     F: FnMut(&T, &T) -> bool,
 {
     v.swap(0, pivot_idx);
-    let (pivot_slot, rest) = v.split_at_mut(1);
-    let pivot = &pivot_slot[0];
+    let Some((pivot, rest)) = v.split_first_mut() else {
+        // An empty slice is trivially partitioned.
+        return (0, true);
+    };
+    let pivot = &*pivot;
 
     // Cheap skip over already-correct prefix/suffix.
     let mut l = 0;
@@ -326,8 +335,11 @@ where
     F: FnMut(&T, &T) -> bool,
 {
     v.swap(0, pivot_idx);
-    let (pivot_slot, rest) = v.split_at_mut(1);
-    let pivot = &pivot_slot[0];
+    let Some((pivot, rest)) = v.split_first_mut() else {
+        // An empty slice has no element greater than the pivot.
+        return 0;
+    };
+    let pivot = &*pivot;
     let mut l = 0usize;
     let mut r = rest.len();
     loop {
@@ -454,6 +466,8 @@ fn recurse_rows<F>(
         let mid = start + mid_rel;
         was_balanced = mid_rel.min(len - mid_rel) >= len / 8;
 
+        // lint:allow(R003): one pivot-row copy per partition step — O(log n)
+        // copies per sort for the predecessor-pivot check, not per row.
         let pivot_val = rows.row(mid).to_vec();
         if mid - start < end - mid - 1 {
             recurse_rows(rows, start, mid, is_less, pred, limit);

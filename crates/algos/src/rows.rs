@@ -52,8 +52,11 @@ impl<'a> RowsMut<'a> {
     #[inline]
     pub fn row(&self, i: usize) -> &[u8] {
         debug_assert!(i < self.len, "row {i} out of bounds ({})", self.len);
-        // SAFETY: `i < len` (checked above in debug; every caller iterates
-        // within `0..len`), so the range lies inside `data`.
+        // SAFETY: `width` is fixed at construction and `new`/`sub`/
+        // `split_at_mut` all guarantee `data.len() == len * width`, so
+        // `i < len` implies `(i + 1) * width <= data.len()` — the returned
+        // `width`-byte range lies inside `data`. `i < len` is asserted in
+        // debug builds; every in-crate caller iterates within `0..len`.
         unsafe { std::slice::from_raw_parts(self.data.as_ptr().add(i * self.width), self.width) }
     }
 
@@ -61,7 +64,9 @@ impl<'a> RowsMut<'a> {
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [u8] {
         debug_assert!(i < self.len, "row {i} out of bounds ({})", self.len);
-        // SAFETY: as in `row`.
+        // SAFETY: same bounds argument as `row`: `data.len() == len * width`
+        // by construction and `i < len`, so the range is in-bounds; the
+        // `&mut self` receiver guarantees the borrow is exclusive.
         unsafe {
             std::slice::from_raw_parts_mut(self.data.as_mut_ptr().add(i * self.width), self.width)
         }
@@ -79,8 +84,11 @@ impl<'a> RowsMut<'a> {
         if i == j {
             return;
         }
-        // SAFETY: i != j, both < len, so the two `width`-byte regions are
-        // disjoint and in-bounds.
+        // SAFETY: `i != j` (equal indices returned above) and rows are
+        // `width`-aligned slots, so the two `width`-byte regions cannot
+        // overlap; both are in-bounds because `i < len` and `j < len`
+        // (debug-asserted) with `data.len() == len * width` fixed at
+        // construction.
         unsafe {
             std::ptr::swap_nonoverlapping(
                 self.data.as_mut_ptr().add(i * self.width),

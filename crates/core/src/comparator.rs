@@ -31,11 +31,20 @@ fn null_order(a_null: bool, b_null: bool, nulls: NullOrder) -> Option<Ordering> 
     }
 }
 
+/// Read a fixed-width array out of a row slice. Infallible by type: the
+/// width comes from the const parameter, so there is no `try_into` to
+/// fail — bounds are enforced by the slice operation itself.
+#[inline]
+fn read_array<const W: usize>(row: &[u8], off: usize) -> [u8; W] {
+    let mut buf = [0u8; W];
+    buf.copy_from_slice(&row[off..off + W]);
+    buf
+}
+
 macro_rules! read_le {
-    ($t:ty, $row:expr, $off:expr) => {{
-        let w = std::mem::size_of::<$t>();
-        <$t>::from_le_bytes($row[$off..$off + w].try_into().unwrap())
-    }};
+    ($t:ty, $row:expr, $off:expr) => {
+        <$t>::from_le_bytes(read_array($row, $off))
+    };
 }
 
 #[inline]

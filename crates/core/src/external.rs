@@ -76,6 +76,15 @@ pub struct ExternalSorter {
     layout: Arc<RowLayout>,
 }
 
+/// Read a 4-byte heap slot out of the row area. Infallible by type: the
+/// width is a const parameter, so there is no fallible `try_into`.
+#[inline]
+fn read_slot<const W: usize>(bytes: &[u8], at: usize) -> [u8; W] {
+    let mut buf = [0u8; W];
+    buf.copy_from_slice(&bytes[at..at + W]);
+    buf
+}
+
 /// One spilled run and the metadata to read it back.
 struct SpilledRun {
     path: PathBuf,
@@ -303,9 +312,8 @@ impl ExternalSorter {
                             continue;
                         }
                         let at = base + self.layout.offset(c);
-                        let rel = u32::from_le_bytes(out_data[at..at + 4].try_into().unwrap());
-                        let len = u32::from_le_bytes(out_data[at + 4..at + 8].try_into().unwrap())
-                            as usize;
+                        let rel = u32::from_le_bytes(read_slot(&out_data, at));
+                        let len = u32::from_le_bytes(read_slot(&out_data, at + 4)) as usize;
                         let new_off = out_heap.len() as u32;
                         out_heap.extend_from_slice(&cur.heap[rel as usize..rel as usize + len]);
                         out_data[at..at + 4].copy_from_slice(&new_off.to_le_bytes());

@@ -105,13 +105,15 @@ fn exec_stream(
         } => {
             let chunks = exec_stream(input, catalog, options)?;
             let (_, types) = input.schema(catalog)?;
-            Ok(top_n(chunks, &types, order, *limit, *offset))
+            top_n(chunks, &types, order, *limit, *offset)
         }
         LogicalPlan::CountStar { input } => {
             let chunks = exec_stream(input, catalog, options)?;
             let count: usize = chunks.iter().map(DataChunk::len).sum();
             let col = Vector::from_i64s(vec![count as i64]);
-            Ok(vec![DataChunk::from_columns(vec![col]).expect("one column")])
+            let out = DataChunk::from_columns(vec![col])
+                .map_err(|e| EngineError::Internal(e.to_string()))?;
+            Ok(vec![out])
         }
         LogicalPlan::SortMergeJoin {
             left,
@@ -123,7 +125,8 @@ fn exec_stream(
         } => {
             let l = materialize(exec_stream(left, catalog, options)?, left, catalog)?;
             let r = materialize(exec_stream(right, catalog, options)?, right, catalog)?;
-            Ok(sort_merge_join(&l, &r, *left_col, *right_col, types, options).split_into_vectors())
+            let joined = sort_merge_join(&l, &r, *left_col, *right_col, types, options)?;
+            Ok(joined.split_into_vectors())
         }
         LogicalPlan::WindowRowNumber { input, order } => {
             let all = materialize(exec_stream(input, catalog, options)?, input, catalog)?;
@@ -162,7 +165,7 @@ fn sort_merge_join(
     right_col: usize,
     out_types: &[rowsort_vector::LogicalType],
     options: &ExecOptions,
-) -> DataChunk {
+) -> Result<DataChunk> {
     use rowsort_vector::OrderByColumn;
     let l_order = OrderBy::new(vec![OrderByColumn::asc(left_col)]);
     let r_order = OrderBy::new(vec![OrderByColumn::asc(right_col)]);
@@ -201,7 +204,8 @@ fn sort_merge_join(
                         row_buf.clear();
                         row_buf.extend(l.row(li));
                         row_buf.extend(r.row(rj));
-                        out.push_row(&row_buf).expect("schema matches");
+                        out.push_row(&row_buf)
+                            .map_err(|e| EngineError::Internal(e.to_string()))?;
                     }
                 }
                 i = i_end;
@@ -209,7 +213,7 @@ fn sort_merge_join(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -291,10 +295,10 @@ fn top_n(
     order: &OrderBy,
     limit: u64,
     offset: u64,
-) -> Vec<DataChunk> {
+) -> Result<Vec<DataChunk>> {
     let keep = (limit + offset) as usize;
     if keep == 0 {
-        return vec![DataChunk::new(types)];
+        return Ok(vec![DataChunk::new(types)]);
     }
     // Bounded selection buffer: keep at most `keep` best rows, compacting
     // whenever the buffer doubles.
@@ -314,9 +318,10 @@ fn top_n(
     compact(&mut buf);
     let mut out = DataChunk::new(types);
     for row in buf.iter().skip(offset as usize) {
-        out.push_row(row).expect("schema matches");
+        out.push_row(row)
+            .map_err(|e| EngineError::Internal(e.to_string()))?;
     }
-    vec![out]
+    Ok(vec![out])
 }
 
 #[cfg(test)]

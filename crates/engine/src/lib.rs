@@ -50,6 +50,9 @@ pub enum EngineError {
     UnknownColumn(String),
     /// A semantically invalid query (e.g. comparing incompatible types).
     Invalid(String),
+    /// An executor invariant did not hold (a bug, not a user error):
+    /// surfaced as an error instead of a panic so callers keep control.
+    Internal(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -59,6 +62,7 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             EngineError::Invalid(m) => write!(f, "invalid query: {m}"),
+            EngineError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

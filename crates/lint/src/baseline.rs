@@ -1,0 +1,299 @@
+//! Baseline mechanism: findings recorded in `lint-baseline.json` are
+//! reported as warnings instead of errors, so a new rule can land before
+//! the codebase is fully clean. The goal state is an **empty** baseline —
+//! a test asserts that is the case today.
+//!
+//! The checked-in format is written by `rowsort-lint --write-baseline` via
+//! [`render`]; [`parse`] is a tiny purpose-built JSON reader (testkit's
+//! `json` module is writer-only) that accepts exactly the shape we emit:
+//!
+//! ```json
+//! {"findings":[{"rule":"R002","path":"crates/x.rs","line":10}]}
+//! ```
+//!
+//! A baseline entry matches a finding on `(rule, path, line)`.
+
+use crate::rules::Finding;
+use rowsort_testkit::json::Json;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id, e.g. `R002`.
+    pub rule: String,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Does this finding appear in the baseline?
+pub fn contains(baseline: &[BaselineEntry], f: &Finding) -> bool {
+    baseline
+        .iter()
+        .any(|b| b.rule == f.rule && b.path == f.path && b.line == f.line)
+}
+
+/// Render findings as a baseline document.
+pub fn render(findings: &[Finding]) -> String {
+    let entries: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("rule", Json::str(f.rule.clone())),
+                ("path", Json::str(f.path.clone())),
+                ("line", Json::Num(f.line as f64)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![("findings", Json::Arr(entries))]);
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+/// Parse a baseline document. Returns `Err` with a description on any
+/// structural problem — a corrupt baseline must fail loudly, not silently
+/// grandfather nothing.
+pub fn parse(src: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err("trailing content after JSON document".to_string());
+    }
+    let Value::Obj(pairs) = value else {
+        return Err("baseline root must be an object".to_string());
+    };
+    let findings = pairs
+        .into_iter()
+        .find(|(k, _)| k == "findings")
+        .map(|(_, v)| v)
+        .ok_or("baseline missing `findings` key")?;
+    let Value::Arr(items) = findings else {
+        return Err("`findings` must be an array".to_string());
+    };
+    let mut out = Vec::new();
+    for item in items {
+        let Value::Obj(fields) = item else {
+            return Err("each baseline entry must be an object".to_string());
+        };
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("baseline entry missing `{name}`"))
+        };
+        let Value::Str(rule) = get("rule")? else {
+            return Err("`rule` must be a string".to_string());
+        };
+        let Value::Str(path) = get("path")? else {
+            return Err("`path` must be a string".to_string());
+        };
+        let Value::Num(line) = get("line")? else {
+            return Err("`line` must be a number".to_string());
+        };
+        out.push(BaselineEntry {
+            rule,
+            path,
+            line: line as u32,
+        });
+    }
+    Ok(out)
+}
+
+/// Just the JSON subset the baseline uses.
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            other => Err(format!("expected `{c}`, found {other:?}")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected character {other:?}")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(pairs)),
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items)),
+                other => return Err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, path: &str, line: u32) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let findings = vec![finding("R002", "crates/x.rs", 10), finding("R003", "a/b.rs", 7)];
+        let text = render(&findings);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(contains(&parsed, &findings[0]));
+        assert!(contains(&parsed, &findings[1]));
+        assert!(!contains(&parsed, &finding("R002", "crates/x.rs", 11)));
+    }
+
+    #[test]
+    fn empty_baseline() {
+        let parsed = parse("{\"findings\":[]}\n").unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn corrupt_baseline_is_an_error() {
+        assert!(parse("").is_err());
+        assert!(parse("[]").is_err());
+        assert!(parse("{\"findings\":[{\"rule\":\"R002\"}]}").is_err());
+        assert!(parse("{\"findings\":[]} extra").is_err());
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let f = finding("R001", "weird \"path\"\n.rs", 1);
+        let parsed = parse(&render(&[f.clone()])).unwrap();
+        assert!(contains(&parsed, &f));
+    }
+}

@@ -1,0 +1,504 @@
+//! A line/column-tracking Rust tokenizer.
+//!
+//! This is not a full Rust lexer — it recognizes exactly the token shapes
+//! the rule engine needs to reason about source *structure* without being
+//! fooled by content: string literals (including raw strings with any
+//! number of `#`s and `b`/`c` prefixes), char literals vs. lifetimes,
+//! line comments, *nested* block comments, numbers, identifiers (including
+//! raw `r#ident`), and single-character punctuation. Everything a rule
+//! matches on (`unsafe`, `unwrap`, `[0]`, …) therefore can never come from
+//! inside a string or a comment.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `foo`, `r#fn`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// String, byte-string, or C-string literal (`"…"`, `b"…"`, `c"…"`).
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br##"…"##`).
+    RawStr,
+    /// Numeric literal (`0`, `0xFF`, `1_000`, `1.5`).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` comment (including doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting respected.
+    BlockComment,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw text, exactly as written (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// `true` for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// `true` if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Cursor {
+        Cursor {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Unterminated constructs (string, comment) consume to EOF
+/// rather than erroring: the lint must degrade gracefully on any input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while !cur.eof() {
+        // Skip whitespace.
+        while matches!(cur.peek(0), Some(c) if c.is_whitespace()) {
+            cur.bump();
+        }
+        if cur.eof() {
+            break;
+        }
+        let (line, col) = (cur.line, cur.col);
+        let c = match cur.peek(0) {
+            Some(c) => c,
+            None => break,
+        };
+        let tok = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if c == '"' {
+            lex_string(&mut cur, String::new())
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else if is_ident_start(c) {
+            lex_ident_or_prefixed(&mut cur)
+        } else {
+            let mut text = String::new();
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+            Tok {
+                kind: TokKind::Punct,
+                text,
+                line,
+                col,
+            }
+        };
+        out.push(Tok { line, col, ..tok });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::LineComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> Tok {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push('*');
+            text.push('/');
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    Tok {
+        kind: TokKind::BlockComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Consume a `"…"` string whose opening quote is the current char.
+/// `prefix` is any already-consumed literal prefix (`b`, `c`).
+fn lex_string(cur: &mut Cursor, prefix: String) -> Tok {
+    let mut text = prefix;
+    text.push('"');
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+        } else if c == '"' {
+            text.push(c);
+            cur.bump();
+            break;
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Consume a raw string `r"…"` / `r#"…"#` etc. whose hashes/quote start at
+/// the current char. `prefix` holds the consumed `r`/`br`/`cr`.
+fn lex_raw_string(cur: &mut Cursor, prefix: String) -> Tok {
+    let mut text = prefix;
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek(0) == Some('"') {
+        text.push('"');
+        cur.bump();
+    }
+    // Scan to `"` followed by `hashes` hash characters.
+    while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            let closing = (1..=hashes).all(|k| cur.peek(k) == Some('#'));
+            if closing {
+                text.push('"');
+                cur.bump();
+                for _ in 0..hashes {
+                    text.push('#');
+                    cur.bump();
+                }
+                break;
+            }
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::RawStr,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` / `' '` (char literal).
+fn lex_quote(cur: &mut Cursor) -> Tok {
+    let one = cur.peek(1);
+    let two = cur.peek(2);
+    let is_char = match one {
+        Some('\\') => true,
+        Some(c) if is_ident_start(c) => two == Some('\''),
+        Some(_) => true, // e.g. ' ', '"', '('
+        None => false,
+    };
+    if !is_char {
+        // Lifetime: consume the quote and the identifier.
+        let mut text = String::from("'");
+        cur.bump();
+        while matches!(cur.peek(0), Some(c) if is_ident_continue(c)) {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+        }
+        return Tok {
+            kind: TokKind::Lifetime,
+            text,
+            line: 0,
+            col: 0,
+        };
+    }
+    // Char literal: scan to the closing quote, honoring escapes.
+    let mut text = String::from("'");
+    cur.bump();
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+        } else if c == '\'' {
+            text.push(c);
+            cur.bump();
+            break;
+        } else if c == '\n' {
+            break; // malformed; don't swallow the rest of the file
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    Tok {
+        kind: TokKind::Char,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Tok {
+    let mut text = String::new();
+    while matches!(cur.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    // Fractional part — but never swallow `..` range syntax.
+    if cur.peek(0) == Some('.') && matches!(cur.peek(1), Some(c) if c.is_ascii_digit()) {
+        text.push('.');
+        cur.bump();
+        while matches!(cur.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+        }
+    }
+    Tok {
+        kind: TokKind::Num,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// An identifier, or a literal carrying an identifier-like prefix:
+/// `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `c"…"`, `b'x'`, `r#ident`.
+fn lex_ident_or_prefixed(cur: &mut Cursor) -> Tok {
+    let mut text = String::new();
+    while matches!(cur.peek(0), Some(c) if is_ident_continue(c)) {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    let raw_capable = matches!(text.as_str(), "r" | "br" | "cr");
+    let str_capable = raw_capable || matches!(text.as_str(), "b" | "c");
+    match cur.peek(0) {
+        Some('"') if str_capable && raw_capable => lex_raw_string(cur, text),
+        Some('"') if str_capable => lex_string(cur, text),
+        Some('#') if raw_capable => {
+            // `r#"…"#` raw string, or `r#ident` raw identifier.
+            let mut k = 0usize;
+            while cur.peek(k) == Some('#') {
+                k += 1;
+            }
+            if cur.peek(k) == Some('"') {
+                lex_raw_string(cur, text)
+            } else {
+                // Raw identifier: consume `#` + ident chars.
+                text.push('#');
+                cur.bump();
+                while matches!(cur.peek(0), Some(c) if is_ident_continue(c)) {
+                    if let Some(c) = cur.bump() {
+                        text.push(c);
+                    }
+                }
+                Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line: 0,
+                    col: 0,
+                }
+            }
+        }
+        Some('\'') if text == "b" => {
+            // Byte char literal `b'x'`.
+            let inner = lex_quote(cur);
+            Tok {
+                kind: TokKind::Char,
+                text: format!("b{}", inner.text),
+                line: 0,
+                col: 0,
+            }
+        }
+        _ => Tok {
+            kind: TokKind::Ident,
+            text,
+            line: 0,
+            col: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn keyword_in_string_is_a_string() {
+        let toks = kinds(r#"let s = "unsafe { }";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "unsafe"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unsafe")));
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; x"###);
+        let raw = toks.iter().find(|(k, _)| *k == TokKind::RawStr);
+        assert!(raw.is_some_and(|(_, t)| t.contains("quote")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* outer /* inner */ still outer */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.contains("still outer"));
+        assert_eq!(toks[1].1, "after");
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn number_and_range() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokKind::Num, "0".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokKind::Num, "10".into()));
+        let toks = kinds("1.5e3");
+        assert_eq!(toks[0].1, "1.5e3");
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.starts_with("b\"")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof() {
+        let toks = kinds("let s = \"never closed");
+        assert_eq!(toks.last().map(|(k, _)| *k), Some(TokKind::Str));
+    }
+}

@@ -1,0 +1,135 @@
+//! rowsort-lint — in-tree static analysis for the rowsort workspace.
+//!
+//! A dependency-free analyzer built on a hand-rolled Rust lexer
+//! ([`lexer`]) and a token-stream rule engine ([`rules`]). It walks every
+//! `.rs` file and `Cargo.toml` in the workspace and enforces the
+//! invariants the sorting paper's performance claims rest on: documented
+//! `unsafe`, panic-free and allocation-free hot paths, lossless casts in
+//! order-preserving key encodings, and a hermetic (path-only) dependency
+//! closure. See `lint.toml` for rule scoping and `DESIGN.md` for the
+//! rationale per rule.
+//!
+//! Run it as `cargo run -p lint --release` (binary name `rowsort-lint`);
+//! `scripts/verify.sh` treats a non-zero exit as a tier-1 failure.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+mod toml_scan;
+
+pub use config::Config;
+pub use rules::Finding;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Analyze one file's source text. Dispatches on file name: `Cargo.toml`
+/// gets the manifest audit (R005), `.rs` gets the token rules.
+/// `rel_path` must be workspace-relative with `/` separators.
+pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    if rel_path == "Cargo.toml" || rel_path.ends_with("/Cargo.toml") {
+        rules::check_manifest(rel_path, src)
+    } else if rel_path.ends_with(".rs") {
+        rules::analyze_rust(rel_path, src, cfg)
+    } else {
+        Vec::new()
+    }
+}
+
+/// The result of a workspace run: findings split by baseline status.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by the baseline — these fail the build.
+    pub errors: Vec<Finding>,
+    /// Grandfathered findings — reported as warnings only.
+    pub warnings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Walk the workspace rooted at `root`, analyze every `.rs` and
+/// `Cargo.toml`, and partition findings against `grandfathered`.
+pub fn run_workspace(
+    root: &Path,
+    cfg: &Config,
+    grandfathered: &[baseline::BaselineEntry],
+) -> Result<Report, String> {
+    let mut files = Vec::new();
+    collect_files(root, root, cfg, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("read {rel}: {e}"))?;
+        report.files_scanned += 1;
+        for f in analyze_source(&rel, &src, cfg) {
+            if baseline::contains(grandfathered, &f) {
+                report.warnings.push(f);
+            } else {
+                report.errors.push(f);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Directories never worth descending into, regardless of `lint.toml`.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "vendor"];
+
+fn collect_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_files(root, &path, cfg, out)?;
+        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+            let rel = rel_unix(root, &path);
+            if !Config::matches(&cfg.exclude, &rel) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators (lint findings and glob
+/// patterns are platform-independent).
+fn rel_unix(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Load `lint.toml` from the workspace root. A missing config is an
+/// error: scoped rules without scopes silently check nothing.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    let src = fs::read_to_string(&path)
+        .map_err(|e| format!("read {}: {e} (lint.toml is required at the workspace root)", path.display()))?;
+    Ok(Config::parse(&src))
+}
+
+/// Load `lint-baseline.json` from the workspace root. A missing file
+/// means an empty baseline; a corrupt file is an error.
+pub fn load_baseline(root: &Path) -> Result<Vec<baseline::BaselineEntry>, String> {
+    let path = root.join("lint-baseline.json");
+    match fs::read_to_string(&path) {
+        Ok(src) => baseline::parse(&src).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("read {}: {e}", path.display())),
+    }
+}

@@ -1,0 +1,137 @@
+//! `rowsort-lint` — run the workspace analyzer from the command line.
+//!
+//! ```text
+//! rowsort-lint [--root DIR] [--json] [--write-baseline]
+//! ```
+//!
+//! Exit codes: 0 = clean (baseline warnings allowed), 1 = findings,
+//! 2 = usage or I/O error. `--json` emits one machine-readable document
+//! on stdout; `--write-baseline` records all current errors into
+//! `lint-baseline.json` so a new rule can land warn-only.
+
+use lint::{baseline, load_baseline, load_config, run_workspace, Finding, Report};
+use rowsort_testkit::json::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next().ok_or("--root requires a directory argument")?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: rowsort-lint [--root DIR] [--json] [--write-baseline]".into())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn finding_json(f: &Finding) -> Json {
+    Json::obj(vec![
+        ("rule", Json::str(f.rule.clone())),
+        ("path", Json::str(f.path.clone())),
+        ("line", Json::Num(f.line as f64)),
+        ("col", Json::Num(f.col as f64)),
+        ("message", Json::str(f.message.clone())),
+    ])
+}
+
+fn print_human(report: &Report) {
+    for f in &report.warnings {
+        println!(
+            "warning[{}]: {}:{}:{}: {} (baselined)",
+            f.rule, f.path, f.line, f.col, f.message
+        );
+    }
+    for f in &report.errors {
+        println!(
+            "error[{}]: {}:{}:{}: {}",
+            f.rule, f.path, f.line, f.col, f.message
+        );
+    }
+    println!(
+        "rowsort-lint: {} file(s) scanned, {} error(s), {} baselined warning(s)",
+        report.files_scanned,
+        report.errors.len(),
+        report.warnings.len()
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("rowsort-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = (|| -> Result<Report, String> {
+        let cfg = load_config(&args.root)?;
+        let grandfathered = load_baseline(&args.root)?;
+        run_workspace(&args.root, &cfg, &grandfathered)
+    })();
+    let report = match result {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("rowsort-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let text = baseline::render(&report.errors);
+        let path = args.root.join("lint-baseline.json");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("rowsort-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "rowsort-lint: wrote {} finding(s) to {}",
+            report.errors.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        let doc = Json::obj(vec![
+            ("files_scanned", Json::Num(report.files_scanned as f64)),
+            (
+                "errors",
+                Json::Arr(report.errors.iter().map(finding_json).collect()),
+            ),
+            (
+                "warnings",
+                Json::Arr(report.warnings.iter().map(finding_json).collect()),
+            ),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        print_human(&report);
+    }
+
+    if report.errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

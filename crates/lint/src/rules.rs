@@ -1,0 +1,792 @@
+//! The rule engine: R001–R006 over token streams and Cargo manifests.
+//!
+//! | rule | scope (from `lint.toml`) | invariant |
+//! |------|--------------------------|-----------|
+//! | R001 | every `.rs` file         | `unsafe` block/fn is immediately preceded by a `// SAFETY:` comment |
+//! | R002 | `[hot-paths]` globs      | no `unwrap()` / `expect()` / `panic!` / slice-indexing-by-literal |
+//! | R003 | `[hot-paths]` globs      | no allocation calls (`Vec::new`, `Box::new`, `to_vec`, `clone()`, `collect()`, `format!`) inside loop bodies |
+//! | R004 | `[cast-strict]` globs    | no bare `as` numeric casts (use `to_be_bytes`/`try_into`/`cast_unsigned`) |
+//! | R005 | every `Cargo.toml`       | all dependencies are `path`/`workspace` references |
+//! | R006 | every `.rs` file         | no `std::process::exit` / `unsafe impl Send/Sync` outside allowlists |
+//!
+//! `#[cfg(test)]` modules and `#[test]` functions are exempt from R002–R004:
+//! the invariants guard the measured hot paths, not test scaffolding.
+//! Findings are suppressed by `// lint:allow(R00X): reason` on the same or
+//! the preceding line; a suppression **must** carry a reason, or the
+//! suppression itself becomes a finding (R000).
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::toml_scan;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `R002`.
+    pub rule: String,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(rule: &str, path: &str, tok: &Tok, message: impl Into<String>) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: message.into(),
+        }
+    }
+}
+
+/// Numeric primitive types for R004.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+struct FileCtx<'a> {
+    path: &'a str,
+    toks: &'a [Tok],
+    /// Token-index ranges belonging to `#[cfg(test)]` mods / `#[test]` fns.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// Index of the previous non-comment token.
+    fn prev_sig(&self, idx: usize) -> Option<usize> {
+        (0..idx).rev().find(|&j| !self.toks[j].is_comment())
+    }
+
+    /// Index of the next non-comment token.
+    fn next_sig(&self, idx: usize) -> Option<usize> {
+        (idx + 1..self.toks.len()).find(|&j| !self.toks[j].is_comment())
+    }
+}
+
+/// A parsed `lint:allow` suppression.
+#[derive(Debug)]
+struct Suppression {
+    rules: Vec<String>,
+    /// Source line this suppression covers.
+    covers_line: u32,
+    has_reason: bool,
+    /// Line of the comment itself (for R000 reporting).
+    comment_line: u32,
+    comment_col: u32,
+}
+
+/// Analyze one Rust source file. `path` must be repo-relative with `/`
+/// separators; scoped rules consult `cfg` to decide applicability.
+pub fn analyze_rust(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let toks = lex(src);
+    let ctx = FileCtx {
+        path,
+        toks: &toks,
+        test_ranges: test_ranges(&toks),
+    };
+
+    let mut findings = Vec::new();
+    let suppressions = collect_suppressions(&ctx, &mut findings);
+
+    rule_r001(&ctx, &mut findings);
+    if Config::matches(&cfg.hot_paths, path) {
+        rule_r002(&ctx, &mut findings);
+        rule_r003(&ctx, &mut findings);
+    }
+    if Config::matches(&cfg.cast_strict, path) {
+        rule_r004(&ctx, &mut findings);
+    }
+    rule_r006(&ctx, cfg, &mut findings);
+
+    findings.retain(|f| {
+        f.rule == "R000"
+            || !suppressions
+                .iter()
+                .any(|s| s.has_reason && s.covers_line == f.line && s.rules.contains(&f.rule))
+    });
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Token-index ranges covered by `#[cfg(test)] mod … { … }` and
+/// `#[test] fn … { … }`. Attributes like `#[cfg(not(test))]` do not count.
+fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Consume `#[ … ]` with bracket depth.
+        let Some(open) = next_sig_from(toks, i) else { break };
+        if !toks[open].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = open;
+        let mut attr_words: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident {
+                attr_words.push(&t.text);
+            }
+            j += 1;
+        }
+        let is_test_attr = attr_words.contains(&"test") && !attr_words.contains(&"not");
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip further attributes and visibility to the item keyword.
+        let mut k = j + 1;
+        let mut item = None;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_comment() {
+                k += 1;
+            } else if t.is_punct('#') {
+                // Nested attribute: skip its brackets.
+                let mut d = 0i32;
+                k += 1;
+                while k < toks.len() {
+                    if toks[k].is_punct('[') {
+                        d += 1;
+                    } else if toks[k].is_punct(']') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                k += 1;
+            } else if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "pub" | "crate" | "super" | "self" | "async")
+                || t.is_punct('(')
+                || t.is_punct(')')
+            {
+                k += 1;
+            } else if t.kind == TokKind::Ident && (t.text == "mod" || t.text == "fn") {
+                item = Some(k);
+                break;
+            } else {
+                break;
+            }
+        }
+        let Some(item_idx) = item else {
+            i = j + 1;
+            continue;
+        };
+        // Find the body `{ … }` and mark the whole span.
+        let mut b = item_idx;
+        let mut open_brace = None;
+        while b < toks.len() {
+            if toks[b].is_punct('{') {
+                open_brace = Some(b);
+                break;
+            }
+            if toks[b].is_punct(';') {
+                break; // `mod name;` — no body here
+            }
+            b += 1;
+        }
+        if let Some(ob) = open_brace {
+            let mut d = 0i32;
+            let mut e = ob;
+            while e < toks.len() {
+                if toks[e].is_punct('{') {
+                    d += 1;
+                } else if toks[e].is_punct('}') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                e += 1;
+            }
+            ranges.push((attr_start, e + 1));
+            i = e + 1;
+        } else {
+            i = b + 1;
+        }
+    }
+    ranges
+}
+
+fn next_sig_from(toks: &[Tok], idx: usize) -> Option<usize> {
+    (idx + 1..toks.len()).find(|&j| !toks[j].is_comment())
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// Parse `// lint:allow(R002): reason` comments. A suppression on its own
+/// line covers the next line holding code; a trailing suppression covers
+/// its own line. Missing reasons are reported as R000 findings.
+fn collect_suppressions(ctx: &FileCtx, findings: &mut Vec<Finding>) -> Vec<Suppression> {
+    // Lines that contain at least one non-comment token.
+    let code_lines: Vec<u32> = {
+        let mut v: Vec<u32> = ctx
+            .toks
+            .iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| t.line)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        // Anchor the directive at the start of the comment (after the
+        // `//`/`//!`/`/*` sigils) so prose *mentioning* lint:allow — docs
+        // like this file's — is not mistaken for a suppression.
+        let body = t.text.trim_start_matches(['/', '!', '*']).trim_start();
+        let Some(after) = body.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            findings.push(Finding::new(
+                "R000",
+                ctx.path,
+                t,
+                "malformed lint:allow — missing ')'",
+            ));
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() || !rules.iter().all(|r| valid_rule_id(r)) {
+            findings.push(Finding::new(
+                "R000",
+                ctx.path,
+                t,
+                format!("lint:allow names unknown rule id(s): `{}`", &after[..close]),
+            ));
+            continue;
+        }
+        let tail = after[close + 1..].trim_start();
+        let has_reason = tail
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        if !has_reason {
+            findings.push(Finding::new(
+                "R000",
+                ctx.path,
+                t,
+                format!(
+                    "lint:allow({}) requires a reason: `// lint:allow({}): why this is sound`",
+                    rules.join(","),
+                    rules.join(",")
+                ),
+            ));
+        }
+        // Trailing (code earlier on the same line) covers its own line;
+        // a standalone comment covers the next code line.
+        let trailing = ctx
+            .toks
+            .iter()
+            .take(i)
+            .any(|p| !p.is_comment() && p.line == t.line);
+        let covers_line = if trailing {
+            t.line
+        } else {
+            code_lines
+                .iter()
+                .copied()
+                .find(|&l| l > t.line)
+                .unwrap_or(t.line)
+        };
+        out.push(Suppression {
+            rules,
+            covers_line,
+            has_reason,
+            comment_line: t.line,
+            comment_col: t.col,
+        });
+    }
+    // Silence "unused field" pedantry without widening the API.
+    let _ = out.first().map(|s| (s.comment_line, s.comment_col));
+    out
+}
+
+fn valid_rule_id(r: &str) -> bool {
+    matches!(r, "R001" | "R002" | "R003" | "R004" | "R005" | "R006")
+}
+
+// ---------------------------------------------------------------------------
+// R001 — unsafe requires SAFETY comment
+// ---------------------------------------------------------------------------
+
+fn rule_r001(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    use std::collections::HashSet;
+    // Which source lines are covered by comments / SAFETY comments
+    // (multi-line block comments cover every line they span), and which
+    // lines are attributes (`#[…]`) — allowed between comment and item.
+    let mut comment_lines: HashSet<u32> = HashSet::new();
+    let mut safety_lines: HashSet<u32> = HashSet::new();
+    let mut attr_lines: HashSet<u32> = HashSet::new();
+    let mut first_sig_on_line: HashSet<u32> = HashSet::new();
+    for t in ctx.toks {
+        if t.is_comment() {
+            let span = t.text.matches('\n').count() as u32;
+            for l in t.line..=t.line + span {
+                comment_lines.insert(l);
+                if t.text.contains("SAFETY:") {
+                    safety_lines.insert(l);
+                }
+            }
+        } else if first_sig_on_line.insert(t.line) && t.is_punct('#') {
+            attr_lines.insert(t.line);
+        }
+    }
+
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // `unsafe impl` is R006's domain.
+        if ctx
+            .next_sig(i)
+            .is_some_and(|n| ctx.toks[n].is_ident("impl"))
+        {
+            continue;
+        }
+        // Documented iff a SAFETY comment touches the `unsafe` line itself
+        // or the contiguous run of comment/attribute lines directly above.
+        let mut documented = safety_lines.contains(&t.line);
+        let mut l = t.line;
+        while !documented && l > 1 {
+            l -= 1;
+            if safety_lines.contains(&l) {
+                documented = true;
+            } else if !comment_lines.contains(&l) && !attr_lines.contains(&l) {
+                break;
+            }
+        }
+        if !documented {
+            findings.push(Finding::new(
+                "R001",
+                ctx.path,
+                t,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                 documenting why the invariants hold",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R002 — no panics in hot paths
+// ---------------------------------------------------------------------------
+
+fn rule_r002(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test(i) || t.kind != TokKind::Ident && !t.is_punct('[') {
+            continue;
+        }
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && ctx.prev_sig(i).is_some_and(|p| ctx.toks[p].is_punct('.'))
+            && ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('('))
+        {
+            findings.push(Finding::new(
+                "R002",
+                ctx.path,
+                t,
+                format!(
+                    "`.{}()` in a hot-path module — return a Result or use checked access",
+                    t.text
+                ),
+            ));
+        } else if t.is_ident("panic")
+            && ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('!'))
+        {
+            findings.push(Finding::new(
+                "R002",
+                ctx.path,
+                t,
+                "`panic!` in a hot-path module — return a Result instead",
+            ));
+        } else if t.is_punct('[') {
+            // `expr[<int literal>]`: prev token ends an expression, the
+            // bracket holds exactly one numeric literal.
+            let expr_before = ctx.prev_sig(i).is_some_and(|p| {
+                let pt = &ctx.toks[p];
+                pt.kind == TokKind::Ident && !is_keyword_nonexpr(&pt.text)
+                    || pt.is_punct(')')
+                    || pt.is_punct(']')
+            });
+            let lit_inside = ctx.next_sig(i).is_some_and(|n| {
+                ctx.toks[n].kind == TokKind::Num
+                    && ctx
+                        .next_sig(n)
+                        .is_some_and(|m| ctx.toks[m].is_punct(']'))
+            });
+            if expr_before && lit_inside {
+                findings.push(Finding::new(
+                    "R002",
+                    ctx.path,
+                    t,
+                    "slice indexed by integer literal in a hot-path module — \
+                     use `first()`/`split_first()`/pattern matching",
+                ));
+            }
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, …).
+fn is_keyword_nonexpr(word: &str) -> bool {
+    matches!(
+        word,
+        "return" | "break" | "in" | "if" | "else" | "match" | "while" | "loop" | "move" | "mut"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// R003 — no allocation inside loop bodies in hot paths
+// ---------------------------------------------------------------------------
+
+fn rule_r003(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    #[derive(PartialEq)]
+    enum Brace {
+        Plain,
+        Loop,
+    }
+    let mut stack: Vec<Brace> = Vec::new();
+    let mut loop_depth = 0usize;
+    let mut paren_depth = 0i32;
+    let mut pending_loop: Option<i32> = None;
+    let mut pending_impl = false;
+
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.is_comment() {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "impl" => pending_impl = true,
+                "for" => {
+                    let hrtb = ctx
+                        .next_sig(i)
+                        .is_some_and(|n| ctx.toks[n].is_punct('<'));
+                    if !pending_impl && !hrtb {
+                        pending_loop = Some(paren_depth);
+                    }
+                    pending_impl = false;
+                }
+                "while" | "loop" => pending_loop = Some(paren_depth),
+                _ => {}
+            },
+            TokKind::Punct => match t.text.as_str() {
+                "(" | "[" => paren_depth += 1,
+                ")" | "]" => paren_depth -= 1,
+                "{" => {
+                    if pending_loop == Some(paren_depth) {
+                        stack.push(Brace::Loop);
+                        loop_depth += 1;
+                        pending_loop = None;
+                    } else {
+                        stack.push(Brace::Plain);
+                    }
+                    pending_impl = false;
+                }
+                "}" => {
+                    if stack.pop() == Some(Brace::Loop) {
+                        loop_depth -= 1;
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        if loop_depth == 0 || ctx.in_test(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call = |name: &str| -> bool {
+            t.is_ident(name)
+                && ctx.prev_sig(i).is_some_and(|p| ctx.toks[p].is_punct('.'))
+                && ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('('))
+        };
+        let assoc_new = t.is_ident("new")
+            && ctx.prev_sig(i).is_some_and(|p| {
+                ctx.toks[p].is_punct(':')
+                    && ctx.prev_sig(p).is_some_and(|q| {
+                        ctx.toks[q].is_punct(':')
+                            && ctx.prev_sig(q).is_some_and(|r| {
+                                ctx.toks[r].is_ident("Vec") || ctx.toks[r].is_ident("Box")
+                            })
+                    })
+            });
+        let offending = if t.is_ident("format")
+            && ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('!'))
+        {
+            Some("format! allocates")
+        } else if assoc_new {
+            Some("Vec::new/Box::new allocates")
+        } else if method_call("to_vec") || method_call("clone") || method_call("collect") {
+            Some("per-iteration allocation")
+        } else {
+            None
+        };
+        if let Some(why) = offending {
+            findings.push(Finding::new(
+                "R003",
+                ctx.path,
+                t,
+                format!(
+                    "`{}` inside a loop body in a hot-path module ({why}) — \
+                     hoist the allocation out of the loop",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R004 — no bare `as` numeric casts in order-preserving encodings
+// ---------------------------------------------------------------------------
+
+fn rule_r004(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test(i) || !t.is_ident("as") {
+            continue;
+        }
+        let Some(n) = ctx.next_sig(i) else { continue };
+        let target = &ctx.toks[n];
+        if target.kind == TokKind::Ident && NUMERIC_TYPES.contains(&target.text.as_str()) {
+            findings.push(Finding::new(
+                "R004",
+                ctx.path,
+                t,
+                format!(
+                    "bare `as {}` cast in an order-preserving encoding — use \
+                     `to_be_bytes`/`from_be_bytes`/`try_into`/`cast_unsigned` so the \
+                     conversion is explicit and lossless",
+                    target.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R005 — path-only dependency closure
+// ---------------------------------------------------------------------------
+
+/// Section-name check: is this a dependency-declaring section, and if it is
+/// the dotted per-dependency form, what is the dependency's name?
+fn dep_section(section: &str) -> Option<Option<String>> {
+    let segs = toml_scan::split_dotted(section);
+    let dep_pos = segs.iter().position(|s| {
+        matches!(
+            s.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        )
+    })?;
+    match segs.len() - 1 - dep_pos {
+        0 => Some(None),                         // `[dependencies]`
+        1 => Some(Some(segs[dep_pos + 1].clone())), // `[dependencies.foo]`
+        _ => None,
+    }
+}
+
+/// Check one `Cargo.toml`: every dependency must be a `path` or
+/// `workspace = true` reference; `version`/`git`/`registry` keys are
+/// rejected even alongside `path`, so nothing can fall back to a registry.
+pub fn check_manifest(path: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let items = toml_scan::scan(src);
+    let finding = |line: u32, msg: String| Finding {
+        rule: "R005".to_string(),
+        path: path.to_string(),
+        line,
+        col: 1,
+        message: msg,
+    };
+
+    // Inline form: `foo = "1.0"`, `foo = { … }`, or the dotted-key form
+    // `foo.workspace = true` under `[…dependencies]`.
+    for item in &items {
+        match dep_section(&item.section) {
+            Some(None) => {
+                let key_segs = toml_scan::split_dotted(&item.key);
+                let v = item.value.trim();
+                if key_segs.len() == 2 {
+                    // `foo.workspace = true` / `foo.version = "1"` etc.
+                    let entries = vec![(key_segs[1].clone(), v.to_string())];
+                    findings.extend(audit_dep_entries(
+                        &entries,
+                        &key_segs[0],
+                        item.line,
+                        &finding,
+                    ));
+                } else if v.starts_with('{') {
+                    let entries = toml_scan::inline_table_entries(v);
+                    findings.extend(audit_dep_entries(&entries, &item.key, item.line, &finding));
+                } else {
+                    findings.push(finding(
+                        item.line,
+                        format!(
+                            "dependency `{}` is a registry version (`{}`) — only path/workspace \
+                             dependencies are allowed",
+                            item.key, v
+                        ),
+                    ));
+                }
+            }
+            Some(Some(_)) | None => {}
+        }
+    }
+
+    // Dotted-table form: `[dependencies.foo]` with keys as separate items.
+    let mut tables: Vec<(String, String, u32, Vec<(String, String)>)> = Vec::new();
+    for item in &items {
+        if let Some(Some(dep)) = dep_section(&item.section) {
+            match tables.iter_mut().find(|(s, _, _, _)| s == &item.section) {
+                Some((_, _, _, entries)) => entries.push((item.key.clone(), item.value.clone())),
+                None => tables.push((
+                    item.section.clone(),
+                    dep,
+                    item.line,
+                    vec![(item.key.clone(), item.value.clone())],
+                )),
+            }
+        }
+    }
+    for (_, dep, line, entries) in &tables {
+        findings.extend(audit_dep_entries(entries, dep, *line, &finding));
+    }
+    findings
+}
+
+fn audit_dep_entries(
+    entries: &[(String, String)],
+    dep: &str,
+    line: u32,
+    finding: &impl Fn(u32, String) -> Finding,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let has_path = entries.iter().any(|(k, _)| k == "path");
+    let has_workspace = entries
+        .iter()
+        .any(|(k, v)| k == "workspace" && v.trim() == "true");
+    if !has_path && !has_workspace {
+        out.push(finding(
+            line,
+            format!(
+                "dependency `{dep}` has neither `path` nor `workspace = true` — only \
+                 path/workspace dependencies are allowed"
+            ),
+        ));
+    }
+    for (k, _) in entries {
+        if matches!(k.as_str(), "version" | "git" | "registry" | "branch" | "rev" | "tag") {
+            out.push(finding(
+                line,
+                format!(
+                    "dependency `{dep}` declares `{k}` — registry/git fallback is not allowed \
+                     in a hermetic workspace"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R006 — process::exit / unsafe impl Send/Sync outside allowlists
+// ---------------------------------------------------------------------------
+
+fn rule_r006(ctx: &FileCtx, cfg: &Config, findings: &mut Vec<Finding>) {
+    let exit_allowed = Config::matches(&cfg.exit_allow, ctx.path);
+    let unsafe_impl_allowed = Config::matches(&cfg.unsafe_impl_allow, ctx.path);
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !exit_allowed && t.is_ident("exit") {
+            let from_process = ctx.prev_sig(i).is_some_and(|p| {
+                ctx.toks[p].is_punct(':')
+                    && ctx.prev_sig(p).is_some_and(|q| {
+                        ctx.toks[q].is_punct(':')
+                            && ctx
+                                .prev_sig(q)
+                                .is_some_and(|r| ctx.toks[r].is_ident("process"))
+                    })
+            });
+            if from_process {
+                findings.push(Finding::new(
+                    "R006",
+                    ctx.path,
+                    t,
+                    "`std::process::exit` outside the CLI allowlist — return an error \
+                     so callers (and tests) keep control",
+                ));
+            }
+        }
+        if !unsafe_impl_allowed
+            && t.is_ident("unsafe")
+            && ctx
+                .next_sig(i)
+                .is_some_and(|n| ctx.toks[n].is_ident("impl"))
+        {
+            // Scan the impl header for Send/Sync.
+            let mut j = i + 1;
+            let mut target = None;
+            while j < ctx.toks.len() {
+                let h = &ctx.toks[j];
+                if h.is_punct('{') || h.is_punct(';') {
+                    break;
+                }
+                if h.is_ident("Send") || h.is_ident("Sync") {
+                    target = Some(h.text.clone());
+                }
+                j += 1;
+            }
+            if let Some(which) = target {
+                findings.push(Finding::new(
+                    "R006",
+                    ctx.path,
+                    t,
+                    format!(
+                        "`unsafe impl {which}` outside the allowlist — hand-written \
+                         thread-safety claims need explicit review"
+                    ),
+                ));
+            }
+        }
+    }
+}

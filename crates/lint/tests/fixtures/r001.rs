@@ -1,0 +1,27 @@
+// Known-bad fixture for R001 (unsafe requires SAFETY comment).
+// Scanned by the lint integration test only — never compiled, and
+// excluded from the workspace scan by lint.toml.
+
+fn good() {
+    let x = [1u8, 2];
+    // SAFETY: index 0 is in bounds because the array has two elements.
+    let v = unsafe { *x.get_unchecked(0) };
+    let _ = v;
+}
+
+fn bad() {
+    let x = [1u8, 2];
+    let v = unsafe { *x.get_unchecked(1) };
+    let _ = v;
+}
+
+fn not_fooled_by_strings() {
+    let _s = "unsafe { nothing }";
+    let _r = r#"unsafe { raw "quoted" }"#;
+    /* the word unsafe in /* a nested */ comment */
+}
+
+// SAFETY: does nothing; exists to prove documented fns are accepted.
+pub unsafe fn documented_unsafe_fn() {}
+
+pub unsafe fn undocumented_unsafe_fn() {}

@@ -1,0 +1,40 @@
+// Known-bad fixture for R003 (no allocation in hot loop bodies).
+
+struct Wrapper(Vec<u32>);
+
+impl Iterator for Wrapper {
+    // `for` in an impl header must not be mistaken for a loop.
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        self.0.pop()
+    }
+}
+
+fn cold() -> Vec<u32> {
+    let v: Vec<u32> = Vec::new();
+    v.clone()
+}
+
+fn hot(rows: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for r in rows {
+        let copy = r.clone();
+        let twice = r.to_vec();
+        let label = format!("{}", r.len());
+        let fresh: Vec<u32> = Vec::new();
+        let gathered: Vec<u32> = r.iter().copied().collect();
+        let _ = (twice, label, fresh, gathered);
+        out.push(copy);
+    }
+    let mut i = 0;
+    while i < rows.len() {
+        let b = Box::new(i);
+        i += *b + 1;
+    }
+    out
+}
+
+fn hrtb(f: impl for<'a> Fn(&'a u32) -> u32) -> u32 {
+    // `for<'a>` is a binder, not a loop — the call below is fine.
+    f(&3)
+}

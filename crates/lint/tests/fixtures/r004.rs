@@ -1,0 +1,14 @@
+// Known-bad fixture for R004 (no bare `as` numeric casts).
+
+pub fn encode(v: i32, w: u8) -> [u8; 4] {
+    let x = v as u32;
+    let _y = w as usize;
+    let ok = u32::from(w);
+    (x ^ ok).to_be_bytes()
+}
+
+pub fn aliasing_is_fine() {
+    // `as` renaming an import targets a non-numeric ident — not a cast.
+    use std::collections::HashMap as Map;
+    let _m: Map<u32, u32> = Map::new();
+}

@@ -1,0 +1,18 @@
+// Known-bad fixture for R006 (process::exit / unsafe impl Send/Sync).
+
+pub struct Handle(*mut u8);
+
+// SAFETY: a SAFETY comment does not excuse unsafe impl — R006 needs an
+// allowlist entry, which this fixture path does not have.
+unsafe impl Send for Handle {}
+
+unsafe impl Sync for Handle {}
+
+fn die() -> ! {
+    std::process::exit(3);
+}
+
+pub trait Marker {}
+// An unsafe impl of a trait other than Send/Sync is not flagged by R006
+// (and unsafe impls are deliberately outside R001's scope).
+unsafe impl Marker for Handle {}

@@ -1,0 +1,10 @@
+// Fixture for suppression handling: reasons are mandatory.
+
+fn covered(o: Option<u32>) -> u32 {
+    // lint:allow(R002): fixture — standalone form with a reason.
+    let a = o.unwrap();
+    let b = o.unwrap(); // lint:allow(R002): trailing form with a reason.
+    // lint:allow(R002)
+    let c = o.unwrap();
+    a + b + c
+}

@@ -1,0 +1,195 @@
+//! Fixture-based rule tests: each fixture under `tests/fixtures/` holds
+//! known-bad (and known-good) snippets; the assertions pin the exact
+//! finding counts and locations, so lexer or rule regressions show up as
+//! off-by-one line numbers or missing/extra findings.
+
+use lint::{analyze_source, baseline, rules, Config};
+use std::path::Path;
+
+fn cfg() -> Config {
+    Config {
+        // Fixtures are analyzed under virtual paths: `hot/…` is in the
+        // R002/R003 scope, `enc/…` in the R004 scope.
+        hot_paths: vec!["hot/**".to_string()],
+        cast_strict: vec!["enc/**".to_string()],
+        exit_allow: vec![],
+        unsafe_impl_allow: vec![],
+        exclude: vec![],
+    }
+}
+
+/// `(rule, line)` pairs of all findings, in source order.
+fn findings(path: &str, src: &str) -> Vec<(String, u32)> {
+    analyze_source(path, src, &cfg())
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn r001_unsafe_without_safety_comment() {
+    let got = findings("any/r001.rs", include_str!("fixtures/r001.rs"));
+    assert_eq!(
+        got,
+        vec![("R001".to_string(), 14), ("R001".to_string(), 27)],
+        "undocumented unsafe block and fn; documented ones pass, and \
+         `unsafe` inside strings, raw strings, or nested comments is text"
+    );
+}
+
+#[test]
+fn r002_panics_and_literal_indexing_in_hot_paths() {
+    let got = findings("hot/r002.rs", include_str!("fixtures/r002.rs"));
+    let r002: Vec<u32> = got.iter().map(|(_, l)| *l).collect();
+    assert!(got.iter().all(|(r, _)| r == "R002"), "{got:?}");
+    assert_eq!(
+        r002,
+        vec![4, 5, 7, 9, 12],
+        "unwrap, expect, panic!, v[0], e[1]; variable indexes, array \
+         literals, #[cfg(test)] code, strings and comments are exempt"
+    );
+}
+
+#[test]
+fn r002_does_not_apply_outside_hot_paths() {
+    assert!(findings("cold/r002.rs", include_str!("fixtures/r002.rs")).is_empty());
+}
+
+#[test]
+fn r003_allocations_in_hot_loop_bodies() {
+    let got = findings("hot/r003.rs", include_str!("fixtures/r003.rs"));
+    assert!(got.iter().all(|(r, _)| r == "R003"), "{got:?}");
+    let lines: Vec<u32> = got.iter().map(|(_, l)| *l).collect();
+    assert_eq!(
+        lines,
+        vec![21, 22, 23, 24, 25, 31],
+        "clone/to_vec/format!/Vec::new/collect in a for body and Box::new \
+         in a while body; allocations outside loops, `impl … for`, and \
+         `for<'a>` binders are exempt"
+    );
+}
+
+#[test]
+fn r004_bare_numeric_casts_in_cast_strict_paths() {
+    let got = findings("enc/r004.rs", include_str!("fixtures/r004.rs"));
+    assert_eq!(
+        got,
+        vec![("R004".to_string(), 4), ("R004".to_string(), 5)],
+        "`as u32` and `as usize` flagged; `use … as Name` is not a cast"
+    );
+    assert!(findings("other/r004.rs", include_str!("fixtures/r004.rs")).is_empty());
+}
+
+#[test]
+fn r006_exit_and_unsafe_impl() {
+    let got = findings("any/r006.rs", include_str!("fixtures/r006.rs"));
+    assert_eq!(
+        got,
+        vec![
+            ("R006".to_string(), 7),
+            ("R006".to_string(), 9),
+            ("R006".to_string(), 12),
+        ],
+        "unsafe impl Send, unsafe impl Sync, process::exit; an unsafe impl \
+         of another trait is not R006's concern"
+    );
+}
+
+#[test]
+fn r006_respects_allowlists() {
+    let mut config = cfg();
+    config.exit_allow = vec!["cli/**".to_string()];
+    config.unsafe_impl_allow = vec!["cli/**".to_string()];
+    let got = analyze_source("cli/r006.rs", include_str!("fixtures/r006.rs"), &config);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn suppressions_need_reasons() {
+    let got = findings("hot/suppress.rs", include_str!("fixtures/suppress.rs"));
+    assert_eq!(
+        got,
+        vec![("R000".to_string(), 7), ("R002".to_string(), 8)],
+        "reasoned suppressions (standalone and trailing) silence their \
+         line; a reason-less lint:allow is itself a finding and does not \
+         suppress"
+    );
+}
+
+#[test]
+fn r005_manifest_audit() {
+    let got: Vec<(String, u32)> = analyze_source(
+        "crates/fixture/Cargo.toml",
+        include_str!("fixtures/r005_bad.toml"),
+        &cfg(),
+    )
+    .into_iter()
+    .map(|f| (f.rule, f.line))
+    .collect();
+    assert!(got.iter().all(|(r, _)| r == "R005"), "{got:?}");
+    let mut lines: Vec<u32> = got.iter().map(|(_, l)| *l).collect();
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![8, 9, 9, 12, 12, 12, 15, 15, 21],
+        "registry versions, inline `version`/`git`/`branch` keys, dotted \
+         tables, and target-specific sections are all caught; `path` and \
+         `workspace = true` deps pass"
+    );
+}
+
+#[test]
+fn non_rust_non_manifest_files_are_ignored() {
+    assert!(analyze_source("README.md", "v[0].unwrap()", &cfg()).is_empty());
+}
+
+#[test]
+fn checked_in_baseline_is_empty() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let entries = lint::load_baseline(&root).expect("baseline parses");
+    assert!(
+        entries.is_empty(),
+        "lint-baseline.json must stay empty — fix findings instead of \
+         grandfathering them: {entries:?}"
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = lint::load_config(&root).expect("lint.toml loads");
+    let grandfathered = lint::load_baseline(&root).expect("baseline loads");
+    let report = lint::run_workspace(&root, &config, &grandfathered).expect("scan runs");
+    assert!(
+        report.errors.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .errors
+            .iter()
+            .map(|f| format!("  [{}] {}:{}:{} {}", f.rule, f.path, f.line, f.col, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "walk found the workspace");
+}
+
+#[test]
+fn baseline_grandfathers_findings_as_warnings() {
+    let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let all = analyze_source("hot/g.rs", src, &cfg());
+    assert_eq!(all.len(), 1);
+    let grandfathered = vec![baseline::BaselineEntry {
+        rule: "R002".to_string(),
+        path: "hot/g.rs".to_string(),
+        line: 1,
+    }];
+    assert!(baseline::contains(&grandfathered, &all[0]));
+    let other = rules::Finding {
+        rule: "R002".to_string(),
+        path: "hot/g.rs".to_string(),
+        line: 2,
+        col: 1,
+        message: String::new(),
+    };
+    assert!(!baseline::contains(&grandfathered, &other));
+}

@@ -17,7 +17,7 @@ pub const NULL_LAST_VALID: u8 = 0x00;
 /// Encode a `bool` (false < true).
 #[inline]
 pub fn encode_bool(v: bool) -> [u8; 1] {
-    [v as u8]
+    [u8::from(v)]
 }
 
 /// Encode a `u8`.
@@ -47,13 +47,13 @@ pub fn encode_u64(v: u64) -> [u8; 8] {
 /// Encode an `i8`: flip the sign bit so negatives sort before positives.
 #[inline]
 pub fn encode_i8(v: i8) -> [u8; 1] {
-    [(v as u8) ^ 0x80]
+    [v.cast_unsigned() ^ 0x80]
 }
 
 /// Encode an `i16`: flip the sign bit, big-endian.
 #[inline]
 pub fn encode_i16(v: i16) -> [u8; 2] {
-    ((v as u16) ^ 0x8000).to_be_bytes()
+    (v.cast_unsigned() ^ 0x8000).to_be_bytes()
 }
 
 /// Encode an `i32`: flip the sign bit, big-endian.
@@ -63,13 +63,13 @@ pub fn encode_i16(v: i16) -> [u8; 2] {
 /// first.
 #[inline]
 pub fn encode_i32(v: i32) -> [u8; 4] {
-    ((v as u32) ^ 0x8000_0000).to_be_bytes()
+    (v.cast_unsigned() ^ 0x8000_0000).to_be_bytes()
 }
 
 /// Encode an `i64`: flip the sign bit, big-endian.
 #[inline]
 pub fn encode_i64(v: i64) -> [u8; 8] {
-    ((v as u64) ^ 0x8000_0000_0000_0000).to_be_bytes()
+    (v.cast_unsigned() ^ 0x8000_0000_0000_0000).to_be_bytes()
 }
 
 /// Encode an `f32` into the IEEE-754 total order (matching `f32::total_cmp`):

@@ -4,6 +4,16 @@ use crate::layout::RowLayout;
 use rowsort_vector::{DataChunk, LogicalType, Value, Vector, VectorData};
 use std::sync::Arc;
 
+/// Read a fixed-width array out of a byte slice. Infallible by type: the
+/// width is a const parameter, so there is no fallible `try_into` — bounds
+/// are enforced by the slice operation itself.
+#[inline]
+fn read_array<const W: usize>(bytes: &[u8], at: usize) -> [u8; W] {
+    let mut buf = [0u8; W];
+    buf.copy_from_slice(&bytes[at..at + W]);
+    buf
+}
+
 /// A buffer of fixed-width NSM rows plus the string heap they reference.
 ///
 /// The row area is one contiguous `Vec<u8>` of `len * width` bytes, so a
@@ -179,7 +189,11 @@ impl RowBlock {
                         continue;
                     }
                     let bytes = strings.get_bytes(i);
+                    // lint:allow(R002): a heap or string beyond 4 GiB cannot
+                    // be represented in the u32 slot format at all; aborting
+                    // is the only sound response to that capacity overflow.
                     let heap_off = u32::try_from(self.heap.len()).expect("heap exceeds 4 GiB");
+                    // lint:allow(R002): same 4 GiB capacity bound as above.
                     let byte_len = u32::try_from(bytes.len()).expect("string exceeds 4 GiB");
                     self.heap.extend_from_slice(bytes);
                     let at = (base + i) * width + slot;
@@ -198,8 +212,8 @@ impl RowBlock {
     /// The string bytes referenced by a VARCHAR slot.
     pub fn string_bytes(&self, row: usize, col: usize) -> &[u8] {
         let at = row * self.width() + self.layout.offset(col);
-        let off = u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap()) as usize;
-        let len = u32::from_le_bytes(self.data[at + 4..at + 8].try_into().unwrap()) as usize;
+        let off = u32::from_le_bytes(read_array(&self.data, at)) as usize;
+        let len = u32::from_le_bytes(read_array(&self.data, at + 4)) as usize;
         &self.heap[off..off + len]
     }
 
@@ -211,28 +225,29 @@ impl RowBlock {
         let at = row * self.width() + self.layout.offset(col);
         let d = &self.data;
         macro_rules! read {
-            ($t:ty, $w:expr) => {
-                <$t>::from_le_bytes(d[at..at + $w].try_into().unwrap())
+            ($t:ty) => {
+                <$t>::from_le_bytes(read_array(d, at))
             };
         }
         match self.layout.types()[col] {
             LogicalType::Boolean => Value::Boolean(d[at] != 0),
             LogicalType::Int8 => Value::Int8(d[at] as i8),
-            LogicalType::Int16 => Value::Int16(read!(i16, 2)),
-            LogicalType::Int32 => Value::Int32(read!(i32, 4)),
-            LogicalType::Int64 => Value::Int64(read!(i64, 8)),
+            LogicalType::Int16 => Value::Int16(read!(i16)),
+            LogicalType::Int32 => Value::Int32(read!(i32)),
+            LogicalType::Int64 => Value::Int64(read!(i64)),
             LogicalType::UInt8 => Value::UInt8(d[at]),
-            LogicalType::UInt16 => Value::UInt16(read!(u16, 2)),
-            LogicalType::UInt32 => Value::UInt32(read!(u32, 4)),
-            LogicalType::UInt64 => Value::UInt64(read!(u64, 8)),
-            LogicalType::Float32 => Value::Float32(read!(f32, 4)),
-            LogicalType::Float64 => Value::Float64(read!(f64, 8)),
-            LogicalType::Date => Value::Date(read!(i32, 4)),
-            LogicalType::Timestamp => Value::Timestamp(read!(i64, 8)),
+            LogicalType::UInt16 => Value::UInt16(read!(u16)),
+            LogicalType::UInt32 => Value::UInt32(read!(u32)),
+            LogicalType::UInt64 => Value::UInt64(read!(u64)),
+            LogicalType::Float32 => Value::Float32(read!(f32)),
+            LogicalType::Float64 => Value::Float64(read!(f64)),
+            LogicalType::Date => Value::Date(read!(i32)),
+            LogicalType::Timestamp => Value::Timestamp(read!(i64)),
             LogicalType::Varchar => Value::Varchar(
-                std::str::from_utf8(self.string_bytes(row, col))
-                    .expect("row heap holds valid UTF-8")
-                    .to_owned(),
+                // Lossy on purpose: the heap is valid UTF-8 when built via
+                // append_chunk; from_raw_parts may carry arbitrary bytes,
+                // and a read accessor should not abort on them.
+                String::from_utf8_lossy(self.string_bytes(row, col)).into_owned(),
             ),
         }
     }
@@ -253,6 +268,8 @@ impl RowBlock {
         let columns: Vec<Vector> = (0..self.layout.column_count())
             .map(|c| self.gather_column(c, order))
             .collect();
+        // lint:allow(R002): gather_column builds one vector per column,
+        // each exactly `order.len()` long, so from_columns cannot fail.
         DataChunk::from_columns(columns).expect("equal lengths by construction")
     }
 
@@ -263,11 +280,11 @@ impl RowBlock {
         let d = &self.data;
 
         macro_rules! gather_fixed {
-            ($t:ty, $w:expr, $ctor:expr) => {{
+            ($t:ty, $ctor:expr) => {{
                 let mut vals: Vec<$t> = Vec::with_capacity(order.len());
                 for &r in order {
                     let at = r as usize * width + slot;
-                    vals.push(<$t>::from_le_bytes(d[at..at + $w].try_into().unwrap()));
+                    vals.push(<$t>::from_le_bytes(read_array(d, at)));
                 }
                 $ctor(vals)
             }};
@@ -295,24 +312,24 @@ impl RowBlock {
                 }
                 Vector::from_u8s(vals)
             }
-            LogicalType::Int16 => gather_fixed!(i16, 2, Vector::from_i16s),
-            LogicalType::UInt16 => gather_fixed!(u16, 2, Vector::from_u16s),
-            LogicalType::Int32 => gather_fixed!(i32, 4, Vector::from_i32s),
-            LogicalType::UInt32 => gather_fixed!(u32, 4, Vector::from_u32s),
-            LogicalType::Date => gather_fixed!(i32, 4, Vector::from_dates),
-            LogicalType::Int64 => gather_fixed!(i64, 8, Vector::from_i64s),
-            LogicalType::UInt64 => gather_fixed!(u64, 8, Vector::from_u64s),
-            LogicalType::Timestamp => gather_fixed!(i64, 8, Vector::from_timestamps),
-            LogicalType::Float32 => gather_fixed!(f32, 4, Vector::from_f32s),
-            LogicalType::Float64 => gather_fixed!(f64, 8, Vector::from_f64s),
+            LogicalType::Int16 => gather_fixed!(i16, Vector::from_i16s),
+            LogicalType::UInt16 => gather_fixed!(u16, Vector::from_u16s),
+            LogicalType::Int32 => gather_fixed!(i32, Vector::from_i32s),
+            LogicalType::UInt32 => gather_fixed!(u32, Vector::from_u32s),
+            LogicalType::Date => gather_fixed!(i32, Vector::from_dates),
+            LogicalType::Int64 => gather_fixed!(i64, Vector::from_i64s),
+            LogicalType::UInt64 => gather_fixed!(u64, Vector::from_u64s),
+            LogicalType::Timestamp => gather_fixed!(i64, Vector::from_timestamps),
+            LogicalType::Float32 => gather_fixed!(f32, Vector::from_f32s),
+            LogicalType::Float64 => gather_fixed!(f64, Vector::from_f64s),
             LogicalType::Varchar => {
                 let strings = order.iter().map(|&r| {
                     let row = r as usize;
                     if self.is_null(row, col) {
-                        ""
+                        std::borrow::Cow::Borrowed("")
                     } else {
-                        std::str::from_utf8(self.string_bytes(row, col))
-                            .expect("row heap holds valid UTF-8")
+                        // Lossy on purpose — see `value` on the same choice.
+                        String::from_utf8_lossy(self.string_bytes(row, col))
                     }
                 });
                 Vector::from_strings(strings)
@@ -349,7 +366,9 @@ impl RowBlock {
     /// merge: key comparison decides the picks, then rows are copied in
     /// output order with their strings compacted into a fresh heap.
     pub fn gather_from(blocks: &[&RowBlock], picks: &[(u32, u32)]) -> RowBlock {
-        assert!(!blocks.is_empty());
+        assert!(!blocks.is_empty(), "gather_from needs at least one block");
+        // lint:allow(R002): the index is guarded by the assert directly
+        // above; an empty input has no layout to build a block from.
         let layout = Arc::clone(blocks[0].layout());
         for b in blocks {
             assert_eq!(
@@ -374,8 +393,8 @@ impl RowBlock {
                     continue;
                 }
                 let at = layout.offset(c);
-                let off = u32::from_le_bytes(row[at..at + 4].try_into().unwrap()) as usize;
-                let len = u32::from_le_bytes(row[at + 4..at + 8].try_into().unwrap()) as usize;
+                let off = u32::from_le_bytes(read_array(row, at)) as usize;
+                let len = u32::from_le_bytes(read_array(row, at + 4)) as usize;
                 let new_off = heap.len() as u32;
                 heap.extend_from_slice(&src.heap[off..off + len]);
                 row[at..at + 4].copy_from_slice(&new_off.to_le_bytes());
@@ -409,15 +428,12 @@ impl RowBlock {
                 .collect();
             for r in 0..other.len {
                 let row_start = base + r * width;
-                if self.data[row_start] == u8::MAX {
-                    // unreachable; placate clippy about unused branch-free style
-                }
                 for &c in &varlen_cols {
                     if other.is_null(r, c) {
                         continue;
                     }
                     let at = row_start + self.layout.offset(c);
-                    let off = u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap());
+                    let off = u32::from_le_bytes(read_array(&self.data, at));
                     let new_off = off + heap_shift as u32;
                     self.data[at..at + 4].copy_from_slice(&new_off.to_le_bytes());
                 }

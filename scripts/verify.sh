@@ -1,57 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 verification, hermetic: builds and tests the whole workspace with
-# the network disabled, denies compiler warnings, and rejects any
-# dependency that is not a path dependency inside this repository.
+# the network disabled, denies compiler warnings, and runs the in-tree
+# static analyzer (rowsort-lint), which also enforces the path-only
+# dependency closure (rule R005) that an awk script used to check.
 #
 # Usage: scripts/verify.sh   (from anywhere; it cds to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-fail=0
-
-# --- 1. Dependency closure: path-only -------------------------------------
-# Walk every Cargo.toml; inside [dependencies] / [dev-dependencies] /
-# [build-dependencies] / [workspace.dependencies] sections, each entry must
-# be a path or workspace reference. Registry versions ("1.0"), git deps,
-# and version-keyed tables are all rejected.
-echo "== checking Cargo.toml files for non-path dependencies =="
-while IFS= read -r manifest; do
-    bad=$(awk '
-        /^\[/ {
-            # Any *dependencies* section, including dotted tables like
-            # [dependencies.foo] and [target.x.dependencies].
-            in_deps = ($0 ~ /dependencies/)
-            next
-        }
-        in_deps && NF && $0 !~ /^[[:space:]]*#/ {
-            line = $0
-            if (line !~ /path[[:space:]]*=/ && line !~ /workspace[[:space:]]*=[[:space:]]*true/) {
-                printf "  %s\n", line
-            }
-        }
-    ' "$manifest")
-    if [ -n "$bad" ]; then
-        echo "non-path dependency in $manifest:"
-        echo "$bad"
-        fail=1
-    fi
-done < <(find . -name Cargo.toml -not -path './target/*')
-if [ "$fail" -ne 0 ]; then
-    echo "FAIL: registry/git dependencies are not allowed"
-    exit 1
-fi
-echo "ok: all dependencies are path/workspace references"
-
-# --- 2. Build + test, offline, warnings denied ----------------------------
 export RUSTFLAGS="${RUSTFLAGS:+$RUSTFLAGS }-D warnings"
 
+# --- 1. Build, offline, warnings denied ------------------------------------
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
 
+# --- 2. Static analysis ----------------------------------------------------
+# rowsort-lint walks every .rs / Cargo.toml in the workspace: SAFETY
+# comments on unsafe blocks (R001), no unwrap/expect/panic/indexing in hot
+# paths (R002), no allocation in hot-path loops (R003), no bare `as` casts
+# in normkey (R004), path-only dependency closure (R005), and no
+# process::exit / unsafe impl Send/Sync outside allowlists (R006).
+# Exits non-zero on any non-baselined finding.
+echo "== rowsort-lint =="
+cargo run --release --offline -q -p lint --bin rowsort-lint
+
+# --- 3. Test ---------------------------------------------------------------
 echo "== cargo test -q --offline =="
 cargo test -q --workspace --offline
 
+# --- 4. Benches compile ----------------------------------------------------
 echo "== cargo build --benches --offline =="
 cargo build --benches --workspace --offline
 
