@@ -8,12 +8,35 @@
 //! Following the paper's DuckDB implementation:
 //!
 //! * [`lsd_radix_sort_rows`] — least-significant-digit first, selected for
-//!   keys of ≤ 4 bytes;
+//!   keys of ≤ [`LSD_MAX_KEY_BYTES`] bytes;
 //! * [`msd_radix_sort_rows`] — most-significant-digit first, recursing into
 //!   buckets and falling back to insertion sort for buckets of ≤ 24 rows;
 //! * both carry the optimization that a counting pass finding all rows in
 //!   one bucket skips the copy entirely (helps Graefe's shortcomings (1)
 //!   and (3): long duplicate keys and common prefixes).
+//!
+//! Two implementation-level optimizations ride on top (DESIGN.md §6):
+//!
+//! * **Fused counting**: histograms for several successive key bytes are
+//!   built in one sweep over the rows. LSD needs only a single counting
+//!   pass for *all* its digit passes (a histogram of byte values is
+//!   invariant under row permutation); MSD fuses up to
+//!   [`MSD_FUSE_BYTES`] histograms so common-prefix bytes are skipped
+//!   without rescanning the bucket per byte.
+//! * **Software write-combining**: the scatter stages
+//!   [`WC_BUCKET_ROWS`] rows per bucket in a small cache-resident buffer
+//!   and flushes them with one contiguous copy, turning 256 scattered
+//!   single-row writes into batched ones. When enabled it applies to
+//!   inputs of at least [`WC_MIN_ROWS`] rows; the default entry points
+//!   keep it *off*, because a 256-bucket fan-out leaves only 256 active
+//!   destination cache lines — comfortably cache-resident on current
+//!   hardware, so the staging copy costs more than the scattered writes
+//!   it batches (see the `ablation_wc` bench, which measures both sides
+//!   of that trade via the `_opts` entry points).
+//!
+//! The `*_with_scratch` / `*_opts` entry points take the auxiliary buffer
+//! from the caller (sized by [`radix_scratch_len`]) so a sort pipeline can
+//! pool it; the plain entry points allocate it per call.
 
 use crate::insertion::insertion_sort_rows;
 use crate::rows::RowsMut;
@@ -22,9 +45,30 @@ use crate::rows::RowsMut;
 /// paper's constant).
 pub const MSD_INSERTION_THRESHOLD: usize = 24;
 
-/// Key width (bytes) at or below which LSD is preferred over MSD, per the
-/// paper's heuristic.
-pub const LSD_MAX_KEY_BYTES: usize = 4;
+/// Key width (bytes) at or below which LSD is preferred over MSD. The
+/// paper's heuristic picks 4; with fused counting (one sweep per window
+/// of digits instead of one per digit) LSD's crossover moves out —
+/// on the Figure 12 workload's 5-byte normalized keys (NULL byte +
+/// big-endian u32) LSD is ~2.3× faster than MSD, so the dispatch prefers
+/// it through 8 bytes.
+pub const LSD_MAX_KEY_BYTES: usize = 8;
+
+/// Rows staged per bucket in the write-combining scatter buffer.
+pub const WC_BUCKET_ROWS: usize = 8;
+
+/// Minimum rows for the write-combining scatter to be considered when it
+/// is switched on; smaller inputs always use the plain scatter.
+pub const WC_MIN_ROWS: usize = 4096;
+
+/// Successive key bytes histogrammed per counting sweep in MSD.
+const MSD_FUSE_BYTES: usize = 4;
+
+/// Scratch bytes needed to radix-sort a row area of `data_len` bytes with
+/// `width`-byte rows: a full-size auxiliary row area plus the
+/// write-combining staging buffer.
+pub fn radix_scratch_len(data_len: usize, width: usize) -> usize {
+    data_len + 256 * WC_BUCKET_ROWS * width
+}
 
 /// Sort rows by `key_len` key bytes starting at `key_offset` within each
 /// row, choosing LSD or MSD radix per the paper's key-width heuristic.
@@ -43,56 +87,95 @@ pub const LSD_MAX_KEY_BYTES: usize = 4;
 /// assert_eq!(&rows[10..12], b"cc", "payload moved with its key");
 /// ```
 pub fn radix_sort_rows(data: &mut [u8], width: usize, key_offset: usize, key_len: usize) {
+    let mut scratch = Vec::new();
+    radix_sort_rows_with_scratch(data, width, key_offset, key_len, &mut scratch);
+}
+
+/// [`radix_sort_rows`] with a caller-pooled scratch buffer. The buffer is
+/// resized to [`radix_scratch_len`]; with sufficient capacity (e.g. a
+/// recycled buffer) the call performs no allocation.
+pub fn radix_sort_rows_with_scratch(
+    data: &mut [u8],
+    width: usize,
+    key_offset: usize,
+    key_len: usize,
+    scratch: &mut Vec<u8>,
+) {
+    // Write-combining defaults off: measured slower at 256-bucket fan-out
+    // on current hardware (see module docs and the `ablation_wc` bench).
     if key_len <= LSD_MAX_KEY_BYTES {
-        lsd_radix_sort_rows(data, width, key_offset, key_len);
+        lsd_radix_sort_rows_opts(data, width, key_offset, key_len, scratch, false);
     } else {
-        msd_radix_sort_rows(data, width, key_offset, key_len);
+        msd_radix_sort_rows_opts(data, width, key_offset, key_len, scratch, false);
     }
 }
 
-/// Stable LSD radix sort: one counting + scatter pass per key byte, least
-/// significant (last) byte first.
+/// Stable LSD radix sort: one fused counting sweep per
+/// [`LSD_MAX_KEY_BYTES`]-byte window of key bytes, then one
+/// scatter pass per key byte, least significant (last) byte first.
 pub fn lsd_radix_sort_rows(data: &mut [u8], width: usize, key_offset: usize, key_len: usize) {
+    let mut scratch = Vec::new();
+    lsd_radix_sort_rows_opts(data, width, key_offset, key_len, &mut scratch, false);
+}
+
+/// [`lsd_radix_sort_rows`] with pooled scratch and an explicit
+/// write-combining switch (the `ablation_wc` bench toggles it).
+pub fn lsd_radix_sort_rows_opts(
+    data: &mut [u8],
+    width: usize,
+    key_offset: usize,
+    key_len: usize,
+    scratch: &mut Vec<u8>,
+    write_combine: bool,
+) {
     let n = data.len() / width;
     if n <= 1 || key_len == 0 {
         return;
     }
     debug_assert_eq!(data.len() % width, 0);
-    let mut aux = vec![0u8; data.len()];
-    // `src` flag: false ⇒ current data in `data`, true ⇒ in `aux`.
+    scratch.resize(radix_scratch_len(data.len(), width), 0);
+    let (aux, wc) = scratch.split_at_mut(data.len());
+
+    let use_wc = write_combine && n >= WC_MIN_ROWS;
+    // `in_aux` flag: false ⇒ current data in `data`, true ⇒ in `aux`.
     let mut in_aux = false;
-    for byte in (key_offset..key_offset + key_len).rev() {
-        let (src, dst): (&[u8], &mut [u8]) = if in_aux {
-            (&aux, &mut *data)
-        } else {
-            (&*data, &mut aux)
-        };
-        let mut counts = [0usize; 256];
+    // Fused counting: one sweep builds the histograms of up to
+    // LSD_MAX_KEY_BYTES key bytes at once. Scatter passes permute rows but
+    // never change byte values, so a window's histograms stay valid for
+    // every pass of that window; wider keys just take one counting sweep
+    // per window instead of one per byte.
+    let mut hi_rel = key_len;
+    while hi_rel > 0 {
+        let lo_rel = hi_rel.saturating_sub(LSD_MAX_KEY_BYTES);
+        let fuse = hi_rel - lo_rel;
+        let mut all_counts = [[0usize; 256]; LSD_MAX_KEY_BYTES];
+        let src: &[u8] = if in_aux { aux } else { data };
         for r in 0..n {
-            counts[src[r * width + byte] as usize] += 1;
+            let at = r * width + key_offset + lo_rel;
+            let key = &src[at..at + fuse];
+            for (counts, &b) in all_counts.iter_mut().zip(key.iter()) {
+                counts[b as usize] += 1;
+            }
         }
-        // All rows in one bucket: this pass cannot change the order; skip
-        // the copy (paper's optimization).
-        if counts.contains(&n) {
-            continue;
+        for rel in (lo_rel..hi_rel).rev() {
+            let counts = &all_counts[rel - lo_rel];
+            // All rows in one bucket: this pass cannot change the order;
+            // skip the copy (paper's optimization).
+            if counts.contains(&n) {
+                continue;
+            }
+            let byte = key_offset + rel;
+            if in_aux {
+                scatter_pass(aux, data, wc, width, byte, 0, n, counts, use_wc);
+            } else {
+                scatter_pass(data, aux, wc, width, byte, 0, n, counts, use_wc);
+            }
+            in_aux = !in_aux;
         }
-        let mut offsets = [0usize; 256];
-        let mut sum = 0usize;
-        for (o, &c) in offsets.iter_mut().zip(counts.iter()) {
-            *o = sum;
-            sum += c;
-        }
-        for r in 0..n {
-            let b = src[r * width + byte] as usize;
-            let dst_row = offsets[b];
-            offsets[b] += 1;
-            dst[dst_row * width..(dst_row + 1) * width]
-                .copy_from_slice(&src[r * width..(r + 1) * width]);
-        }
-        in_aux = !in_aux;
+        hi_rel = lo_rel;
     }
     if in_aux {
-        data.copy_from_slice(&aux);
+        data.copy_from_slice(aux);
     }
 }
 
@@ -100,31 +183,112 @@ pub fn lsd_radix_sort_rows(data: &mut [u8], width: usize, key_offset: usize, key
 /// each bucket on the next byte; buckets of ≤ [`MSD_INSERTION_THRESHOLD`]
 /// rows use insertion sort on the remaining key bytes.
 pub fn msd_radix_sort_rows(data: &mut [u8], width: usize, key_offset: usize, key_len: usize) {
+    let mut scratch = Vec::new();
+    msd_radix_sort_rows_opts(data, width, key_offset, key_len, &mut scratch, false);
+}
+
+/// [`msd_radix_sort_rows`] with pooled scratch and an explicit
+/// write-combining switch (the `ablation_wc` bench toggles it).
+pub fn msd_radix_sort_rows_opts(
+    data: &mut [u8],
+    width: usize,
+    key_offset: usize,
+    key_len: usize,
+    scratch: &mut Vec<u8>,
+    write_combine: bool,
+) {
     let n = data.len() / width;
     if n <= 1 || key_len == 0 {
         return;
     }
-    let mut aux = vec![0u8; data.len()];
+    scratch.resize(radix_scratch_len(data.len(), width), 0);
+    let (aux, wc) = scratch.split_at_mut(data.len());
     msd_rec(
         data,
-        &mut aux,
+        aux,
+        wc,
         width,
         key_offset,
         key_offset + key_len,
         0,
         n,
+        write_combine,
     );
+}
+
+/// One stable counting-scatter of rows `start..end` from `src` into `dst`
+/// by the byte at `byte`, with optional software write-combining: rows are
+/// staged [`WC_BUCKET_ROWS`] at a time per bucket in `wc` and flushed with
+/// one contiguous copy, so the 256 scatter destinations see batched writes
+/// instead of single-row ones.
+#[allow(clippy::too_many_arguments)]
+fn scatter_pass(
+    src: &[u8],
+    dst: &mut [u8],
+    wc: &mut [u8],
+    width: usize,
+    byte: usize,
+    start: usize,
+    end: usize,
+    counts: &[usize; 256],
+    use_wc: bool,
+) {
+    let mut offsets = [0usize; 256];
+    let mut sum = start;
+    for (o, &c) in offsets.iter_mut().zip(counts.iter()) {
+        *o = sum;
+        sum += c;
+    }
+    if !use_wc {
+        for r in start..end {
+            let b = src[r * width + byte] as usize;
+            let dst_row = offsets[b];
+            offsets[b] += 1;
+            dst[dst_row * width..(dst_row + 1) * width]
+                .copy_from_slice(&src[r * width..(r + 1) * width]);
+        }
+        return;
+    }
+
+    let slot = WC_BUCKET_ROWS * width;
+    let mut fill = [0usize; 256];
+    for r in start..end {
+        let b = src[r * width + byte] as usize;
+        let f = fill[b];
+        let stage = b * slot + f * width;
+        wc[stage..stage + width].copy_from_slice(&src[r * width..(r + 1) * width]);
+        if f + 1 == WC_BUCKET_ROWS {
+            // Bucket staging full: flush all rows with one copy. Rows keep
+            // their arrival order, so the scatter stays stable.
+            let at = offsets[b];
+            dst[at * width..(at + WC_BUCKET_ROWS) * width]
+                .copy_from_slice(&wc[b * slot..b * slot + slot]);
+            offsets[b] = at + WC_BUCKET_ROWS;
+            fill[b] = 0;
+        } else {
+            fill[b] = f + 1;
+        }
+    }
+    // Flush the partially filled buckets.
+    for (b, &f) in fill.iter().enumerate() {
+        if f > 0 {
+            let at = offsets[b];
+            dst[at * width..(at + f) * width].copy_from_slice(&wc[b * slot..b * slot + f * width]);
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn msd_rec(
     data: &mut [u8],
     aux: &mut [u8],
+    wc: &mut [u8],
     width: usize,
     mut byte: usize,
     key_end: usize,
     start: usize,
     end: usize,
+    write_combine: bool,
 ) {
     let n = end - start;
     if n <= 1 {
@@ -137,47 +301,52 @@ fn msd_rec(
         return;
     }
 
-    // Advance past bytes where every row agrees (common-prefix skip: no
-    // copying, just move to the next byte).
+    // Fused counting: histogram up to MSD_FUSE_BYTES successive bytes in
+    // one sweep, then advance past the all-equal ones (common-prefix skip:
+    // no copying — and, fused, no re-scanning per skipped byte).
     let counts = loop {
         if byte >= key_end {
             return; // keys exhausted: bucket fully equal
         }
-        let mut c = [0usize; 256];
+        let fuse = MSD_FUSE_BYTES.min(key_end - byte);
+        let mut multi = [[0usize; 256]; MSD_FUSE_BYTES];
         for r in start..end {
-            c[data[r * width + byte] as usize] += 1;
+            let at = r * width + byte;
+            let bytes = &data[at..at + fuse];
+            for (counts, &b) in multi.iter_mut().zip(bytes.iter()) {
+                counts[b as usize] += 1;
+            }
         }
-        if c.contains(&n) {
-            byte += 1;
-            continue;
+        match multi
+            .iter()
+            .take(fuse)
+            .position(|c| !c.contains(&n))
+        {
+            Some(k) => {
+                byte += k;
+                break multi[k];
+            }
+            None => byte += fuse,
         }
-        break c;
     };
 
-    // Scatter into aux by current byte, stable, then copy back.
-    let mut offsets = [0usize; 256];
+    // Scatter into aux by the distinguishing byte, stable, then copy back.
+    let mut bucket_starts = [0usize; 256];
     let mut sum = start;
-    for (o, &c) in offsets.iter_mut().zip(counts.iter()) {
+    for (o, &c) in bucket_starts.iter_mut().zip(counts.iter()) {
         *o = sum;
         sum += c;
     }
-    let bucket_starts = offsets;
-    for r in start..end {
-        let b = data[r * width + byte] as usize;
-        let dst_row = offsets[b];
-        offsets[b] += 1;
-        aux[dst_row * width..(dst_row + 1) * width]
-            .copy_from_slice(&data[r * width..(r + 1) * width]);
-    }
+    let use_wc = write_combine && n >= WC_MIN_ROWS;
+    scatter_pass(data, aux, wc, width, byte, start, end, &counts, use_wc);
     data[start * width..end * width].copy_from_slice(&aux[start * width..end * width]);
 
     // Recurse into each non-trivial bucket on the next byte.
     if byte + 1 < key_end {
-        for b in 0..256 {
-            let bs = bucket_starts[b];
-            let be = offsets[b];
+        for (b, &bs) in bucket_starts.iter().enumerate() {
+            let be = bs + counts[b];
             if be - bs > 1 {
-                msd_rec(data, aux, width, byte + 1, key_end, bs, be);
+                msd_rec(data, aux, wc, width, byte + 1, key_end, bs, be, write_combine);
             }
         }
     }
@@ -326,6 +495,76 @@ mod tests {
     }
 
     #[test]
+    fn write_combining_scatter_is_stable() {
+        // Enough rows to clear WC_MIN_ROWS; 1-byte key over 3 buckets with
+        // a 3-byte sequence number as payload. Both sorters, WC forced on
+        // and off, must leave identical (stable) row orders.
+        let n = WC_MIN_ROWS * 2;
+        let rows: Vec<u8> = (0..n)
+            .flat_map(|i| {
+                [
+                    (i % 3) as u8,
+                    (i >> 16) as u8,
+                    (i >> 8) as u8,
+                    i as u8,
+                ]
+            })
+            .collect();
+        let mut scratch = Vec::new();
+        let mut wc_on = rows.clone();
+        lsd_radix_sort_rows_opts(&mut wc_on, 4, 0, 1, &mut scratch, true);
+        let mut wc_off = rows.clone();
+        lsd_radix_sort_rows_opts(&mut wc_off, 4, 0, 1, &mut scratch, false);
+        assert_eq!(wc_on, wc_off, "LSD: write combining changed the order");
+        let mut msd_on = rows.clone();
+        msd_radix_sort_rows_opts(&mut msd_on, 4, 0, 1, &mut scratch, true);
+        assert_eq!(msd_on, wc_off, "MSD: write combining changed the order");
+    }
+
+    #[test]
+    fn write_combining_matches_plain_on_random_keys() {
+        for (kw, width) in [(4usize, 8usize), (8, 12)] {
+            let keys = pseudo_random(WC_MIN_ROWS + 1234, 21, u32::MAX);
+            let rows: Vec<u8> = keys
+                .iter()
+                .flat_map(|&k| {
+                    let mut row = k.to_be_bytes().to_vec();
+                    row.extend(k.to_le_bytes());
+                    row.truncate(width.min(8));
+                    row.resize(width, 0xAB);
+                    row
+                })
+                .collect();
+            let mut scratch = Vec::new();
+            let mut on = rows.clone();
+            let mut off = rows.clone();
+            if kw <= LSD_MAX_KEY_BYTES {
+                lsd_radix_sort_rows_opts(&mut on, width, 0, kw, &mut scratch, true);
+                lsd_radix_sort_rows_opts(&mut off, width, 0, kw, &mut scratch, false);
+            } else {
+                msd_radix_sort_rows_opts(&mut on, width, 0, kw, &mut scratch, true);
+                msd_radix_sort_rows_opts(&mut off, width, 0, kw, &mut scratch, false);
+            }
+            assert_eq!(on, off, "kw={kw}");
+        }
+    }
+
+    #[test]
+    fn pooled_scratch_is_reused_across_calls() {
+        let mut scratch = Vec::new();
+        let keys = pseudo_random(8_000, 5, 1 << 20);
+        let mut data = make_rows(&keys, 8);
+        radix_sort_rows_with_scratch(&mut data, 8, 0, 4, &mut scratch);
+        let cap = scratch.capacity();
+        assert!(cap >= radix_scratch_len(data.len(), 8));
+        // Second call with the warmed buffer must not grow it.
+        let mut data2 = make_rows(&keys, 8);
+        radix_sort_rows_with_scratch(&mut data2, 8, 0, 4, &mut scratch);
+        assert_eq!(scratch.capacity(), cap);
+        assert_eq!(keys_of(&data, 8), keys_of(&data2, 8));
+    }
+
+    #[test]
     fn single_bucket_skip_still_sorts() {
         // High bytes all zero (values < 256): LSD passes 0..2 skip.
         let keys = pseudo_random(2_000, 9, 256);
@@ -356,6 +595,33 @@ mod tests {
             assert_eq!(
                 u32::from_be_bytes(row[8..12].try_into().unwrap()),
                 expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn long_common_prefix_beyond_fuse_window() {
+        // A shared prefix longer than MSD_FUSE_BYTES: the fused counting
+        // loop must advance through several windows before scattering.
+        let keys = pseudo_random(3_000, 15, 1_000_000);
+        let prefix = MSD_FUSE_BYTES * 2 + 3;
+        let width = prefix + 4;
+        let mut data: Vec<u8> = keys
+            .iter()
+            .flat_map(|&k| {
+                let mut row = vec![0x5C; prefix];
+                row.extend_from_slice(&k.to_be_bytes());
+                row
+            })
+            .collect();
+        msd_radix_sort_rows(&mut data, width, 0, width);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        for (i, row) in data.chunks(width).enumerate() {
+            assert_eq!(
+                u32::from_be_bytes(row[prefix..].try_into().unwrap()),
+                expected[i],
+                "row {i}"
             );
         }
     }

@@ -108,6 +108,53 @@ fn ablation_radix(c: &mut Harness) {
     group.finish();
 }
 
+/// Software write-combining scatter on vs off, LSD and MSD, at the
+/// pipeline's own row shapes. On current hardware the 256-bucket fan-out
+/// already fits L2, so WC's staging copy loses — which is why dispatch
+/// defaults it off; this group is the receipt.
+fn ablation_wc(c: &mut Harness) {
+    use rowsort_algos::radix::{
+        lsd_radix_sort_rows_opts, msd_radix_sort_rows_opts, radix_scratch_len,
+    };
+    let mut group = c.benchmark_group("ablation_wc");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let n = 1 << 16;
+    // (label, row width, key bytes): the pipeline's u32-key run shape and
+    // a wider composite-key shape.
+    for (label, width, key_len) in [("w9k5", 9usize, 5usize), ("w24k13", 24, 13)] {
+        let data = pseudo_random_bytes(n, width, 91, 1 << 20);
+        let mut scratch = vec![0u8; radix_scratch_len(data.len(), width)];
+        for wc in [false, true] {
+            let tag = if wc { "wc_on" } else { "wc_off" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("lsd_{tag}"), label),
+                &data,
+                |b, data| {
+                    b.iter_batched(
+                        || data.clone(),
+                        |mut d| lsd_radix_sort_rows_opts(&mut d, width, 0, key_len, &mut scratch, wc),
+                        rowsort_testkit::bench::BatchSize::LargeInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("msd_{tag}"), label),
+                &data,
+                |b, data| {
+                    b.iter_batched(
+                        || data.clone(),
+                        |mut d| msd_radix_sort_rows_opts(&mut d, width, 0, key_len, &mut scratch, wc),
+                        rowsort_testkit::bench::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Cascaded 2-way merge vs k-way loser tree over the same 8 sorted runs.
 fn ablation_merge(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_merge");
@@ -244,6 +291,7 @@ bench_group!(
     benches,
     ablation_prefix,
     ablation_radix,
+    ablation_wc,
     ablation_merge,
     ablation_align,
     ablation_chooser,

@@ -1,0 +1,89 @@
+//! End-to-end sort-pipeline bench on the Figure 12 default workload
+//! (random u32 keys, 1–10 M rows) — the regression gate's workload.
+//!
+//! `scripts/verify.sh` runs this bench with `ROWSORT_BENCH_JSON` set and
+//! compares the medians against the checked-in `BENCH_pipeline.json`
+//! baseline (warn-only tolerance band, see `bench_gate`). Override the row
+//! counts with `ROWSORT_PIPE_ROWS=1000000,4000000` for a quicker smoke.
+//!
+//! Each pipeline is constructed once and reused across iterations, so the
+//! numbers measure the *steady state*: with the buffer pool and persistent
+//! worker pool, iterations after the first run allocation-free.
+
+use rowsort_core::pipeline::{SortOptions, SortPipeline};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::rng::Rng;
+use rowsort_testkit::{bench_group, bench_main};
+use rowsort_vector::{DataChunk, OrderBy, Vector};
+use std::time::Duration;
+
+/// Random u32 key column, plus an optional derived u32 payload column.
+fn u32_chunk(n: usize, seed: u64, with_payload: bool) -> DataChunk {
+    let mut rng = Rng::seed_from_u64(seed);
+    let keys: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let mut cols = Vec::new();
+    if with_payload {
+        let payload: Vec<u32> = keys.iter().map(|k| k.wrapping_mul(7).wrapping_add(1)).collect();
+        cols.push(Vector::from_u32s(keys));
+        cols.push(Vector::from_u32s(payload));
+    } else {
+        cols.push(Vector::from_u32s(keys));
+    }
+    DataChunk::from_columns(cols).unwrap()
+}
+
+fn sizes() -> Vec<usize> {
+    std::env::var("ROWSORT_PIPE_ROWS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1_000_000, 4_000_000])
+}
+
+fn bench_pipeline(c: &mut Harness) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(5).measurement_time(Duration::from_secs(2));
+
+    for &n in &sizes() {
+        let chunk = u32_chunk(n, 0xF16_12 ^ n as u64, false);
+        let order = OrderBy::ascending(1);
+        let single = SortPipeline::new(
+            chunk.types(),
+            order.clone(),
+            SortOptions {
+                threads: 1,
+                ..SortOptions::default()
+            },
+        );
+        group.bench_function(BenchmarkId::new("u32_t1", n), |b| {
+            b.iter(|| single.sort(&chunk))
+        });
+        let default = SortPipeline::new(chunk.types(), order, SortOptions::default());
+        group.bench_function(BenchmarkId::new("u32_tdef", n), |b| {
+            b.iter(|| default.sort(&chunk))
+        });
+    }
+
+    // Key + payload column: exercises the payload reorder and merge gather.
+    let n = sizes()[0];
+    let chunk = u32_chunk(n, 0xF16_13, true);
+    let pipeline = SortPipeline::new(
+        chunk.types(),
+        OrderBy::ascending(1),
+        SortOptions {
+            threads: 1,
+            ..SortOptions::default()
+        },
+    );
+    group.bench_function(BenchmarkId::new("u32_payload_t1", n), |b| {
+        b.iter(|| pipeline.sort(&chunk))
+    });
+    group.finish();
+}
+
+bench_group!(benches, bench_pipeline);
+bench_main!(benches);

@@ -1,0 +1,119 @@
+//! Warn-only perf-regression gate for the pipeline benchmark.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [--tolerance <pct>]
+//! ```
+//!
+//! * `baseline.json` — the checked-in `BENCH_pipeline.json`: either an
+//!   object with an `"after"` report array (plus `"before"` for context)
+//!   or a bare report array as written by the harness.
+//! * `fresh.json` — a report just produced via `ROWSORT_BENCH_JSON`.
+//!
+//! For every bench id present in both files, prints the median ratio and
+//! warns when the fresh median exceeds baseline by more than the
+//! tolerance (default 25% — the CI boxes are single-core and noisy, so
+//! the gate flags only gross regressions). Always exits 0 on a completed
+//! comparison: the numbers are advisory, the build decision stays with a
+//! human reading the log.
+
+use rowsort_testkit::json::Json;
+
+struct Entry {
+    id: String,
+    median_ns: f64,
+}
+
+fn entries(report: &Json) -> Vec<Entry> {
+    let Some(items) = report.as_arr() else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|item| {
+            Some(Entry {
+                id: item.get("id")?.as_str()?.to_owned(),
+                median_ns: item.get("median_ns")?.as_f64()?,
+            })
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance_pct = 25.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            tolerance_pct = it
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| die("--tolerance needs a numeric percentage"));
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        die("usage: bench_gate <baseline.json> <fresh.json> [--tolerance <pct>]");
+    };
+
+    let baseline_doc = load(baseline_path);
+    // BENCH_pipeline.json nests the reference run under "after"; a bare
+    // harness report array is accepted too.
+    let baseline = entries(baseline_doc.get("after").unwrap_or(&baseline_doc));
+    let fresh = entries(&load(fresh_path));
+    if baseline.is_empty() {
+        die(&format!("no bench entries in {baseline_path}"));
+    }
+    if fresh.is_empty() {
+        die(&format!("no bench entries in {fresh_path}"));
+    }
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    println!("bench_gate: fresh vs baseline (tolerance +{tolerance_pct:.0}%)");
+    for f in &fresh {
+        let Some(b) = baseline.iter().find(|b| b.id == f.id) else {
+            println!("  {:<32} (no baseline entry — skipped)", f.id);
+            continue;
+        };
+        compared += 1;
+        let ratio = f.median_ns / b.median_ns;
+        let verdict = if ratio > 1.0 + tolerance_pct / 100.0 {
+            regressions += 1;
+            "WARN: slower than baseline"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<32} {:>10.2}ms vs {:>10.2}ms  ({:.2}x)  {}",
+            f.id,
+            f.median_ns / 1e6,
+            b.median_ns / 1e6,
+            ratio,
+            verdict
+        );
+    }
+
+    if compared == 0 {
+        println!("bench_gate: no overlapping bench ids; nothing compared");
+    } else if regressions > 0 {
+        println!(
+            "bench_gate: {regressions}/{compared} benches exceeded tolerance \
+             (warn-only, not failing the build)"
+        );
+    } else {
+        println!("bench_gate: all {compared} benches within tolerance");
+    }
+}

@@ -1,9 +1,9 @@
 //! Normalized-key blocks: the sortable representation of ORDER BY keys.
 
 use rowsort_algos::pdqsort::pdqsort_rows;
-use rowsort_algos::radix::radix_sort_rows;
+use rowsort_algos::radix::radix_sort_rows_with_scratch;
 use rowsort_algos::rows::RowsMut;
-use rowsort_normkey::{encode_column_into, KeyColumn, NormKeyLayout};
+use rowsort_normkey::{encode_column_range_into, KeyColumn, NormKeyLayout};
 use rowsort_vector::{DataChunk, LogicalType, OrderBy};
 use std::cmp::Ordering;
 
@@ -105,21 +105,38 @@ impl KeyBlock {
         u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
     }
 
+    /// Remove all entries, keeping the layout and the buffer capacity, so
+    /// a pooled block can be refilled without reallocating.
+    pub fn reset(&mut self) {
+        self.data.clear();
+        self.len = 0;
+    }
+
     /// Encode the key columns of `chunk` and append them; row ids continue
     /// from the current length.
     pub fn append_chunk(&mut self, chunk: &DataChunk) {
+        self.append_chunk_range(chunk, 0, chunk.len());
+    }
+
+    /// Encode rows `lo..hi` of `chunk`'s key columns and append them; row
+    /// ids continue from the current length (they are block-local, not
+    /// chunk-local). Lets the pipeline encode a morsel without slicing the
+    /// chunk into a temporary copy.
+    pub fn append_chunk_range(&mut self, chunk: &DataChunk, lo: usize, hi: usize) {
         let stride = self.stride();
         let base = self.len;
-        let n = chunk.len();
+        let n = hi - lo;
         self.data.resize((base + n) * stride, 0);
         for (k, &col_idx) in self.key_columns.iter().enumerate() {
-            encode_column_into(
+            encode_column_range_into(
                 chunk.column(col_idx),
                 &self.layout.columns()[k],
                 &mut self.data,
                 stride,
                 self.layout.offset(k),
                 base,
+                lo,
+                hi,
             );
         }
         let kw = self.key_width();
@@ -138,13 +155,24 @@ impl KeyBlock {
     /// `resolve(a, b)` compares the *full tuples* of two row ids; it is
     /// consulted only when key bytes compare equal and ties are possible.
     pub fn sort(&mut self, resolve: impl Fn(u32, u32) -> Ordering) {
+        let mut scratch = Vec::new();
+        self.sort_with_scratch(&mut scratch, resolve);
+    }
+
+    /// [`KeyBlock::sort`] with a caller-pooled radix scratch buffer: with
+    /// sufficient recycled capacity the radix path allocates nothing.
+    pub fn sort_with_scratch(
+        &mut self,
+        scratch: &mut Vec<u8>,
+        resolve: impl Fn(u32, u32) -> Ordering,
+    ) {
         let stride = self.stride();
         let kw = self.key_width();
         if kw == 0 {
             return; // no key columns: nothing to order by
         }
         if !self.tie_possible() {
-            radix_sort_rows(&mut self.data, stride, 0, kw);
+            radix_sort_rows_with_scratch(&mut self.data, stride, 0, kw, scratch);
         } else {
             let mut rows = RowsMut::new(&mut self.data, stride);
             pdqsort_rows(
@@ -167,16 +195,29 @@ impl KeyBlock {
         (0..self.len).map(|i| self.row_id(i)).collect()
     }
 
+    /// The permutation as an iterator — [`KeyBlock::order`] without the
+    /// allocation, for consumers that stream the row ids.
+    pub fn order_iter(&self) -> impl ExactSizeIterator<Item = u32> + '_ {
+        (0..self.len).map(|i| self.row_id(i))
+    }
+
     /// Strip the row-id suffixes, returning a compact `key_width`-stride
     /// byte array in current entry order (used by merge phases after the
     /// payload has been reordered).
     pub fn keys_only(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len * self.key_width());
+        self.keys_only_into(&mut out);
+        out
+    }
+
+    /// [`KeyBlock::keys_only`] into a caller-pooled buffer (cleared first).
+    pub fn keys_only_into(&self, out: &mut Vec<u8>) {
         let (kw, stride) = (self.key_width(), self.stride());
-        let mut out = Vec::with_capacity(self.len * kw);
+        out.clear();
+        out.reserve(self.len * kw);
         for i in 0..self.len {
             out.extend_from_slice(&self.data[i * stride..i * stride + kw]);
         }
-        out
     }
 }
 

@@ -16,6 +16,10 @@
 //! * [`external`] — out-of-core sorting with spilled runs and a streaming
 //!   merge (the §IX "graceful degradation" future work, implemented),
 //! * [`model`] — the §II run-generation vs merge comparison-count model,
+//! * [`pool`] — the size-classed buffer pool that makes steady-state
+//!   sorts allocation-free (DESIGN.md §6),
+//! * [`workers`] — the persistent worker pool that runs every parallel
+//!   phase without per-phase thread spawns,
 //! * [`chooser`] — the §IX future-work heuristic for picking a sort
 //!   algorithm from key width, row count, and distinct-value estimates.
 
@@ -25,10 +29,14 @@ pub mod external;
 pub mod keys;
 pub mod model;
 pub mod pipeline;
+pub mod pool;
 pub mod strategy;
 pub mod systems;
+pub mod workers;
 
 pub use external::{ExternalSortOptions, ExternalSorter};
 pub use keys::KeyBlock;
-pub use pipeline::{SortOptions, SortPipeline};
+pub use pipeline::{default_threads, SortOptions, SortPipeline, SortedRows};
+pub use pool::BufferPool;
 pub use systems::{sort_with_system, SystemProfile};
+pub use workers::WorkerPool;

@@ -12,16 +12,50 @@
 //! run generation), so each worker sorts its own runs locally; the merge
 //! phase compares whole normalized keys with `memcmp` and keeps every
 //! thread busy by splitting each 2-way merge along Merge Path diagonals.
+//!
+//! In steady state the pipeline is **allocation-free and
+//! thread-spawn-free** (DESIGN.md §6): every transient buffer — key runs,
+//! payload blocks, the radix scratch, merge outputs — comes from a
+//! [`BufferPool`] that survives across runs, merge rounds, and repeated
+//! [`SortPipeline::sort`] calls, and phases execute on a persistent
+//! [`WorkerPool`] spawned once per pipeline. Each 2-way merge fuses pick
+//! generation with key/payload materialization: Merge Path partitions the
+//! output, and every task writes keys and rows directly into its disjoint
+//! output range — there is no intermediate `(block, row)` pick pass.
+//!
+//! Output is deterministic: runs land in morsel-indexed slots, the cascade
+//! pairs them in a fixed order (any odd run carries over last), and Merge
+//! Path partitioning is exact — so the result, including the order within
+//! ties, is bit-identical for any thread count.
 
 use crate::comparator::FusedRowComparator;
 use crate::keys::KeyBlock;
-use std::sync::Mutex;
+use crate::pool::BufferPool;
+use crate::workers::{SendPtr, WorkerPool};
 use rowsort_algos::merge_path::merge_path_partition_by;
+use rowsort_algos::radix::radix_scratch_len;
 use rowsort_row::{RowBlock, RowLayout};
 use rowsort_vector::{DataChunk, LogicalType, OrderBy, Vector};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Worker threads to use when [`SortOptions`] does not pin a count: the
+/// `ROWSORT_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] — so the engine's
+/// ORDER BY is parallel out of the box instead of silently single-threaded.
+pub fn default_threads() -> usize {
+    if let Ok(value) = std::env::var("ROWSORT_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
 
 /// Tuning knobs for the pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +70,7 @@ pub struct SortOptions {
 impl Default for SortOptions {
     fn default() -> Self {
         SortOptions {
-            threads: 1,
+            threads: default_threads(),
             run_rows: 1 << 17,
         }
     }
@@ -52,16 +86,113 @@ impl SortOptions {
     }
 }
 
-/// One sorted run: normalized keys (stride = key width, row ids stripped)
-/// aligned 1:1 with already-reordered payload rows.
+/// One sorted run: normalized keys (stride = `key_width`, row ids
+/// stripped) aligned 1:1 with already-reordered payload rows.
 struct SortedRun {
     keys: Vec<u8>,
+    /// Bytes per key entry, carried from the [`KeyBlock`] layout that
+    /// produced the run (every run of a sort shares it).
+    key_width: usize,
     payload: RowBlock,
 }
 
 impl SortedRun {
     fn len(&self) -> usize {
         self.payload.len()
+    }
+}
+
+/// One 2-way merge of a round, with raw output bases so Merge Path tasks
+/// on several workers can each fill their disjoint output range.
+struct MergeJob {
+    /// Indices of the input runs within the current round.
+    a: usize,
+    b: usize,
+    out_keys: SendPtr<u8>,
+    out_rows: SendPtr<u8>,
+    total: usize,
+    /// Added to the heap offsets of rows taken from run `b` (the output
+    /// heap is `a.heap ++ b.heap`).
+    heap_shift: u32,
+}
+
+/// Reusable per-sort working state, retained inside the pipeline so a
+/// steady-state sort allocates nothing.
+#[derive(Default)]
+struct Scratch {
+    /// Per-column VARCHAR length statistics of the current input.
+    stats: Vec<usize>,
+    /// Statistics the pooled key blocks were planned for; when an input's
+    /// stats differ, the cached blocks are discarded (their normalized-key
+    /// layout would no longer match).
+    key_stats: Vec<usize>,
+    /// Morsel-indexed run slots: worker `m` writes run `m` here, so run
+    /// order (and thus merge pairing) is schedule-independent.
+    run_slots: Vec<Mutex<Option<SortedRun>>>,
+    /// Current merge round, in deterministic order.
+    runs: Vec<SortedRun>,
+    next_round: Vec<SortedRun>,
+    jobs: Vec<MergeJob>,
+    /// Pooled key blocks (kept whole to also reuse their layout planning).
+    key_blocks: Mutex<Vec<KeyBlock>>,
+}
+
+/// Copy a small runtime-length slice with a pair of overlapping
+/// fixed-width loads/stores instead of a `memcpy` call — merge loops copy
+/// one key (~5 bytes) and one row (~8–24 bytes) per output row, where the
+/// call overhead of a runtime-length `memcpy` dominates the copy itself.
+#[inline]
+fn copy_small(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = src.len();
+    if n >= 16 && n <= 32 {
+        let a = u128::from_ne_bytes(src[..16].try_into().unwrap());
+        let b = u128::from_ne_bytes(src[n - 16..].try_into().unwrap());
+        dst[..16].copy_from_slice(&a.to_ne_bytes());
+        dst[n - 16..].copy_from_slice(&b.to_ne_bytes());
+    } else if n >= 8 && n < 16 {
+        let a = u64::from_ne_bytes(src[..8].try_into().unwrap());
+        let b = u64::from_ne_bytes(src[n - 8..].try_into().unwrap());
+        dst[..8].copy_from_slice(&a.to_ne_bytes());
+        dst[n - 8..].copy_from_slice(&b.to_ne_bytes());
+    } else if n >= 4 && n < 8 {
+        let a = u32::from_ne_bytes(src[..4].try_into().unwrap());
+        let b = u32::from_ne_bytes(src[n - 4..].try_into().unwrap());
+        dst[..4].copy_from_slice(&a.to_ne_bytes());
+        dst[n - 4..].copy_from_slice(&b.to_ne_bytes());
+    } else {
+        dst.copy_from_slice(src);
+    }
+}
+
+/// Lexicographically compare two equal-length byte-comparable keys with
+/// big-endian word loads instead of a `memcmp` call. Overlapping windows
+/// are sound here: when the leading window ties, the overlapped bytes are
+/// known equal, so comparing the trailing window compares the remainder.
+#[inline]
+fn cmp_keys(a: &[u8], b: &[u8]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n >= 4 && n <= 8 {
+        let a0 = u32::from_be_bytes(a[..4].try_into().unwrap());
+        let b0 = u32::from_be_bytes(b[..4].try_into().unwrap());
+        if a0 != b0 {
+            return a0.cmp(&b0);
+        }
+        let a1 = u32::from_be_bytes(a[n - 4..].try_into().unwrap());
+        let b1 = u32::from_be_bytes(b[n - 4..].try_into().unwrap());
+        a1.cmp(&b1)
+    } else if n > 8 && n <= 16 {
+        let a0 = u64::from_be_bytes(a[..8].try_into().unwrap());
+        let b0 = u64::from_be_bytes(b[..8].try_into().unwrap());
+        if a0 != b0 {
+            return a0.cmp(&b0);
+        }
+        let a1 = u64::from_be_bytes(a[n - 8..].try_into().unwrap());
+        let b1 = u64::from_be_bytes(b[n - 8..].try_into().unwrap());
+        a1.cmp(&b1)
+    } else {
+        a.cmp(b)
     }
 }
 
@@ -90,6 +221,16 @@ pub struct SortPipeline {
     order: OrderBy,
     options: SortOptions,
     layout: Arc<RowLayout>,
+    /// Full-tuple comparator for VARCHAR-prefix tie resolution, built once.
+    tie_cmp: FusedRowComparator,
+    /// Columns whose row slots reference the heap (offset fixup in merges).
+    varlen_cols: Vec<usize>,
+    pool: BufferPool,
+    /// Spawned lazily on the first parallel phase, then reused for life.
+    workers: OnceLock<WorkerPool>,
+    /// Reusable working state. Concurrent `sort` calls on one pipeline
+    /// serialize on this lock (each call uses the whole scratch).
+    scratch: Mutex<Scratch>,
 }
 
 impl SortPipeline {
@@ -98,29 +239,81 @@ impl SortPipeline {
         assert!(options.threads >= 1);
         assert!(options.run_rows >= 1);
         let layout = Arc::new(RowLayout::new(&types));
+        let tie_cmp = FusedRowComparator::new(&layout, &order);
+        let varlen_cols = (0..types.len())
+            .filter(|&c| types[c] == LogicalType::Varchar)
+            .collect();
         SortPipeline {
             types,
             order,
             options,
             layout,
+            tie_cmp,
+            varlen_cols,
+            pool: BufferPool::new(),
+            workers: OnceLock::new(),
+            scratch: Mutex::new(Scratch::default()),
         }
     }
 
     /// Sort a materialized input relation, returning it fully sorted.
     pub fn sort(&self, input: &DataChunk) -> DataChunk {
-        assert_eq!(input.types(), self.types, "input schema mismatch");
-        let n = input.len();
-        if n == 0 {
-            return DataChunk::new(&self.types);
+        self.sort_rows(input).to_chunk()
+    }
+
+    /// Sort `input`, returning the merged run in row form. Dropping the
+    /// result returns its buffers to the pipeline's pool; in steady state
+    /// (after a warm-up sort of similar shape) this call performs zero
+    /// heap allocations.
+    pub fn sort_rows(&self, input: &DataChunk) -> SortedRows<'_> {
+        // Element-wise so the schema check allocates nothing in steady
+        // state (`input.types()` would collect a fresh Vec per sort).
+        assert!(
+            input.column_count() == self.types.len()
+                && input
+                    .columns()
+                    .iter()
+                    .zip(&self.types)
+                    .all(|(col, &ty)| col.logical_type() == ty),
+            "input schema mismatch"
+        );
+        if input.is_empty() {
+            return SortedRows {
+                pipeline: self,
+                run: None,
+            };
         }
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let scratch = &mut *guard;
         // String statistics are plan-wide: every run must agree on the
         // normalized-key shape or the merge phase could not compare keys.
-        let stats: Vec<usize> = (0..self.types.len())
-            .map(|c| Self::varchar_stat(input, c))
-            .collect();
-        let runs = self.generate_runs(input, &stats);
-        let merged = self.merge_runs(runs);
-        merged.payload.to_chunk()
+        scratch.stats.clear();
+        for c in 0..self.types.len() {
+            scratch.stats.push(Self::varchar_stat(input, c));
+        }
+        if scratch.stats != scratch.key_stats {
+            // Cached key blocks were planned for different VARCHAR stats;
+            // their layout no longer applies.
+            scratch
+                .key_blocks
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+            scratch.key_stats.clear();
+            scratch.key_stats.extend_from_slice(&scratch.stats);
+        }
+        self.generate_runs(input, scratch);
+        let run = self.merge_runs(scratch);
+        SortedRows {
+            pipeline: self,
+            run: Some(run),
+        }
+    }
+
+    /// Buffer-pool `(hits, misses)` counters — a steady-state sort serves
+    /// every buffer from the pool (hits grow, misses do not).
+    pub fn pool_stats(&self) -> (usize, usize) {
+        (self.pool.hits(), self.pool.misses())
     }
 
     /// Statistics callback for VARCHAR prefix sizing: max string length in
@@ -133,127 +326,225 @@ impl SortPipeline {
             .unwrap_or(0)
     }
 
-    /// Phase 1: morsel-parallel run generation.
-    fn generate_runs(&self, input: &DataChunk, stats: &[usize]) -> Vec<SortedRun> {
+    /// The persistent phase crew (spawned on first use).
+    fn worker_pool(&self) -> &WorkerPool {
+        self.workers
+            .get_or_init(|| WorkerPool::new(self.options.threads))
+    }
+
+    /// Phase 1: morsel-parallel run generation. Each completed run is
+    /// written to its morsel-indexed slot, so the resulting run order is
+    /// identical for every schedule and thread count.
+    fn generate_runs(&self, input: &DataChunk, scratch: &mut Scratch) {
         let n = input.len();
         let run_rows = self.options.run_rows;
         let morsels = n.div_ceil(run_rows);
+        if scratch.run_slots.len() < morsels {
+            scratch.run_slots.resize_with(morsels, Default::default);
+        }
+        let Scratch {
+            ref stats,
+            ref run_slots,
+            ref mut runs,
+            ref key_blocks,
+            ..
+        } = *scratch;
+
         let next = AtomicUsize::new(0);
-        let runs: Mutex<Vec<SortedRun>> = Mutex::new(Vec::with_capacity(morsels));
-        let workers = self.options.threads.min(morsels).max(1);
-
-        let make_run = |lo: usize, hi: usize| -> SortedRun {
-            let morsel = input.slice(lo, hi);
-            // DSM → NSM: payload rows (all columns) + normalized keys.
-            let mut payload = RowBlock::with_capacity(Arc::clone(&self.layout), morsel.len());
-            payload.append_chunk(&morsel);
-            let mut keys = KeyBlock::new(&self.types, &self.order, |c| stats[c]);
-            keys.append_chunk(&morsel);
-            // Thread-local sort: radix, or pdqsort + tie resolution when
-            // truncated VARCHAR prefixes make ties possible.
-            let tie_cmp = FusedRowComparator::new(&self.layout, &self.order);
-            keys.sort(|a, b| {
-                tie_cmp.compare(
-                    payload.row(a as usize),
-                    payload.heap(),
-                    payload.row(b as usize),
-                    payload.heap(),
-                )
-            });
-            let order = keys.order();
-            SortedRun {
-                keys: keys.keys_only(),
-                payload: payload.reorder(&order),
+        let body = |_worker: usize| loop {
+            let m = next.fetch_add(1, AtomicOrdering::Relaxed);
+            if m >= morsels {
+                break;
             }
+            let lo = m * run_rows;
+            let run = self.make_run(input, lo, (lo + run_rows).min(n), stats, key_blocks);
+            *run_slots[m].lock().unwrap_or_else(|e| e.into_inner()) = Some(run);
         };
-
-        if workers == 1 {
-            let mut out = Vec::with_capacity(morsels);
-            for m in 0..morsels {
-                let lo = m * run_rows;
-                out.push(make_run(lo, (lo + run_rows).min(n)));
-            }
-            return out;
+        if self.options.threads.min(morsels) <= 1 {
+            body(0);
+        } else {
+            self.worker_pool().broadcast(&body);
         }
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let m = next.fetch_add(1, AtomicOrdering::Relaxed);
-                    if m >= morsels {
-                        break;
-                    }
-                    let lo = m * run_rows;
-                    let run = make_run(lo, (lo + run_rows).min(n));
-                    runs.lock().unwrap().push(run);
-                });
-            }
-        });
-        runs.into_inner().unwrap()
+
+        runs.clear();
+        for slot in run_slots[..morsels].iter() {
+            let run = slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("every morsel slot is filled by phase 1");
+            runs.push(run);
+        }
     }
 
-    /// Phase 2: cascaded 2-way merge until one run remains.
-    fn merge_runs(&self, mut runs: Vec<SortedRun>) -> SortedRun {
-        assert!(!runs.is_empty());
-        let kw = runs[0].keys.len() / runs[0].len().max(1);
-        let tie_cmp = FusedRowComparator::new(&self.layout, &self.order);
-        while runs.len() > 1 {
-            let pairs = runs.len() / 2;
-            let threads_per_pair = (self.options.threads / pairs).max(1);
-            let mut next_round: Vec<SortedRun> = Vec::with_capacity(runs.len().div_ceil(2));
-            let mut pending: Vec<(SortedRun, SortedRun)> = Vec::with_capacity(pairs);
-            let mut iter = runs.into_iter();
-            loop {
-                match (iter.next(), iter.next()) {
-                    (Some(a), Some(b)) => pending.push((a, b)),
-                    (Some(a), None) => {
-                        // Odd run carries over to the next round unmerged.
-                        next_round.push(a);
-                        break;
-                    }
-                    (None, _) => break,
-                }
-            }
-            if pending.len() == 1 || self.options.threads == 1 {
-                for (a, b) in pending {
-                    next_round.push(self.merge_pair(&a, &b, kw, self.options.threads, &tie_cmp));
-                }
-            } else {
-                // Merge pairs concurrently; each pair may itself be split.
-                let merged: Mutex<Vec<SortedRun>> = Mutex::new(Vec::with_capacity(pending.len()));
-                std::thread::scope(|scope| {
-                    for (a, b) in &pending {
-                        scope.spawn(|| {
-                            let m = self.merge_pair(a, b, kw, threads_per_pair, &tie_cmp);
-                            merged.lock().unwrap().push(m);
-                        });
-                    }
-                });
-                next_round.extend(merged.into_inner().unwrap());
-            }
-            runs = next_round;
-        }
-        runs.pop().unwrap()
-    }
-
-    /// Merge two sorted runs, splitting the output across `threads` Merge
-    /// Path partitions. Comparisons are whole-key `memcmp`, falling back to
-    /// the fused full-tuple comparator on (possible) VARCHAR prefix ties.
-    fn merge_pair(
+    /// Build one sorted run from input rows `lo..hi`, with every buffer
+    /// pooled.
+    fn make_run(
         &self,
-        a: &SortedRun,
-        b: &SortedRun,
-        kw: usize,
-        threads: usize,
-        tie_cmp: &FusedRowComparator,
+        input: &DataChunk,
+        lo: usize,
+        hi: usize,
+        stats: &[usize],
+        key_blocks: &Mutex<Vec<KeyBlock>>,
     ) -> SortedRun {
+        let rows = hi - lo;
+        let width = self.layout.width();
+        // DSM → NSM: payload rows (all columns) in input order first.
+        let mut staging = RowBlock::from_raw_parts(
+            Arc::clone(&self.layout),
+            self.pool.get_bytes(rows * width),
+            self.pool.get_bytes(64),
+        );
+        staging.append_chunk_range(input, lo, hi);
+
+        let mut keys = key_blocks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_else(|| KeyBlock::new(&self.types, &self.order, |c| stats[c]));
+        keys.reset();
+        keys.append_chunk_range(input, lo, hi);
+
+        // Thread-local sort: radix, or pdqsort + tie resolution when
+        // truncated VARCHAR prefixes make ties possible.
+        let mut radix_scratch = self
+            .pool
+            .get_bytes(radix_scratch_len(rows * keys.stride(), keys.stride()));
+        keys.sort_with_scratch(&mut radix_scratch, |a, b| {
+            self.tie_cmp.compare(
+                staging.row(a as usize),
+                staging.heap(),
+                staging.row(b as usize),
+                staging.heap(),
+            )
+        });
+        self.pool.put_bytes(radix_scratch);
+
+        let mut run_keys = self.pool.get_bytes(rows * keys.key_width());
+        keys.keys_only_into(&mut run_keys);
+        let mut payload = RowBlock::from_raw_parts(
+            Arc::clone(&self.layout),
+            self.pool.get_bytes(rows * width),
+            self.pool.get_bytes(staging.heap().len().max(1)),
+        );
+        payload.assign_reordered(&staging, keys.order_iter());
+
+        let key_width = keys.key_width();
+        key_blocks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(keys);
+        let (staging_data, staging_heap) = staging.into_raw_parts();
+        self.pool.put_bytes(staging_data);
+        self.pool.put_bytes(staging_heap);
+        SortedRun {
+            keys: run_keys,
+            key_width,
+            payload,
+        }
+    }
+
+    /// Phase 2: cascaded 2-way merge until one run remains. Pairing is
+    /// deterministic — adjacent runs merge in order, an odd run carries
+    /// over to the next round *last* — and each round's merges execute as
+    /// a flat `pairs × parts` task grid on the worker pool.
+    fn merge_runs(&self, scratch: &mut Scratch) -> SortedRun {
+        let Scratch {
+            ref mut runs,
+            ref mut next_round,
+            ref mut jobs,
+            ..
+        } = *scratch;
+        assert!(!runs.is_empty());
+        let width = self.layout.width();
+
+        while runs.len() > 1 {
+            let kw = runs[0].key_width;
+            let pairs = runs.len() / 2;
+            next_round.clear();
+            jobs.clear();
+            for p in 0..pairs {
+                let a = &runs[2 * p];
+                let b = &runs[2 * p + 1];
+                let total = a.len() + b.len();
+                let mut keys = self.pool.get_bytes(total * kw);
+                keys.resize(total * kw, 0);
+                let mut data = self.pool.get_bytes(total * width);
+                data.resize(total * width, 0);
+                // The merged heap is a.heap ++ b.heap: run heaps are fully
+                // referenced, so concatenation (plus an offset shift on
+                // b-side rows) replaces per-row heap compaction.
+                let mut heap = self
+                    .pool
+                    .get_bytes(a.payload.heap().len() + b.payload.heap().len());
+                heap.extend_from_slice(a.payload.heap());
+                heap.extend_from_slice(b.payload.heap());
+                let heap_shift = a.payload.heap().len() as u32;
+                let mut out = SortedRun {
+                    keys,
+                    key_width: kw,
+                    payload: RowBlock::from_raw_parts(Arc::clone(&self.layout), data, heap),
+                };
+                jobs.push(MergeJob {
+                    a: 2 * p,
+                    b: 2 * p + 1,
+                    out_keys: SendPtr::new(out.keys.as_mut_ptr()),
+                    out_rows: SendPtr::new(out.payload.data_mut().as_mut_ptr()),
+                    total,
+                    heap_shift,
+                });
+                next_round.push(out);
+            }
+
+            // Flat task grid: every pair is split into `parts` Merge Path
+            // partitions; workers claim (pair, part) tasks dynamically.
+            let parts = self.options.threads.div_ceil(pairs);
+            let tasks = pairs * parts;
+            let next = AtomicUsize::new(0);
+            let runs_ref: &[SortedRun] = runs;
+            let jobs_ref: &[MergeJob] = jobs;
+            let body = |_worker: usize| loop {
+                let t = next.fetch_add(1, AtomicOrdering::Relaxed);
+                if t >= tasks {
+                    break;
+                }
+                self.merge_task(runs_ref, &jobs_ref[t / parts], t % parts, parts);
+            };
+            if self.options.threads == 1 || tasks == 1 {
+                body(0);
+            } else {
+                self.worker_pool().broadcast(&body);
+            }
+
+            // Recycle this round's inputs; any odd run carries over last.
+            let odd = if runs.len() % 2 == 1 { runs.pop() } else { None };
+            for run in runs.drain(..) {
+                self.recycle_run(run);
+            }
+            if let Some(odd) = odd {
+                next_round.push(odd);
+            }
+            std::mem::swap(runs, next_round);
+        }
+        runs.pop().expect("cascade leaves exactly one run")
+    }
+
+    /// Execute Merge Path partition `part` of `parts` for one 2-way merge:
+    /// binary-search the partition bounds, then write merged keys and
+    /// payload rows directly into the job's output range (pick generation
+    /// fused with materialization — no intermediate pick list).
+    fn merge_task(&self, runs: &[SortedRun], job: &MergeJob, part: usize, parts: usize) {
+        let a = &runs[job.a];
+        let b = &runs[job.b];
+        let kw = a.key_width;
+        let width = self.layout.width();
         let (na, nb) = (a.len(), b.len());
-        let total = na + nb;
-        let tie_possible = !a.keys.is_empty() && self.tie_possible();
+        let tie_possible = kw > 0 && self.tie_possible();
         let cmp = |i: usize, j: usize| -> Ordering {
             let ka = &a.keys[i * kw..(i + 1) * kw];
             let kb = &b.keys[j * kw..(j + 1) * kw];
-            match ka.cmp(kb) {
-                Ordering::Equal if tie_possible => tie_cmp.compare(
+            match cmp_keys(ka, kb) {
+                Ordering::Equal if tie_possible => self.tie_cmp.compare(
                     a.payload.row(i),
                     a.payload.heap(),
                     b.payload.row(j),
@@ -263,62 +554,78 @@ impl SortPipeline {
             }
         };
 
-        let parts = threads.clamp(1, total.max(1));
-        // Merge Path bounds for each output partition.
-        let mut bounds = Vec::with_capacity(parts + 1);
-        for p in 0..=parts {
-            let diag = total * p / parts;
-            bounds.push(merge_path_partition_by(na, nb, diag, |j, i| {
-                cmp(i, j) == Ordering::Greater // b[j] < a[i]
-            }));
+        let d0 = job.total * part / parts;
+        let d1 = job.total * (part + 1) / parts;
+        if d0 == d1 {
+            return;
         }
+        let (a0, b0) = merge_path_partition_by(na, nb, d0, |j, i| {
+            cmp(i, j) == Ordering::Greater // b[j] < a[i]
+        });
+        let (a1, b1) = merge_path_partition_by(na, nb, d1, |j, i| {
+            cmp(i, j) == Ordering::Greater
+        });
 
-        let mut picks: Vec<(u32, u32)> = vec![(0, 0); total];
-        {
-            let mut rest: &mut [(u32, u32)] = &mut picks;
-            let mut slices: Vec<&mut [(u32, u32)]> = Vec::with_capacity(parts);
-            for w in bounds.windows(2) {
-                let part_len = (w[1].0 - w[0].0) + (w[1].1 - w[0].1);
-                let (head, tail) = rest.split_at_mut(part_len);
-                slices.push(head);
-                rest = tail;
-            }
-            let merge_part =
-                |out: &mut [(u32, u32)], wa: std::ops::Range<usize>, wb: std::ops::Range<usize>| {
-                    let (mut i, mut j) = (wa.start, wb.start);
-                    for slot in out.iter_mut() {
-                        let take_b = i >= wa.end || (j < wb.end && cmp(i, j) == Ordering::Greater);
-                        if take_b {
-                            *slot = (1, j as u32);
-                            j += 1;
-                        } else {
-                            *slot = (0, i as u32);
-                            i += 1;
-                        }
-                    }
-                };
-            if parts == 1 {
-                merge_part(slices.pop().unwrap(), 0..na, 0..nb);
+        // SAFETY: Merge Path bounds are exact — partition `part` produces
+        // output rows `d0..d1` and no other partition writes them, so the
+        // slices below are disjoint between tasks; the backing buffers are
+        // sized `total * kw` / `total * width` and owned by `next_round`,
+        // which outlives the phase.
+        let out_keys = unsafe {
+            std::slice::from_raw_parts_mut(job.out_keys.get().add(d0 * kw), (d1 - d0) * kw)
+        };
+        // SAFETY: same disjointness argument as `out_keys` above.
+        let out_rows = unsafe {
+            std::slice::from_raw_parts_mut(job.out_rows.get().add(d0 * width), (d1 - d0) * width)
+        };
+
+        let (a_keys, b_keys) = (&a.keys, &b.keys);
+        let (a_rows, b_rows) = (a.payload.data(), b.payload.data());
+        let (mut i, mut j) = (a0, b0);
+        let mut key_out = out_keys.chunks_exact_mut(kw.max(1));
+        let mut row_out = out_rows.chunks_exact_mut(width);
+        let fix_heap = job.heap_shift != 0 && !self.varlen_cols.is_empty();
+        for _ in 0..(d1 - d0) {
+            // Selection and index advance are arithmetic, not control flow:
+            // on random keys `take_b` is a coin flip, so a branchy merge
+            // pays a misprediction per output row.
+            let take_b = i >= a1 || (j < b1 && cmp(i, j) == Ordering::Greater);
+            let (src_keys, src_rows, r) = if take_b {
+                (b_keys, b_rows, j)
             } else {
-                std::thread::scope(|scope| {
-                    for (p, out) in slices.into_iter().enumerate() {
-                        let (a0, b0) = bounds[p];
-                        let (a1, b1) = bounds[p + 1];
-                        scope.spawn(move || merge_part(out, a0..a1, b0..b1));
+                (a_keys, a_rows, i)
+            };
+            j += take_b as usize;
+            i += !take_b as usize;
+            if let Some(dst) = key_out.next() {
+                copy_small(dst, &src_keys[r * kw..(r + 1) * kw]);
+            }
+            // lint:allow(R002): the iterator yields exactly d1-d0 rows by
+            // construction; see the SAFETY disjointness argument above.
+            let out_row = row_out.next().expect("output sized to partition");
+            copy_small(out_row, &src_rows[r * width..(r + 1) * width]);
+            if fix_heap && take_b {
+                // b-side strings now live after a's heap: shift offsets.
+                for &c in &self.varlen_cols {
+                    if out_row[self.layout.null_offset(c)] != 0 {
+                        continue;
                     }
-                });
+                    let at = self.layout.offset(c);
+                    let mut slot = [0u8; 4];
+                    slot.copy_from_slice(&out_row[at..at + 4]);
+                    let off = u32::from_le_bytes(slot) + job.heap_shift;
+                    out_row[at..at + 4].copy_from_slice(&off.to_le_bytes());
+                }
             }
         }
+    }
 
-        // Materialize merged keys and payload in pick order.
-        let mut keys = Vec::with_capacity(total * kw);
-        for &(blk, row) in &picks {
-            let src = if blk == 0 { &a.keys } else { &b.keys };
-            let r = row as usize;
-            keys.extend_from_slice(&src[r * kw..(r + 1) * kw]);
-        }
-        let payload = RowBlock::gather_from(&[&a.payload, &b.payload], &picks);
-        SortedRun { keys, payload }
+    /// Return a run's buffers to the pool.
+    fn recycle_run(&self, run: SortedRun) {
+        self.pool.put_bytes(run.keys);
+        let (data, heap) = run.payload.into_raw_parts();
+        self.pool.put_bytes(data);
+        self.pool.put_bytes(heap);
     }
 
     fn tie_possible(&self) -> bool {
@@ -326,6 +633,47 @@ impl SortPipeline {
             .keys
             .iter()
             .any(|k| self.types[k.column] == LogicalType::Varchar)
+    }
+}
+
+/// A sorted relation in row form, borrowed from its pipeline's buffer
+/// pool: dropping it recycles the buffers, which is what makes repeated
+/// sorts allocation-free.
+pub struct SortedRows<'a> {
+    pipeline: &'a SortPipeline,
+    run: Option<SortedRun>,
+}
+
+impl SortedRows<'_> {
+    /// Number of sorted rows.
+    pub fn len(&self) -> usize {
+        self.run.as_ref().map_or(0, |r| r.len())
+    }
+
+    /// `true` iff the input held no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sorted payload rows (`None` for an empty input).
+    pub fn payload(&self) -> Option<&RowBlock> {
+        self.run.as_ref().map(|r| &r.payload)
+    }
+
+    /// Convert back to vectors (NSM → DSM); the pipeline's final step.
+    pub fn to_chunk(&self) -> DataChunk {
+        match &self.run {
+            Some(run) => run.payload.to_chunk(),
+            None => DataChunk::new(&self.pipeline.types),
+        }
+    }
+}
+
+impl Drop for SortedRows<'_> {
+    fn drop(&mut self) {
+        if let Some(run) = self.run.take() {
+            self.pipeline.recycle_run(run);
+        }
     }
 }
 
@@ -442,6 +790,99 @@ mod tests {
         // Key columns must agree exactly (payload order within ties may
         // differ between schedules, but here all columns are keys).
         assert_eq!(seq.to_rows(), par.to_rows());
+    }
+
+    #[test]
+    fn output_bit_identical_across_thread_counts() {
+        // Non-key payload creates observable tie order: with morsel-slot
+        // runs, fixed pairing, and exact Merge Path partitions, the whole
+        // output (tie order included) must match for any thread count.
+        let keys = pseudo_random(9_000, 21, 40); // heavy ties
+        let payload: Vec<u32> = (0..9_000).collect();
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(keys), Vector::from_u32s(payload)])
+                .unwrap();
+        let order = OrderBy::new(vec![OrderByColumn::asc(0)]);
+        let reference = SortPipeline::new(
+            chunk.types(),
+            order.clone(),
+            SortOptions {
+                threads: 1,
+                run_rows: 512,
+            },
+        )
+        .sort(&chunk);
+        for threads in [2, 3, 4] {
+            let got = SortPipeline::new(
+                chunk.types(),
+                order.clone(),
+                SortOptions {
+                    threads,
+                    run_rows: 512,
+                },
+            )
+            .sort(&chunk);
+            assert_eq!(
+                reference.to_rows(),
+                got.to_rows(),
+                "threads={threads} diverged from single-threaded output"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_sorts_hit_the_pool() {
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(
+            30_000, 33, 1 << 30,
+        ))])
+        .unwrap();
+        let order = OrderBy::ascending(1);
+        let pipeline = SortPipeline::new(
+            chunk.types(),
+            order.clone(),
+            SortOptions {
+                threads: 1,
+                run_rows: 4_000,
+            },
+        );
+        let first = pipeline.sort(&chunk);
+        let (_, misses_after_warmup) = pipeline.pool_stats();
+        let second = pipeline.sort(&chunk);
+        let (hits, misses) = pipeline.pool_stats();
+        assert_eq!(first.to_rows(), second.to_rows());
+        assert_eq!(
+            misses, misses_after_warmup,
+            "steady-state sort allocated fresh buffers"
+        );
+        assert!(hits > 0, "steady-state sort never hit the pool");
+        assert_sorted_equal(&second, &chunk, &order);
+    }
+
+    #[test]
+    fn varchar_stat_change_invalidates_pooled_key_blocks() {
+        let order = OrderBy::ascending(1);
+        let short = DataChunk::from_columns(vec![Vector::from_strings(["b", "a", "c", "d"])])
+            .unwrap();
+        let long = DataChunk::from_columns(vec![Vector::from_strings([
+            "prefix_very_long_AAAA",
+            "prefix_very_long_AAAB",
+            "prefix_very_long_AAAA",
+            "zz",
+        ])])
+        .unwrap();
+        let pipeline = SortPipeline::new(
+            short.types(),
+            order.clone(),
+            SortOptions::single_with_run_rows(2),
+        );
+        let got_short = pipeline.sort(&short);
+        assert_sorted_equal(&got_short, &short, &order);
+        // Longer strings change the VARCHAR prefix stat: cached key blocks
+        // must be rebuilt, not reused with the stale layout.
+        let got_long = pipeline.sort(&long);
+        assert_sorted_equal(&got_long, &long, &order);
+        let got_short_again = pipeline.sort(&short);
+        assert_sorted_equal(&got_short_again, &short, &order);
     }
 
     #[test]
@@ -563,6 +1004,39 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             };
             assert_eq!(p, k * 7 + 1, "payload detached from its key at row {i}");
+        }
+    }
+
+    #[test]
+    fn strings_survive_multi_round_merges() {
+        // VARCHAR payload across ≥ 2 merge rounds: heap concatenation and
+        // b-side offset shifting must compose across rounds.
+        let n = 4_000;
+        let keys = pseudo_random(n, 14, 500);
+        let strings: Vec<String> = keys.iter().map(|k| format!("val_{k:05}")).collect();
+        let chunk = DataChunk::from_columns(vec![
+            Vector::from_u32s(keys.clone()),
+            Vector::from_strings(strings.iter().map(|s| s.as_str())),
+        ])
+        .unwrap();
+        let order = OrderBy::new(vec![OrderByColumn::asc(0)]);
+        let pipeline = SortPipeline::new(
+            chunk.types(),
+            order.clone(),
+            SortOptions {
+                threads: 2,
+                run_rows: 300, // 14 runs → 4 merge rounds
+            },
+        );
+        let got = pipeline.sort(&chunk);
+        assert_sorted_equal(&got, &chunk, &order);
+        for i in 0..got.len() {
+            let row = got.row(i);
+            let (k, s) = match (&row[0], &row[1]) {
+                (Value::UInt32(k), Value::Varchar(s)) => (*k, s.clone()),
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(s, format!("val_{k:05}"), "string detached at row {i}");
         }
     }
 }

@@ -141,4 +141,53 @@ prop! {
             check_sorted_permutation(&got, &case)?;
         }
     }
+
+    // Pool recycling must be invisible: sorting through a warmed-up
+    // pipeline (second sort reuses pooled buffers) yields the same row
+    // bytes as a fresh pipeline's first sort.
+    fn pooled_buffers_do_not_change_output(case in case_gen(), run_rows in 1usize..64, threads in 1usize..4) {
+        let options = SortOptions { threads, run_rows };
+        let warmed = SortPipeline::new(case.chunk.types(), case.order.clone(), options);
+        drop(warmed.sort_rows(&case.chunk)); // populate the pool
+        let pooled = warmed.sort_rows(&case.chunk);
+
+        let fresh_pipeline = SortPipeline::new(case.chunk.types(), case.order.clone(), options);
+        let fresh = fresh_pipeline.sort_rows(&case.chunk);
+
+        match (pooled.payload(), fresh.payload()) {
+            (None, None) => {}
+            (Some(p), Some(f)) => {
+                prop_assert_eq!(p.data(), f.data(), "payload rows differ after pooling");
+                prop_assert_eq!(p.heap(), f.heap(), "heap bytes differ after pooling");
+            }
+            _ => prop_assert_eq!(pooled.len(), fresh.len()),
+        }
+    }
+
+    // Determinism across parallelism: morsel-indexed run slots make the
+    // output — including tie order — bit-identical for any thread count.
+    fn output_identical_for_any_thread_count(case in case_gen(), run_rows in 1usize..64) {
+        let reference_pipeline = SortPipeline::new(
+            case.chunk.types(),
+            case.order.clone(),
+            SortOptions { threads: 1, run_rows },
+        );
+        let reference = reference_pipeline.sort_rows(&case.chunk);
+        for threads in [2usize, 4] {
+            let pipeline = SortPipeline::new(
+                case.chunk.types(),
+                case.order.clone(),
+                SortOptions { threads, run_rows },
+            );
+            let got = pipeline.sort_rows(&case.chunk);
+            match (got.payload(), reference.payload()) {
+                (None, None) => {}
+                (Some(g), Some(r)) => {
+                    prop_assert_eq!(g.data(), r.data(), "rows differ at threads={}", threads);
+                    prop_assert_eq!(g.heap(), r.heap(), "heap differs at threads={}", threads);
+                }
+                _ => prop_assert_eq!(got.len(), reference.len()),
+            }
+        }
+    }
 }

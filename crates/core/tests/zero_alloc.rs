@@ -1,0 +1,54 @@
+//! Pins the tentpole claim: a warmed-up pipeline sorts with ZERO system
+//! allocations — every transient buffer (key runs, payload blocks, radix
+//! scratch, merge outputs) comes from the pipeline's pool.
+//!
+//! The counting allocator is installed globally for this test binary, so
+//! the file holds exactly one test: any parallel test in the same binary
+//! would allocate concurrently and poison the count.
+
+use rowsort_core::pipeline::{SortOptions, SortPipeline};
+use rowsort_testkit::alloc::{allocation_count, CountingAllocator};
+use rowsort_testkit::Rng;
+use rowsort_vector::{DataChunk, OrderBy, Vector};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_sort_does_not_allocate() {
+    let mut rng = Rng::seed_from_u64(0x2ea0_a110c);
+    let n = 200_000;
+    let col: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let chunk = DataChunk::from_columns(vec![Vector::from_u32s(col)]).unwrap();
+
+    // threads: 1 — worker threads allocate stack/TLS on their own
+    // schedule; the zero-allocation guarantee is about sort buffers.
+    let pipeline = SortPipeline::new(
+        chunk.types(),
+        OrderBy::ascending(1),
+        SortOptions {
+            threads: 1,
+            run_rows: 1 << 15,
+        },
+    );
+
+    // Warm up: first sorts populate the buffer pool (runs + merge
+    // rounds). Two passes so every size class reached in round N of the
+    // cascade is pooled before measurement.
+    for _ in 0..2 {
+        drop(pipeline.sort_rows(&chunk));
+    }
+
+    let before = allocation_count();
+    let sorted = pipeline.sort_rows(&chunk);
+    assert_eq!(sorted.len(), n as usize);
+    drop(sorted);
+    let allocs = allocation_count() - before;
+    let (hits, misses) = pipeline.pool_stats();
+    assert_eq!(
+        allocs, 0,
+        "steady-state sort hit the system allocator {allocs} time(s) \
+         (pool hits={hits} misses={misses})"
+    );
+    assert!(hits > 0, "pool was never used (hits={hits} misses={misses})");
+}

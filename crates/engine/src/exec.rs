@@ -21,7 +21,9 @@ use std::cmp::Ordering;
 pub struct ExecOptions {
     /// Which system's sort-operator configuration to use.
     pub profile: SystemProfile,
-    /// Worker threads available to parallel operators.
+    /// Worker threads available to parallel operators. Defaults to
+    /// [`rowsort_core::default_threads`]: the `ROWSORT_THREADS` environment
+    /// variable if set, otherwise the machine's available parallelism.
     pub threads: usize,
 }
 
@@ -29,7 +31,7 @@ impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             profile: SystemProfile::RowsortDb,
-            threads: 1,
+            threads: rowsort_core::default_threads(),
         }
     }
 }

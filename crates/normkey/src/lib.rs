@@ -41,4 +41,4 @@ pub use encoding::{
     NULL_LAST_NULL, NULL_LAST_VALID,
 };
 pub use layout::{KeyColumn, NormKeyLayout};
-pub use vector_encode::{encode_column_into, encode_value_into};
+pub use vector_encode::{encode_column_into, encode_column_range_into, encode_value_into};

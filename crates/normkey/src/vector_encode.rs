@@ -69,7 +69,26 @@ pub fn encode_column_into(
     col_offset: usize,
     base_row: usize,
 ) {
-    let n = vec.len();
+    encode_column_range_into(vec, col, out, stride, col_offset, base_row, 0, vec.len());
+}
+
+/// [`encode_column_into`] restricted to vector rows `lo..hi`: row `lo + i`
+/// of the vector is written at key row `base_row + i`. This lets the sort
+/// pipeline encode one morsel of a chunk directly, without materializing a
+/// sliced copy of the vector first.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_column_range_into(
+    vec: &Vector,
+    col: &KeyColumn,
+    out: &mut [u8],
+    stride: usize,
+    col_offset: usize,
+    base_row: usize,
+    lo: usize,
+    hi: usize,
+) {
+    assert!(lo <= hi && hi <= vec.len(), "row range out of bounds");
+    let n = hi - lo;
     let width = col.encoded_width();
     debug_assert!(out.len() >= (base_row + n) * stride);
     let desc = col.spec.order == SortOrder::Descending;
@@ -77,9 +96,9 @@ pub fn encode_column_into(
 
     macro_rules! encode_loop {
         ($values:expr, $encode:expr) => {{
-            for (i, v) in $values.iter().enumerate() {
+            for (i, v) in $values[lo..hi].iter().enumerate() {
                 let at = (base_row + i) * stride + col_offset;
-                let valid = vec.is_valid(i);
+                let valid = vec.is_valid(lo + i);
                 out[at] = null_byte(nulls, valid);
                 let body = &mut out[at + 1..at + width];
                 if valid {
@@ -111,12 +130,12 @@ pub fn encode_column_into(
         VectorData::Varchar(strings) => {
             for i in 0..n {
                 let at = (base_row + i) * stride + col_offset;
-                let valid = vec.is_valid(i);
+                let valid = vec.is_valid(lo + i);
                 out[at] = null_byte(nulls, valid);
                 let body = &mut out[at + 1..at + width];
                 body.fill(0);
                 if valid {
-                    let bytes = strings.get_bytes(i);
+                    let bytes = strings.get_bytes(lo + i);
                     let m = bytes.len().min(body.len());
                     body[..m].copy_from_slice(&bytes[..m]);
                     if desc {
@@ -241,6 +260,42 @@ mod tests {
         assert_eq!(out[2 * stride + 4], 7);
         // Other bytes untouched.
         assert_eq!(out[0], 0xAA);
+    }
+
+    #[test]
+    fn range_encoding_matches_whole_vector_encoding() {
+        let col = KeyColumn::fixed(T::Int32, SortSpec::DESC);
+        let vec = {
+            let mut v = Vector::new(T::Int32);
+            for x in [
+                Value::Int32(3),
+                Value::Null,
+                Value::Int32(-9),
+                Value::Int32(40),
+            ] {
+                v.push(&x).unwrap();
+            }
+            v
+        };
+        let stride = col.encoded_width();
+        let mut whole = vec![0u8; 4 * stride];
+        encode_column_into(&vec, &col, &mut whole, stride, 0, 0);
+        let mut ranged = vec![0u8; 2 * stride];
+        encode_column_range_into(&vec, &col, &mut ranged, stride, 0, 0, 1, 3);
+        assert_eq!(&ranged[..stride], &whole[stride..2 * stride], "row 1");
+        assert_eq!(&ranged[stride..], &whole[2 * stride..3 * stride], "row 2");
+    }
+
+    #[test]
+    fn range_encoding_strings() {
+        let col = KeyColumn::varchar(SortSpec::ASC, 4);
+        let vec = Vector::from_strings(["zz", "aa", "mm"]);
+        let w = col.encoded_width();
+        let mut whole = vec![0u8; 3 * w];
+        encode_column_into(&vec, &col, &mut whole, w, 0, 0);
+        let mut ranged = vec![0u8; w];
+        encode_column_range_into(&vec, &col, &mut ranged, w, 0, 0, 2, 3);
+        assert_eq!(&ranged[..], &whole[2 * w..]);
     }
 
     #[test]

@@ -72,6 +72,20 @@ impl RowBlock {
         }
     }
 
+    /// Remove all rows, keeping the row-area and heap capacity (buffer
+    /// reuse across sorts).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.heap.clear();
+        self.len = 0;
+    }
+
+    /// Disassemble the block into its row area and heap, for returning the
+    /// buffers to a pool. Inverse of [`RowBlock::from_raw_parts`].
+    pub fn into_raw_parts(self) -> (Vec<u8>, Vec<u8>) {
+        (self.data, self.heap)
+    }
+
     /// The row shape.
     pub fn layout(&self) -> &Arc<RowLayout> {
         &self.layout
@@ -123,37 +137,55 @@ impl RowBlock {
     /// # Panics
     /// If the chunk schema does not match the layout.
     pub fn append_chunk(&mut self, chunk: &DataChunk) {
-        assert_eq!(
-            chunk.types(),
-            self.layout.types(),
+        self.append_chunk_range(chunk, 0, chunk.len());
+    }
+
+    /// Append rows `lo..hi` of `chunk` (DSM → NSM scatter), without the
+    /// intermediate copy a sliced chunk would cost — this is how the sort
+    /// pipeline materializes each morsel.
+    ///
+    /// # Panics
+    /// If the chunk schema does not match the layout, or `lo..hi` is not a
+    /// valid row range of `chunk`.
+    pub fn append_chunk_range(&mut self, chunk: &DataChunk, lo: usize, hi: usize) {
+        // Element-wise so the schema check allocates nothing: this runs
+        // once per morsel inside the steady-state (allocation-free) path.
+        assert!(
+            chunk.column_count() == self.layout.types().len()
+                && chunk
+                    .columns()
+                    .iter()
+                    .zip(self.layout.types())
+                    .all(|(col, &ty)| col.logical_type() == ty),
             "chunk schema must match row layout"
         );
+        assert!(lo <= hi && hi <= chunk.len(), "row range out of bounds");
         let width = self.width();
         let base = self.len;
-        let n = chunk.len();
+        let n = hi - lo;
         self.data.resize((base + n) * width, 0);
         for col in 0..chunk.column_count() {
-            self.scatter_column(chunk.column(col), col, base);
+            self.scatter_column(chunk.column(col), col, base, lo, hi);
         }
         self.len += n;
     }
 
-    fn scatter_column(&mut self, vec: &Vector, col: usize, base: usize) {
+    fn scatter_column(&mut self, vec: &Vector, col: usize, base: usize, lo: usize, hi: usize) {
         let width = self.width();
         let slot = self.layout.offset(col);
         let null_off = self.layout.null_offset(col);
-        let n = vec.len();
+        let n = hi - lo;
 
         // Null flags first (1 = NULL). NULL slots keep zero bytes.
         for i in 0..n {
             let row_start = (base + i) * width;
-            self.data[row_start + null_off] = !vec.is_valid(i) as u8;
+            self.data[row_start + null_off] = !vec.is_valid(lo + i) as u8;
         }
 
         macro_rules! scatter_fixed {
             ($values:expr) => {{
-                for (i, v) in $values.iter().enumerate() {
-                    if !vec.is_valid(i) {
+                for (i, v) in $values[lo..hi].iter().enumerate() {
+                    if !vec.is_valid(lo + i) {
                         continue;
                     }
                     let at = (base + i) * width + slot;
@@ -165,8 +197,8 @@ impl RowBlock {
 
         match vec.data() {
             VectorData::Boolean(values) => {
-                for (i, v) in values.iter().enumerate() {
-                    if vec.is_valid(i) {
+                for (i, v) in values[lo..hi].iter().enumerate() {
+                    if vec.is_valid(lo + i) {
                         self.data[(base + i) * width + slot] = *v as u8;
                     }
                 }
@@ -185,10 +217,10 @@ impl RowBlock {
             VectorData::Timestamp(values) => scatter_fixed!(values),
             VectorData::Varchar(strings) => {
                 for i in 0..n {
-                    if !vec.is_valid(i) {
+                    if !vec.is_valid(lo + i) {
                         continue;
                     }
-                    let bytes = strings.get_bytes(i);
+                    let bytes = strings.get_bytes(lo + i);
                     // lint:allow(R002): a heap or string beyond 4 GiB cannot
                     // be represented in the u32 slot format at all; aborting
                     // is the only sound response to that capacity overflow.
@@ -359,6 +391,31 @@ impl RowBlock {
             heap: self.heap.clone(),
             len: order.len(),
         }
+    }
+
+    /// Replace this block's contents with `src`'s rows in the order the
+    /// iterator yields them — [`RowBlock::reorder`] into an existing
+    /// (pooled) block instead of a fresh one. Heap offsets are absolute,
+    /// so the heap is copied wholesale and row copies need no fixup.
+    ///
+    /// # Panics
+    /// If the layouts differ or an index is out of bounds.
+    pub fn assign_reordered(&mut self, src: &RowBlock, order: impl ExactSizeIterator<Item = u32>) {
+        assert_eq!(
+            self.layout.types(),
+            src.layout.types(),
+            "assign_reordered requires one shared layout"
+        );
+        let width = self.width();
+        let n = order.len();
+        self.heap.clear();
+        self.heap.extend_from_slice(&src.heap);
+        self.data.resize(n * width, 0);
+        for (dst, s) in order.enumerate() {
+            let s = s as usize * width;
+            self.data[dst * width..(dst + 1) * width].copy_from_slice(&src.data[s..s + width]);
+        }
+        self.len = n;
     }
 
     /// Materialize a new block by picking rows `(block_idx, row_idx)` from
@@ -645,6 +702,65 @@ mod tests {
         let g = RowBlock::gather_from(&[&b], &[(0, 1), (0, 0)]);
         assert_eq!(g.value(0, 0), Value::from("x"));
         assert_eq!(g.value(1, 0), Value::Null);
+    }
+
+    #[test]
+    fn append_chunk_range_scatters_subset() {
+        let chunk = chunk_u32_pairs(&[(1, 10), (2, 20), (3, 30), (4, 40)]);
+        let mut block = RowBlock::new(Arc::new(RowLayout::new(&chunk.types())));
+        block.append_chunk_range(&chunk, 1, 3);
+        assert_eq!(block.len(), 2);
+        assert_eq!(block.value(0, 0), Value::UInt32(2));
+        assert_eq!(block.value(1, 1), Value::UInt32(30));
+    }
+
+    #[test]
+    fn append_chunk_range_strings_and_nulls() {
+        let mut chunk = DataChunk::new(&[T::Varchar]);
+        for v in [Value::from("a"), Value::Null, Value::from("c"), Value::from("d")] {
+            chunk.push_row(&[v]).unwrap();
+        }
+        let mut block = RowBlock::new(Arc::new(RowLayout::new(&chunk.types())));
+        block.append_chunk_range(&chunk, 1, 4);
+        assert_eq!(block.len(), 3);
+        assert!(block.is_null(0, 0));
+        assert_eq!(block.value(1, 0), Value::from("c"));
+        assert_eq!(block.value(2, 0), Value::from("d"));
+    }
+
+    #[test]
+    fn assign_reordered_reuses_buffers() {
+        let mut chunk = DataChunk::new(&[T::UInt32, T::Varchar]);
+        for (v, s) in [(3u32, "ccc"), (1, "aaa"), (2, "bbb")] {
+            chunk.push_row(&[Value::UInt32(v), Value::from(s)]).unwrap();
+        }
+        let layout = Arc::new(RowLayout::new(&chunk.types()));
+        let mut src = RowBlock::new(Arc::clone(&layout));
+        src.append_chunk(&chunk);
+        let mut dst = RowBlock::new(layout);
+        dst.assign_reordered(&src, [1u32, 2, 0].into_iter());
+        assert_eq!(dst.value(0, 0), Value::UInt32(1));
+        assert_eq!(dst.value(0, 1), Value::from("aaa"));
+        assert_eq!(dst.value(2, 1), Value::from("ccc"));
+        let cap = dst.data.capacity();
+        // Re-assigning a same-size permutation must not reallocate.
+        dst.assign_reordered(&src, [0u32, 1, 2].into_iter());
+        assert_eq!(dst.data.capacity(), cap);
+        assert_eq!(dst.to_chunk(), chunk);
+    }
+
+    #[test]
+    fn clear_and_raw_parts_round_trip() {
+        let chunk = chunk_u32_pairs(&[(1, 10), (2, 20)]);
+        let layout = Arc::new(RowLayout::new(&chunk.types()));
+        let mut block = RowBlock::new(Arc::clone(&layout));
+        block.append_chunk(&chunk);
+        block.clear();
+        assert!(block.is_empty());
+        block.append_chunk(&chunk);
+        let (data, heap) = block.into_raw_parts();
+        let rebuilt = RowBlock::from_raw_parts(layout, data, heap);
+        assert_eq!(rebuilt.to_chunk(), chunk);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! Install [`CountingAllocator`] as the `#[global_allocator]` of a test
+//! binary, then bracket the region under test with [`allocation_count`]
+//! readings:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: rowsort_testkit::alloc::CountingAllocator =
+//!     rowsort_testkit::alloc::CountingAllocator;
+//!
+//! let before = allocation_count();
+//! steady_state_sort();
+//! assert_eq!(allocation_count() - before, 0);
+//! ```
+//!
+//! Only allocations are counted (not deallocations): a steady-state
+//! pipeline may *return* buffers to its pool, but must not take any from
+//! the system allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Forwarding allocator that counts `alloc`/`realloc` calls.
+pub struct CountingAllocator;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// GlobalAlloc contract; the counter update has no effect on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards to `System` under the caller's own layout contract.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: forwards to `System` under the caller's own layout contract.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: forwards to `System`; `ptr` came from `alloc` above.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by the matching `alloc` above.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: forwards to `System` under the caller's realloc contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` follow the caller's realloc contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocation calls (alloc + alloc_zeroed + realloc) since process
+/// start. Monotonic; subtract two readings to count a region.
+pub fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    // The allocator is exercised for real in `rowsort-core`'s
+    // `zero_alloc` integration test, where it is installed globally; unit
+    // tests here only check that the counter is monotonic and readable.
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic() {
+        let a = allocation_count();
+        let b = allocation_count();
+        assert!(b >= a);
+    }
+}

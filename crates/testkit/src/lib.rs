@@ -34,6 +34,7 @@
 //! fully deterministic; set `TESTKIT_SEED` to a fresh value (or
 //! `TESTKIT_CASES` to a larger count) to explore new inputs.
 
+pub mod alloc;
 pub mod bench;
 pub mod json;
 pub mod prop;

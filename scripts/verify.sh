@@ -33,4 +33,18 @@ cargo test -q --workspace --offline
 echo "== cargo build --benches --offline =="
 cargo build --benches --workspace --offline
 
+# --- 5. Pipeline perf smoke (warn-only) ------------------------------------
+# A fast pipeline bench run (250k rows, not the full Figure 12 sizes),
+# compared against the checked-in BENCH_pipeline.json baseline. The gate
+# prints a ratio per bench id and warns past tolerance, but never fails
+# the build: the boxes this runs on are noisy single-core machines.
+echo "== pipeline perf smoke =="
+# Absolute path: cargo runs benches with the package dir as cwd.
+mkdir -p target/perf
+smoke_json="$PWD/target/perf/pipeline_smoke.json"
+ROWSORT_PIPE_ROWS=250000 ROWSORT_BENCH_JSON="$smoke_json" \
+    cargo bench --offline -q -p rowsort-bench --bench pipeline
+cargo run --release --offline -q -p rowsort-bench --bin bench_gate -- \
+    BENCH_pipeline.json "$smoke_json" --tolerance 50
+
 echo "verify: OK"
