@@ -93,20 +93,22 @@ pub fn radix_sort_rows(data: &mut [u8], width: usize, key_offset: usize, key_len
 
 /// [`radix_sort_rows`] with a caller-pooled scratch buffer. The buffer is
 /// resized to [`radix_scratch_len`]; with sufficient capacity (e.g. a
-/// recycled buffer) the call performs no allocation.
+/// recycled buffer) the call performs no allocation. Returns the number
+/// of scatter passes performed (skipped single-bucket passes excluded),
+/// for the pipeline's metrics.
 pub fn radix_sort_rows_with_scratch(
     data: &mut [u8],
     width: usize,
     key_offset: usize,
     key_len: usize,
     scratch: &mut Vec<u8>,
-) {
+) -> usize {
     // Write-combining defaults off: measured slower at 256-bucket fan-out
     // on current hardware (see module docs and the `ablation_wc` bench).
     if key_len <= LSD_MAX_KEY_BYTES {
-        lsd_radix_sort_rows_opts(data, width, key_offset, key_len, scratch, false);
+        lsd_radix_sort_rows_opts(data, width, key_offset, key_len, scratch, false)
     } else {
-        msd_radix_sort_rows_opts(data, width, key_offset, key_len, scratch, false);
+        msd_radix_sort_rows_opts(data, width, key_offset, key_len, scratch, false)
     }
 }
 
@@ -119,7 +121,8 @@ pub fn lsd_radix_sort_rows(data: &mut [u8], width: usize, key_offset: usize, key
 }
 
 /// [`lsd_radix_sort_rows`] with pooled scratch and an explicit
-/// write-combining switch (the `ablation_wc` bench toggles it).
+/// write-combining switch (the `ablation_wc` bench toggles it). Returns
+/// the number of scatter passes performed.
 pub fn lsd_radix_sort_rows_opts(
     data: &mut [u8],
     width: usize,
@@ -127,16 +130,17 @@ pub fn lsd_radix_sort_rows_opts(
     key_len: usize,
     scratch: &mut Vec<u8>,
     write_combine: bool,
-) {
+) -> usize {
     let n = data.len() / width;
     if n <= 1 || key_len == 0 {
-        return;
+        return 0;
     }
     debug_assert_eq!(data.len() % width, 0);
     scratch.resize(radix_scratch_len(data.len(), width), 0);
     let (aux, wc) = scratch.split_at_mut(data.len());
 
     let use_wc = write_combine && n >= WC_MIN_ROWS;
+    let mut passes = 0usize;
     // `in_aux` flag: false ⇒ current data in `data`, true ⇒ in `aux`.
     let mut in_aux = false;
     // Fused counting: one sweep builds the histograms of up to
@@ -171,12 +175,14 @@ pub fn lsd_radix_sort_rows_opts(
                 scatter_pass(data, aux, wc, width, byte, 0, n, counts, use_wc);
             }
             in_aux = !in_aux;
+            passes += 1;
         }
         hi_rel = lo_rel;
     }
     if in_aux {
         data.copy_from_slice(aux);
     }
+    passes
 }
 
 /// Stable MSD radix sort: bucket by the most significant byte, recurse into
@@ -188,7 +194,8 @@ pub fn msd_radix_sort_rows(data: &mut [u8], width: usize, key_offset: usize, key
 }
 
 /// [`msd_radix_sort_rows`] with pooled scratch and an explicit
-/// write-combining switch (the `ablation_wc` bench toggles it).
+/// write-combining switch (the `ablation_wc` bench toggles it). Returns
+/// the number of scatter passes performed across all recursion levels.
 pub fn msd_radix_sort_rows_opts(
     data: &mut [u8],
     width: usize,
@@ -196,10 +203,10 @@ pub fn msd_radix_sort_rows_opts(
     key_len: usize,
     scratch: &mut Vec<u8>,
     write_combine: bool,
-) {
+) -> usize {
     let n = data.len() / width;
     if n <= 1 || key_len == 0 {
-        return;
+        return 0;
     }
     scratch.resize(radix_scratch_len(data.len(), width), 0);
     let (aux, wc) = scratch.split_at_mut(data.len());
@@ -213,7 +220,7 @@ pub fn msd_radix_sort_rows_opts(
         0,
         n,
         write_combine,
-    );
+    )
 }
 
 /// One stable counting-scatter of rows `start..end` from `src` into `dst`
@@ -289,16 +296,16 @@ fn msd_rec(
     start: usize,
     end: usize,
     write_combine: bool,
-) {
+) -> usize {
     let n = end - start;
     if n <= 1 {
-        return;
+        return 0;
     }
     // Small bucket: insertion sort on the remaining key bytes.
     if n <= MSD_INSERTION_THRESHOLD {
         let mut rows = RowsMut::new(&mut data[start * width..end * width], width);
         insertion_sort_rows(&mut rows, &mut |a, b| a[byte..key_end] < b[byte..key_end]);
-        return;
+        return 0;
     }
 
     // Fused counting: histogram up to MSD_FUSE_BYTES successive bytes in
@@ -306,7 +313,7 @@ fn msd_rec(
     // no copying — and, fused, no re-scanning per skipped byte).
     let counts = loop {
         if byte >= key_end {
-            return; // keys exhausted: bucket fully equal
+            return 0; // keys exhausted: bucket fully equal
         }
         let fuse = MSD_FUSE_BYTES.min(key_end - byte);
         let mut multi = [[0usize; 256]; MSD_FUSE_BYTES];
@@ -340,16 +347,19 @@ fn msd_rec(
     let use_wc = write_combine && n >= WC_MIN_ROWS;
     scatter_pass(data, aux, wc, width, byte, start, end, &counts, use_wc);
     data[start * width..end * width].copy_from_slice(&aux[start * width..end * width]);
+    let mut passes = 1usize;
 
     // Recurse into each non-trivial bucket on the next byte.
     if byte + 1 < key_end {
         for (b, &bs) in bucket_starts.iter().enumerate() {
             let be = bs + counts[b];
             if be - bs > 1 {
-                msd_rec(data, aux, wc, width, byte + 1, key_end, bs, be, write_combine);
+                passes +=
+                    msd_rec(data, aux, wc, width, byte + 1, key_end, bs, be, write_combine);
             }
         }
     }
+    passes
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Warn-only perf-regression gate for the pipeline benchmark.
 //!
 //! ```text
-//! bench_gate <baseline.json> <fresh.json> [--tolerance <pct>]
+//! bench_gate <baseline.json> <fresh.json> [--tolerance <pct>] [--trace <file.jsonl>]
 //! ```
 //!
 //! * `baseline.json` — the checked-in `BENCH_pipeline.json`: either an
@@ -15,7 +15,13 @@
 //! the gate flags only gross regressions). Always exits 0 on a completed
 //! comparison: the numbers are advisory, the build decision stays with a
 //! human reading the log.
+//!
+//! With `--trace`, also reads a `ROWSORT_TRACE` JSONL file (one
+//! [`rowsort_core::SortProfile`] object per sort) and prints where the
+//! traced sorts spent their time, phase by phase — so a regression the
+//! gate flags comes with an attribution of *which* phase got slower.
 
+use rowsort_core::metrics::Phase;
 use rowsort_testkit::json::Json;
 
 struct Entry {
@@ -49,10 +55,56 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Aggregate a `ROWSORT_TRACE` JSONL file into a per-phase time summary.
+fn trace_attribution(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read trace {path}: {e}")));
+    let mut phase_ns = [0.0f64; Phase::COUNT];
+    let mut total_ns = 0.0f64;
+    let mut total_rows = 0.0f64;
+    let mut sorts = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line)
+            .unwrap_or_else(|e| die(&format!("trace line {}: invalid JSON: {e}", i + 1)));
+        let Some(phases) = obj.get("phases") else {
+            continue; // foreign event kinds are skipped, not fatal
+        };
+        sorts += 1;
+        total_ns += obj.get("total_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        total_rows += obj.get("rows").and_then(Json::as_f64).unwrap_or(0.0);
+        for (slot, phase) in phase_ns.iter_mut().zip(Phase::ALL) {
+            *slot += phases.get(phase.name()).and_then(Json::as_f64).unwrap_or(0.0);
+        }
+    }
+    if sorts == 0 {
+        println!("bench_gate: trace {path} holds no sort events");
+        return;
+    }
+    println!(
+        "bench_gate: trace attribution ({sorts} sorts, {total_rows:.0} rows, \
+         {:.2}ms total)",
+        total_ns / 1e6
+    );
+    for (ns, phase) in phase_ns.iter().zip(Phase::ALL) {
+        if *ns > 0.0 {
+            println!(
+                "  {:<16} {:>10.2}ms  ({:>5.1}%)",
+                phase.name(),
+                ns / 1e6,
+                100.0 * ns / total_ns
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance_pct = 25.0;
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--tolerance" {
@@ -60,12 +112,18 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse::<f64>().ok())
                 .unwrap_or_else(|| die("--tolerance needs a numeric percentage"));
+        } else if arg == "--trace" {
+            trace_path = Some(
+                it.next()
+                    .unwrap_or_else(|| die("--trace needs a JSONL file path"))
+                    .clone(),
+            );
         } else {
             paths.push(arg.clone());
         }
     }
     let [baseline_path, fresh_path] = paths.as_slice() else {
-        die("usage: bench_gate <baseline.json> <fresh.json> [--tolerance <pct>]");
+        die("usage: bench_gate <baseline.json> <fresh.json> [--tolerance <pct>] [--trace <file>]");
     };
 
     let baseline_doc = load(baseline_path);
@@ -115,5 +173,9 @@ fn main() {
         );
     } else {
         println!("bench_gate: all {compared} benches within tolerance");
+    }
+
+    if let Some(path) = trace_path {
+        trace_attribution(&path);
     }
 }

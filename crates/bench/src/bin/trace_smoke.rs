@@ -1,0 +1,154 @@
+//! CI smoke test for the `ROWSORT_TRACE` observability pipeline.
+//!
+//! ```text
+//! trace_smoke <trace-file.jsonl>
+//! ```
+//!
+//! Turns tracing on, runs one in-memory pipeline sort (u32 keys), one
+//! VARCHAR sort, and one spilling external sort, then reads the trace
+//! file back and validates every line against the documented schema
+//! (DESIGN.md §7.5) with testkit's JSON parser: required fields, all
+//! phase and counter names present and numeric, and phase times that sum
+//! to no more than the sort's wall time. Exits non-zero on any
+//! violation, so CI catches schema drift the moment it happens.
+
+use rowsort_core::external::{ExternalSortOptions, ExternalSorter};
+use rowsort_core::metrics::{Counter, Phase};
+use rowsort_core::pipeline::{SortOptions, SortPipeline};
+use rowsort_testkit::json::Json;
+use rowsort_testkit::Rng;
+use rowsort_vector::{DataChunk, OrderBy, Value, Vector};
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace_smoke: {msg}");
+    std::process::exit(2);
+}
+
+fn num_field(obj: &Json, name: &str, line_no: usize) -> f64 {
+    obj.get(name)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| die(&format!("line {line_no}: missing numeric field '{name}'")))
+}
+
+fn run_sorts() {
+    let mut rng = Rng::seed_from_u64(0x7ace);
+    let n = 100_000usize;
+    let col: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let ints = DataChunk::from_columns(vec![Vector::from_u32s(col)]).unwrap();
+    let pipeline = SortPipeline::new(ints.types(), OrderBy::ascending(1), SortOptions::default());
+    drop(pipeline.sort(&ints));
+
+    let mut strings = DataChunk::new(&[rowsort_vector::LogicalType::Varchar]);
+    for _ in 0..20_000 {
+        let r = rng.next_u32();
+        let v = if r % 11 == 0 {
+            Value::Null
+        } else {
+            Value::from(format!("name_{}", r % 997))
+        };
+        strings.push_row(&[v]).unwrap();
+    }
+    let pipeline =
+        SortPipeline::new(strings.types(), OrderBy::ascending(1), SortOptions::default());
+    drop(pipeline.sort(&strings));
+
+    let sorter = ExternalSorter::new(
+        ints.types(),
+        OrderBy::ascending(1),
+        ExternalSortOptions {
+            memory_limit_rows: 20_000,
+            spill_dir: None,
+        },
+    );
+    drop(sorter.sort(&ints).unwrap_or_else(|e| die(&format!("external sort failed: {e}"))));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        die("usage: trace_smoke <trace-file.jsonl>");
+    };
+    // Tracing reads its configuration once per process; set it before the
+    // first sort. A stale file would double-count lines: start fresh.
+    let _ = std::fs::remove_file(path);
+    std::env::set_var("ROWSORT_TRACE", "1");
+    std::env::set_var("ROWSORT_TRACE_FILE", path);
+
+    run_sorts();
+
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read trace file {path}: {e}")));
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.len() != 3 {
+        die(&format!("expected 3 trace lines (3 sorts ran), got {}", lines.len()));
+    }
+
+    let mut operators = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        let obj = Json::parse(line)
+            .unwrap_or_else(|e| die(&format!("line {line_no}: invalid JSON: {e}")));
+        let event = obj
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| die(&format!("line {line_no}: missing 'event'")));
+        if event != "sort" {
+            die(&format!("line {line_no}: unexpected event '{event}'"));
+        }
+        let operator = obj
+            .get("operator")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| die(&format!("line {line_no}: missing 'operator'")))
+            .to_owned();
+        if operator != "pipeline" && operator != "external" {
+            die(&format!("line {line_no}: unknown operator '{operator}'"));
+        }
+        let rows = num_field(&obj, "rows", line_no);
+        let total_ns = num_field(&obj, "total_ns", line_no);
+        if rows <= 0.0 || total_ns <= 0.0 {
+            die(&format!("line {line_no}: rows/total_ns must be positive"));
+        }
+
+        let phases = obj
+            .get("phases")
+            .unwrap_or_else(|| die(&format!("line {line_no}: missing 'phases'")));
+        let mut phase_sum = 0.0;
+        for p in Phase::ALL {
+            phase_sum += num_field(phases, p.name(), line_no);
+        }
+        let counters = obj
+            .get("counters")
+            .unwrap_or_else(|| die(&format!("line {line_no}: missing 'counters'")));
+        for c in Counter::ALL {
+            let _ = num_field(counters, c.name(), line_no);
+        }
+
+        // Phase timers nest strictly inside the sort call: their sum can
+        // never exceed the wall time, and for a non-trivial sort the
+        // timed phases are where the time actually goes.
+        if phase_sum > total_ns {
+            die(&format!(
+                "line {line_no}: phases sum to {phase_sum}ns > total {total_ns}ns"
+            ));
+        }
+        if phase_sum < 0.5 * total_ns {
+            die(&format!(
+                "line {line_no}: phases ({phase_sum}ns) attribute under half \
+                 of total ({total_ns}ns)"
+            ));
+        }
+        if num_field(counters, Counter::RowsSorted.name(), line_no) != rows {
+            die(&format!("line {line_no}: rows_sorted counter != rows"));
+        }
+        operators.push(operator);
+    }
+
+    if !operators.contains(&"pipeline".to_owned()) || !operators.contains(&"external".to_owned()) {
+        die(&format!("expected both operators in the trace, got {operators:?}"));
+    }
+    println!(
+        "trace_smoke: {} trace lines validated against the schema ({})",
+        lines.len(),
+        operators.join(", ")
+    );
+}

@@ -18,6 +18,7 @@
 
 use crate::comparator::FusedRowComparator;
 use crate::keys::KeyBlock;
+use crate::metrics::{emit_trace, Counter, CounterRegistry, Metrics, Phase, SortProfile};
 use rowsort_algos::kway::LoserTree;
 use rowsort_row::{RowBlock, RowLayout};
 use rowsort_vector::{DataChunk, LogicalType, OrderBy};
@@ -26,7 +27,8 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Tuning for the external sorter.
 #[derive(Debug, Clone)]
@@ -74,6 +76,8 @@ pub struct ExternalSorter {
     order: OrderBy,
     options: ExternalSortOptions,
     layout: Arc<RowLayout>,
+    metrics: CounterRegistry,
+    profile: Mutex<SortProfile>,
 }
 
 /// Read a 4-byte heap slot out of the row area. Infallible by type: the
@@ -146,16 +150,33 @@ impl ExternalSorter {
     pub fn new(
         types: Vec<LogicalType>,
         order: OrderBy,
-        options: ExternalSortOptions,
+        mut options: ExternalSortOptions,
     ) -> ExternalSorter {
-        assert!(options.memory_limit_rows >= 1);
+        // A zero budget would leave the run-generation loop unable to make
+        // progress (each run would cover zero rows); degrade to one-row runs.
+        options.memory_limit_rows = options.memory_limit_rows.max(1);
         let layout = Arc::new(RowLayout::new(&types));
         ExternalSorter {
             types,
             order,
             options,
             layout,
+            metrics: CounterRegistry::new(),
+            profile: Mutex::new(SortProfile::zeroed()),
         }
+    }
+
+    /// The profile recorded by the most recent [`ExternalSorter::sort`].
+    pub fn last_profile(&self) -> SortProfile {
+        match self.profile.lock() {
+            Ok(p) => *p,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// Cumulative counters across every sort run by this sorter.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.snapshot()
     }
 
     fn spill_path(&self) -> PathBuf {
@@ -182,15 +203,20 @@ impl ExternalSorter {
         if n == 0 {
             return Ok(DataChunk::new(&self.types));
         }
-        let stats: Vec<usize> = (0..self.types.len())
-            .map(|c| {
-                input
-                    .column(c)
-                    .as_strings()
-                    .map(|s| s.max_len())
-                    .unwrap_or(0)
-            })
-            .collect();
+        let sort_start = Instant::now();
+        let before = self.metrics.snapshot();
+        let stats: Vec<usize> = {
+            let _prepare = self.metrics.time_phase(Phase::Prepare);
+            (0..self.types.len())
+                .map(|c| {
+                    input
+                        .column(c)
+                        .as_strings()
+                        .map(|s| s.max_len())
+                        .unwrap_or(0)
+                })
+                .collect()
+        };
 
         // Determine the key width once, from an empty prototype key block.
         let proto = KeyBlock::new(&self.types, &self.order, |c| stats[c]);
@@ -202,28 +228,56 @@ impl ExternalSorter {
         let budget = self.options.memory_limit_rows;
         let mut runs: Vec<SpilledRun> = Vec::new();
         let mut start = 0;
-        while start < n {
-            let end = (start + budget).min(n);
-            let morsel = input.slice(start, end);
-            let mut payload = RowBlock::with_capacity(Arc::clone(&self.layout), morsel.len());
-            payload.append_chunk(&morsel);
-            let mut keys = KeyBlock::new(&self.types, &self.order, |c| stats[c]);
-            keys.append_chunk(&morsel);
-            let tie_cmp = FusedRowComparator::new(&self.layout, &self.order);
-            keys.sort(|a, b| {
-                tie_cmp.compare(
-                    payload.row(a as usize),
-                    payload.heap(),
-                    payload.row(b as usize),
-                    payload.heap(),
-                )
-            });
-            runs.push(self.spill_run(&keys, &payload, &varlen_cols)?);
-            start = end;
+        {
+            let _spill = self.metrics.time_phase(Phase::Spill);
+            while start < n {
+                let end = (start + budget).min(n);
+                let morsel = input.slice(start, end);
+                let mut payload = RowBlock::with_capacity(Arc::clone(&self.layout), morsel.len());
+                payload.append_chunk(&morsel);
+                let mut keys = KeyBlock::new(&self.types, &self.order, |c| stats[c]);
+                keys.append_chunk(&morsel);
+                let tie_cmp = FusedRowComparator::new(&self.layout, &self.order);
+                let algo = keys.sort(|a, b| {
+                    tie_cmp.compare(
+                        payload.row(a as usize),
+                        payload.heap(),
+                        payload.row(b as usize),
+                        payload.heap(),
+                    )
+                });
+                match algo {
+                    crate::keys::KeySortAlgo::Radix { passes } => {
+                        self.metrics.add(Counter::RadixSorts, 1);
+                        self.metrics.add(Counter::RadixPasses, passes);
+                    }
+                    crate::keys::KeySortAlgo::Pdq => self.metrics.add(Counter::PdqSorts, 1),
+                    crate::keys::KeySortAlgo::Noop => {}
+                }
+                self.metrics.add(Counter::RunsGenerated, 1);
+                runs.push(self.spill_run(&keys, &payload, &varlen_cols)?);
+                start = end;
+            }
         }
 
         // Phase 2: streaming k-way merge over the spilled runs.
-        self.merge_spilled(&runs, kw, width, &varlen_cols)
+        let out = {
+            let _merge = self.metrics.time_phase(Phase::SpillMerge);
+            self.merge_spilled(&runs, kw, width, &varlen_cols)?
+        };
+        self.metrics.record_sort(n as u64);
+        let profile = SortProfile {
+            operator: "external",
+            rows: n as u64,
+            total_ns: sort_start.elapsed().as_nanos() as u64,
+            metrics: self.metrics.snapshot().since(&before),
+        };
+        match self.profile.lock() {
+            Ok(mut p) => *p = profile,
+            Err(poisoned) => *poisoned.into_inner() = profile,
+        }
+        emit_trace(&profile);
+        Ok(out)
     }
 
     /// Write one sorted run as self-contained records.
@@ -238,6 +292,7 @@ impl ExternalSorter {
         let width = self.layout.width();
         let mut row_buf = vec![0u8; width];
         let mut seg: Vec<u8> = Vec::new();
+        let mut bytes_written = 0u64;
         for i in 0..keys.len() {
             let rid = keys.row_id(i) as usize;
             w.write_all(keys.key(i))?;
@@ -257,8 +312,12 @@ impl ExternalSorter {
             w.write_all(&row_buf)?;
             w.write_all(&(seg.len() as u32).to_le_bytes())?;
             w.write_all(&seg)?;
+            bytes_written += (keys.key(i).len() + width + 4 + seg.len()) as u64;
         }
         w.flush()?;
+        self.metrics.add(Counter::SpilledRuns, 1);
+        self.metrics.add(Counter::SpilledBytes, bytes_written);
+        self.metrics.add(Counter::BytesMoved, bytes_written);
         Ok(SpilledRun {
             path,
             rows: keys.len(),
@@ -683,6 +742,69 @@ mod tests {
             }
             assert!(cur.exhausted(), "run {ri} has extra records");
         }
+    }
+
+    /// Regression: a zero row budget used to leave the run-generation loop
+    /// unable to advance (`end = start + 0`), so `sort` never terminated.
+    /// The budget must clamp to one row — a degenerate but valid external
+    /// sort with one spilled run per input row.
+    #[test]
+    fn zero_memory_budget_clamps_to_one_row_runs() {
+        let keys = pseudo_random(64, 13, 32);
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(keys.clone())]).unwrap();
+        let sorter = ExternalSorter::new(
+            chunk.types(),
+            OrderBy::ascending(1),
+            ExternalSortOptions {
+                memory_limit_rows: 0,
+                spill_dir: None,
+            },
+        );
+        let sorted = sorter.sort(&chunk).unwrap();
+        let mut expect = keys;
+        expect.sort_unstable();
+        let got: Vec<u32> = (0..sorted.len())
+            .map(|i| match sorted.row(i)[0] {
+                Value::UInt32(v) => v,
+                ref other => panic!("unexpected value {other:?}"),
+            })
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn external_sort_records_profile_and_spill_counters() {
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(4_000, 14, 512))])
+                .unwrap();
+        let sorter = ExternalSorter::new(
+            chunk.types(),
+            OrderBy::ascending(1),
+            ExternalSortOptions {
+                memory_limit_rows: 1_000,
+                spill_dir: None,
+            },
+        );
+        let _ = sorter.sort(&chunk).unwrap();
+        let profile = sorter.last_profile();
+        assert_eq!(profile.operator, "external");
+        assert_eq!(profile.rows, 4_000);
+        assert!(profile.total_ns > 0);
+        let m = &profile.metrics;
+        assert_eq!(m.counter(Counter::SortCalls), 1);
+        assert_eq!(m.counter(Counter::RowsSorted), 4_000);
+        assert_eq!(m.counter(Counter::SpilledRuns), 4);
+        assert_eq!(m.counter(Counter::RunsGenerated), 4);
+        // Every record is key + row + length word at minimum.
+        assert!(m.counter(Counter::SpilledBytes) >= 4_000 * 8);
+        assert!(m.phase(Phase::Spill) > 0, "spill phase timed");
+        assert!(m.phase(Phase::SpillMerge) > 0, "merge phase timed");
+        assert!(m.phase_total_ns() <= profile.total_ns);
+        // A second sort accumulates in the registry but the profile is a
+        // per-sort delta.
+        let _ = sorter.sort(&chunk).unwrap();
+        assert_eq!(sorter.last_profile().metrics.counter(Counter::SortCalls), 1);
+        assert_eq!(sorter.metrics().counter(Counter::SortCalls), 2);
     }
 
     #[test]

@@ -36,6 +36,21 @@ pub struct KeyBlock {
 /// Width of the row-id suffix.
 const ROW_ID_WIDTH: usize = 4;
 
+/// Which algorithm a [`KeyBlock::sort`] took — reported back so the
+/// pipeline's metrics can count radix vs pdqsort runs and scatter passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySortAlgo {
+    /// No key columns: nothing to order by.
+    Noop,
+    /// Comparison-free radix sort over the normalized key bytes.
+    Radix {
+        /// Scatter passes performed (single-bucket passes are skipped).
+        passes: u64,
+    },
+    /// pdqsort with a memcmp comparator and full-value tie resolution.
+    Pdq,
+}
+
 impl KeyBlock {
     /// Plan a key block for sorting a relation with column `types` by
     /// `order`. `varchar_max_len(col)` supplies the string-length
@@ -154,9 +169,9 @@ impl KeyBlock {
     ///
     /// `resolve(a, b)` compares the *full tuples* of two row ids; it is
     /// consulted only when key bytes compare equal and ties are possible.
-    pub fn sort(&mut self, resolve: impl Fn(u32, u32) -> Ordering) {
+    pub fn sort(&mut self, resolve: impl Fn(u32, u32) -> Ordering) -> KeySortAlgo {
         let mut scratch = Vec::new();
-        self.sort_with_scratch(&mut scratch, resolve);
+        self.sort_with_scratch(&mut scratch, resolve)
     }
 
     /// [`KeyBlock::sort`] with a caller-pooled radix scratch buffer: with
@@ -165,14 +180,17 @@ impl KeyBlock {
         &mut self,
         scratch: &mut Vec<u8>,
         resolve: impl Fn(u32, u32) -> Ordering,
-    ) {
+    ) -> KeySortAlgo {
         let stride = self.stride();
         let kw = self.key_width();
         if kw == 0 {
-            return; // no key columns: nothing to order by
+            return KeySortAlgo::Noop; // no key columns: nothing to order by
         }
         if !self.tie_possible() {
-            radix_sort_rows_with_scratch(&mut self.data, stride, 0, kw, scratch);
+            let passes = radix_sort_rows_with_scratch(&mut self.data, stride, 0, kw, scratch);
+            KeySortAlgo::Radix {
+                passes: passes as u64,
+            }
         } else {
             let mut rows = RowsMut::new(&mut self.data, stride);
             pdqsort_rows(
@@ -187,6 +205,7 @@ impl KeyBlock {
                     }
                 },
             );
+            KeySortAlgo::Pdq
         }
     }
 

@@ -18,6 +18,9 @@
 //! * [`model`] — the §II run-generation vs merge comparison-count model,
 //! * [`pool`] — the size-classed buffer pool that makes steady-state
 //!   sorts allocation-free (DESIGN.md §6),
+//! * [`metrics`] — the lock-free counter registry, phase timers, and
+//!   per-sort profiles behind `EXPLAIN ANALYZE` and `ROWSORT_TRACE`
+//!   (DESIGN.md §7),
 //! * [`workers`] — the persistent worker pool that runs every parallel
 //!   phase without per-phase thread spawns,
 //! * [`chooser`] — the §IX future-work heuristic for picking a sort
@@ -27,6 +30,7 @@ pub mod chooser;
 pub mod comparator;
 pub mod external;
 pub mod keys;
+pub mod metrics;
 pub mod model;
 pub mod pipeline;
 pub mod pool;
@@ -35,8 +39,9 @@ pub mod systems;
 pub mod workers;
 
 pub use external::{ExternalSortOptions, ExternalSorter};
-pub use keys::KeyBlock;
+pub use keys::{KeyBlock, KeySortAlgo};
+pub use metrics::{Counter, CounterRegistry, Metrics, Phase, SortProfile};
 pub use pipeline::{default_threads, SortOptions, SortPipeline, SortedRows};
 pub use pool::BufferPool;
-pub use systems::{sort_with_system, SystemProfile};
+pub use systems::{sort_with_system, sort_with_system_profiled, SystemProfile};
 pub use workers::WorkerPool;

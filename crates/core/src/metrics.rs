@@ -1,0 +1,567 @@
+//! Zero-dependency observability for the sort pipeline (DESIGN.md §7).
+//!
+//! The paper's whole argument is phase-by-phase timing (Figures 2–14), so
+//! the pipeline reports where time and bytes go the same way: a lock-free
+//! [`CounterRegistry`] of atomic counters and phase clocks lives inside
+//! each [`SortPipeline`](crate::pipeline::SortPipeline) /
+//! [`ExternalSorter`](crate::external::ExternalSorter), and every sort
+//! leaves behind a [`SortProfile`] — the delta of two [`Metrics`]
+//! snapshots plus the sort's wall time.
+//!
+//! Three surfaces consume it:
+//!
+//! 1. `EXPLAIN ANALYZE` in the engine annotates its operator tree with
+//!    per-operator timings, row counts, and the sort-phase breakdown;
+//! 2. `ROWSORT_TRACE=1` emits one JSON line per sort (via
+//!    `testkit::json`, no serde) to stderr, or appended to
+//!    `ROWSORT_TRACE_FILE`, for `bench_gate` phase attribution;
+//! 3. [`Metrics::render`] is a plain-text dump for tests.
+//!
+//! The subsystem obeys the zero-alloc steady-state invariant: the
+//! registry is a fixed block of atomics preallocated at pipeline
+//! construction, [`PhaseTimer`] is a stack-only scope guard, and
+//! [`Metrics`]/[`SortProfile`] are `Copy` arrays. Only trace *emission*
+//! allocates, and only when `ROWSORT_TRACE` is set (the `zero_alloc`
+//! test runs without it and pins 0 allocations with metrics recording
+//! live).
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use rowsort_testkit::json::Json;
+
+/// Wall-clock phases of a sort, measured on the coordinating thread.
+/// Pipeline sorts use the first three (they partition `sort_rows` almost
+/// exactly, so their sum ≈ total sort time); external sorts use the last
+/// two the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Column statistics + key-layout preparation before run generation.
+    Prepare,
+    /// Morsel-parallel run generation (stage, encode keys, local sort,
+    /// payload reorder).
+    RunGeneration,
+    /// The cascaded Merge-Path 2-way merge rounds.
+    Merge,
+    /// External sort: building and writing spilled runs.
+    Spill,
+    /// External sort: the streaming loser-tree merge of spilled runs.
+    SpillMerge,
+}
+
+impl Phase {
+    /// Number of phases (array dimension of the registry).
+    pub const COUNT: usize = 5;
+
+    /// All phases, in declaration order (= registry index order).
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Prepare,
+        Phase::RunGeneration,
+        Phase::Merge,
+        Phase::Spill,
+        Phase::SpillMerge,
+    ];
+
+    /// The snake_case name used in trace JSON and text dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Prepare => "prepare",
+            Phase::RunGeneration => "run_generation",
+            Phase::Merge => "merge",
+            Phase::Spill => "spill",
+            Phase::SpillMerge => "spill_merge",
+        }
+    }
+}
+
+/// Monotonic event counters recorded across all layers of a sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Completed `sort_rows` / `ExternalSorter::sort` calls.
+    SortCalls,
+    /// Input rows across all sort calls.
+    RowsSorted,
+    /// Bytes staged, encoded, reordered, or merged (row + key areas).
+    BytesMoved,
+    /// Buffer-pool requests served from a free list.
+    PoolHits,
+    /// Buffer-pool requests that fell through to allocation.
+    PoolMisses,
+    /// Thread-local run sorts that took the radix path.
+    RadixSorts,
+    /// Scatter passes performed by those radix sorts.
+    RadixPasses,
+    /// Thread-local run sorts that took the pdqsort + tie-resolve path.
+    PdqSorts,
+    /// Sorted runs produced by run generation.
+    RunsGenerated,
+    /// Cascade rounds executed by the merge phase.
+    MergeRounds,
+    /// Merge-Path tasks dispatched across all rounds.
+    MergeTasks,
+    /// Parallel-phase broadcasts through the worker pool.
+    Broadcasts,
+    /// Wall time of those broadcasts (entry to last-worker completion).
+    BroadcastNs,
+    /// Runs spilled by the external sorter.
+    SpilledRuns,
+    /// Bytes written into spill files.
+    SpilledBytes,
+}
+
+impl Counter {
+    /// Number of counters (array dimension of the registry).
+    pub const COUNT: usize = 15;
+
+    /// All counters, in declaration order (= registry index order).
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::SortCalls,
+        Counter::RowsSorted,
+        Counter::BytesMoved,
+        Counter::PoolHits,
+        Counter::PoolMisses,
+        Counter::RadixSorts,
+        Counter::RadixPasses,
+        Counter::PdqSorts,
+        Counter::RunsGenerated,
+        Counter::MergeRounds,
+        Counter::MergeTasks,
+        Counter::Broadcasts,
+        Counter::BroadcastNs,
+        Counter::SpilledRuns,
+        Counter::SpilledBytes,
+    ];
+
+    /// The snake_case name used in trace JSON and text dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SortCalls => "sort_calls",
+            Counter::RowsSorted => "rows_sorted",
+            Counter::BytesMoved => "bytes_moved",
+            Counter::PoolHits => "pool_hits",
+            Counter::PoolMisses => "pool_misses",
+            Counter::RadixSorts => "radix_sorts",
+            Counter::RadixPasses => "radix_passes",
+            Counter::PdqSorts => "pdq_sorts",
+            Counter::RunsGenerated => "runs_generated",
+            Counter::MergeRounds => "merge_rounds",
+            Counter::MergeTasks => "merge_tasks",
+            Counter::Broadcasts => "broadcasts",
+            Counter::BroadcastNs => "broadcast_ns",
+            Counter::SpilledRuns => "spilled_runs",
+            Counter::SpilledBytes => "spilled_bytes",
+        }
+    }
+}
+
+/// Log₂ buckets of the per-call row-count histogram: bucket *i* counts
+/// sort calls with `bit_length(rows) == i` (bucket 0 is empty inputs),
+/// clamped into the last bucket beyond 2³⁸ rows.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A fixed, lock-free block of atomic counters, phase clocks, and
+/// histogram buckets. One registry lives inside each pipeline/sorter;
+/// recording is a relaxed atomic add — no locks, no allocation, safe
+/// from any worker thread.
+pub struct CounterRegistry {
+    phase_ns: [AtomicU64; Phase::COUNT],
+    counters: [AtomicU64; Counter::COUNT],
+    rows_hist: [AtomicU64; HIST_BUCKETS],
+}
+
+impl CounterRegistry {
+    /// A zeroed registry. All storage is inline; nothing grows later.
+    pub const fn new() -> CounterRegistry {
+        CounterRegistry {
+            phase_ns: [const { AtomicU64::new(0) }; Phase::COUNT],
+            counters: [const { AtomicU64::new(0) }; Counter::COUNT],
+            rows_hist: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add elapsed nanoseconds to a phase clock.
+    pub fn add_phase_ns(&self, phase: Phase, ns: u64) {
+        self.phase_ns[phase as usize].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one completed sort call over `rows` input rows: bumps
+    /// [`Counter::SortCalls`], [`Counter::RowsSorted`], and the row-count
+    /// histogram bucket.
+    pub fn record_sort(&self, rows: u64) {
+        self.add(Counter::SortCalls, 1);
+        self.add(Counter::RowsSorted, rows);
+        let bucket = (u64::BITS - rows.leading_zeros()) as usize;
+        self.rows_hist[bucket.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A scope guard that clocks the enclosed region into `phase` when it
+    /// drops. Stack-only: safe inside the zero-alloc steady state.
+    pub fn time_phase(&self, phase: Phase) -> PhaseTimer<'_> {
+        PhaseTimer {
+            registry: self,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// A point-in-time copy of every counter. Two snapshots subtract into
+    /// a per-sort delta (see [`Metrics::since`]).
+    pub fn snapshot(&self) -> Metrics {
+        let mut m = Metrics::zeroed();
+        for (out, src) in m.phase_ns.iter_mut().zip(self.phase_ns.iter()) {
+            *out = src.load(Ordering::Relaxed);
+        }
+        for (out, src) in m.counters.iter_mut().zip(self.counters.iter()) {
+            *out = src.load(Ordering::Relaxed);
+        }
+        for (out, src) in m.rows_hist.iter_mut().zip(self.rows_hist.iter()) {
+            *out = src.load(Ordering::Relaxed);
+        }
+        m
+    }
+}
+
+impl Default for CounterRegistry {
+    fn default() -> Self {
+        CounterRegistry::new()
+    }
+}
+
+/// Times a region into a phase clock on drop. Created by
+/// [`CounterRegistry::time_phase`].
+pub struct PhaseTimer<'a> {
+    registry: &'a CounterRegistry,
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        self.registry.add_phase_ns(self.phase, ns);
+    }
+}
+
+/// A `Copy` snapshot of a [`CounterRegistry`] — fixed arrays, no heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metrics {
+    /// Nanoseconds per phase, indexed by [`Phase`] discriminant.
+    pub phase_ns: [u64; Phase::COUNT],
+    /// Counter values, indexed by [`Counter`] discriminant.
+    pub counters: [u64; Counter::COUNT],
+    /// Row-count histogram (see [`HIST_BUCKETS`]).
+    pub rows_hist: [u64; HIST_BUCKETS],
+}
+
+impl Metrics {
+    /// An all-zero snapshot.
+    pub const fn zeroed() -> Metrics {
+        Metrics {
+            phase_ns: [0; Phase::COUNT],
+            counters: [0; Counter::COUNT],
+            rows_hist: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Nanoseconds recorded for `phase`.
+    pub fn phase(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase as usize]
+    }
+
+    /// Value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Sum of all phase clocks.
+    pub fn phase_total_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// Element-wise `self - earlier` (saturating): the activity between
+    /// two snapshots of the same registry.
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        let mut d = *self;
+        for (out, prev) in d.phase_ns.iter_mut().zip(earlier.phase_ns.iter()) {
+            *out = out.saturating_sub(*prev);
+        }
+        for (out, prev) in d.counters.iter_mut().zip(earlier.counters.iter()) {
+            *out = out.saturating_sub(*prev);
+        }
+        for (out, prev) in d.rows_hist.iter_mut().zip(earlier.rows_hist.iter()) {
+            *out = out.saturating_sub(*prev);
+        }
+        d
+    }
+
+    /// Plain-text dump, one `name: value` line per non-zero phase,
+    /// counter, and histogram bucket (zero lines are skipped so tests and
+    /// humans see only what happened).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for phase in Phase::ALL {
+            let ns = self.phase(phase);
+            if ns > 0 {
+                out.push_str(&format!("phase.{}_ns: {}\n", phase.name(), ns));
+            }
+        }
+        for counter in Counter::ALL {
+            let v = self.counter(counter);
+            if v > 0 {
+                out.push_str(&format!("counter.{}: {}\n", counter.name(), v));
+            }
+        }
+        for (bucket, &count) in self.rows_hist.iter().enumerate() {
+            if count > 0 {
+                let lo: u64 = if bucket == 0 { 0 } else { 1 << (bucket - 1) };
+                out.push_str(&format!("hist.rows[>={lo}]: {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::zeroed()
+    }
+}
+
+/// Everything one sort left behind: wall time, input rows, and the
+/// [`Metrics`] delta it produced. Stored pre-allocated inside the
+/// pipeline and overwritten per sort (`Copy`, no heap).
+#[derive(Debug, Clone, Copy)]
+pub struct SortProfile {
+    /// Which operator produced this profile: `"pipeline"` or
+    /// `"external"`.
+    pub operator: &'static str,
+    /// Input rows of this sort call.
+    pub rows: u64,
+    /// Wall time of the whole call, nanoseconds.
+    pub total_ns: u64,
+    /// Counter/phase deltas recorded during the call.
+    pub metrics: Metrics,
+}
+
+impl SortProfile {
+    /// An empty profile (no sort recorded yet).
+    pub const fn zeroed() -> SortProfile {
+        SortProfile {
+            operator: "none",
+            rows: 0,
+            total_ns: 0,
+            metrics: Metrics::zeroed(),
+        }
+    }
+
+    /// The trace-schema JSON object for this profile: `event`,
+    /// `operator`, `rows`, `total_ns`, plus nested `phases` and
+    /// `counters` objects (every field numeric; see DESIGN.md §7.5 for
+    /// the schema contract `bench_gate` and CI validate).
+    pub fn to_json(&self) -> Json {
+        let phases: Vec<(String, Json)> = Phase::ALL
+            .iter()
+            .map(|&p| (p.name().to_owned(), Json::Num(self.metrics.phase(p) as f64)))
+            .collect();
+        let counters: Vec<(String, Json)> = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_owned(), Json::Num(self.metrics.counter(c) as f64)))
+            .collect();
+        Json::obj(vec![
+            ("event", Json::str("sort")),
+            ("operator", Json::str(self.operator)),
+            ("rows", Json::Num(self.rows as f64)),
+            ("total_ns", Json::Num(self.total_ns as f64)),
+            ("phases", Json::Obj(phases)),
+            ("counters", Json::Obj(counters)),
+        ])
+    }
+
+    /// One-line human summary (used by `EXPLAIN ANALYZE` annotations).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: rows={} total={:.3}ms",
+            self.operator,
+            self.rows,
+            self.total_ns as f64 / 1e6
+        );
+        for phase in Phase::ALL {
+            let ns = self.metrics.phase(phase);
+            if ns > 0 {
+                out.push_str(&format!(" {}={:.3}ms", phase.name(), ns as f64 / 1e6));
+            }
+        }
+        out
+    }
+}
+
+impl Default for SortProfile {
+    fn default() -> Self {
+        SortProfile::zeroed()
+    }
+}
+
+/// Whether `ROWSORT_TRACE` asked for per-sort JSON trace lines. Read
+/// once per process (first call allocates for the env lookup; warm-up
+/// sorts absorb that before any zero-alloc measurement).
+pub fn trace_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        matches!(
+            std::env::var("ROWSORT_TRACE").ok().as_deref(),
+            Some("1") | Some("true")
+        )
+    })
+}
+
+/// Emit one trace line for a finished sort, if tracing is on: appended
+/// to `ROWSORT_TRACE_FILE` when set (created on first write), else
+/// printed to stderr. Failures to write are ignored — tracing must
+/// never fail a sort.
+pub fn emit_trace(profile: &SortProfile) {
+    if !trace_enabled() {
+        return;
+    }
+    let line = profile.to_json().render();
+    match std::env::var("ROWSORT_TRACE_FILE") {
+        Ok(path) if !path.is_empty() => {
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = writeln!(file, "{line}");
+            }
+        }
+        _ => eprintln!("{line}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_phases_accumulate() {
+        let reg = CounterRegistry::new();
+        reg.add(Counter::RowsSorted, 10);
+        reg.add(Counter::RowsSorted, 5);
+        reg.add_phase_ns(Phase::Merge, 100);
+        let m = reg.snapshot();
+        assert_eq!(m.counter(Counter::RowsSorted), 15);
+        assert_eq!(m.phase(Phase::Merge), 100);
+        assert_eq!(m.phase(Phase::Prepare), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_region() {
+        let reg = CounterRegistry::new();
+        reg.add(Counter::SortCalls, 3);
+        let before = reg.snapshot();
+        reg.add(Counter::SortCalls, 2);
+        reg.add_phase_ns(Phase::RunGeneration, 42);
+        let delta = reg.snapshot().since(&before);
+        assert_eq!(delta.counter(Counter::SortCalls), 2);
+        assert_eq!(delta.phase(Phase::RunGeneration), 42);
+    }
+
+    #[test]
+    fn phase_timer_records_on_drop() {
+        let reg = CounterRegistry::new();
+        {
+            let _t = reg.time_phase(Phase::Prepare);
+            std::hint::black_box(0u64);
+        }
+        // Elapsed time is platform-dependent but the clock must have
+        // been touched (Instant is monotonic; >= 0 is all we can pin —
+        // assert the timer ran by timing a real spin below).
+        let spin_start = Instant::now();
+        {
+            let _t = reg.time_phase(Phase::Merge);
+            while spin_start.elapsed().as_nanos() < 1000 {}
+        }
+        assert!(reg.snapshot().phase(Phase::Merge) >= 1000);
+    }
+
+    #[test]
+    fn record_sort_buckets_by_log2() {
+        let reg = CounterRegistry::new();
+        reg.record_sort(0); // bucket 0
+        reg.record_sort(1); // bucket 1
+        reg.record_sort(1000); // bucket 10 (2^9 <= 1000 < 2^10)
+        let m = reg.snapshot();
+        assert_eq!(m.counter(Counter::SortCalls), 3);
+        assert_eq!(m.counter(Counter::RowsSorted), 1001);
+        assert_eq!(m.rows_hist[0], 1);
+        assert_eq!(m.rows_hist[1], 1);
+        assert_eq!(m.rows_hist[10], 1);
+    }
+
+    #[test]
+    fn render_lists_only_nonzero_lines() {
+        let reg = CounterRegistry::new();
+        reg.add(Counter::PoolHits, 7);
+        reg.add_phase_ns(Phase::Spill, 9);
+        let text = reg.snapshot().render();
+        assert!(text.contains("counter.pool_hits: 7"));
+        assert!(text.contains("phase.spill_ns: 9"));
+        assert!(!text.contains("pool_misses"));
+    }
+
+    #[test]
+    fn profile_json_matches_trace_schema() {
+        let reg = CounterRegistry::new();
+        reg.add_phase_ns(Phase::RunGeneration, 60);
+        reg.add_phase_ns(Phase::Merge, 40);
+        reg.record_sort(128);
+        let profile = SortProfile {
+            operator: "pipeline",
+            rows: 128,
+            total_ns: 110,
+            metrics: reg.snapshot(),
+        };
+        let parsed = Json::parse(&profile.to_json().render()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("sort"));
+        assert_eq!(parsed.get("operator").unwrap().as_str(), Some("pipeline"));
+        assert_eq!(parsed.get("rows").unwrap().as_f64(), Some(128.0));
+        assert_eq!(parsed.get("total_ns").unwrap().as_f64(), Some(110.0));
+        let phases = parsed.get("phases").unwrap();
+        for phase in Phase::ALL {
+            assert!(
+                phases.get(phase.name()).and_then(Json::as_f64).is_some(),
+                "missing phase {}",
+                phase.name()
+            );
+        }
+        let counters = parsed.get("counters").unwrap();
+        for counter in Counter::ALL {
+            assert!(
+                counters.get(counter.name()).and_then(Json::as_f64).is_some(),
+                "missing counter {}",
+                counter.name()
+            );
+        }
+        let phase_sum: f64 = Phase::ALL
+            .iter()
+            .map(|p| phases.get(p.name()).unwrap().as_f64().unwrap())
+            .sum();
+        assert_eq!(phase_sum, 100.0);
+    }
+
+    #[test]
+    fn profile_render_is_one_line() {
+        let profile = SortProfile {
+            operator: "external",
+            rows: 5,
+            total_ns: 2_000_000,
+            metrics: Metrics::zeroed(),
+        };
+        let line = profile.render();
+        assert!(line.starts_with("external: rows=5"));
+        assert!(!line.contains('\n'));
+    }
+}

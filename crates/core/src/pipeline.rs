@@ -29,7 +29,8 @@
 //! ties, is bit-identical for any thread count.
 
 use crate::comparator::FusedRowComparator;
-use crate::keys::KeyBlock;
+use crate::keys::{KeyBlock, KeySortAlgo};
+use crate::metrics::{emit_trace, Counter, CounterRegistry, Metrics, Phase, SortProfile};
 use crate::pool::BufferPool;
 use crate::workers::{SendPtr, WorkerPool};
 use rowsort_algos::merge_path::merge_path_partition_by;
@@ -39,17 +40,17 @@ use rowsort_vector::{DataChunk, LogicalType, OrderBy, Vector};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Worker threads to use when [`SortOptions`] does not pin a count: the
-/// `ROWSORT_THREADS` environment variable if set to a positive integer,
+/// `ROWSORT_THREADS` environment variable if set to an integer
+/// (`ROWSORT_THREADS=0` clamps to 1 rather than panicking downstream),
 /// otherwise [`std::thread::available_parallelism`] — so the engine's
 /// ORDER BY is parallel out of the box instead of silently single-threaded.
 pub fn default_threads() -> usize {
     if let Ok(value) = std::env::var("ROWSORT_THREADS") {
         if let Ok(n) = value.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+            return n.max(1);
         }
     }
     std::thread::available_parallelism()
@@ -231,18 +232,26 @@ pub struct SortPipeline {
     /// Reusable working state. Concurrent `sort` calls on one pipeline
     /// serialize on this lock (each call uses the whole scratch).
     scratch: Mutex<Scratch>,
+    /// Lock-free counters and phase clocks, preallocated here so
+    /// recording during a sort allocates nothing (DESIGN.md §7).
+    metrics: Arc<CounterRegistry>,
+    /// The most recent sort's profile (overwritten in place — `Copy`).
+    profile: Mutex<SortProfile>,
 }
 
 impl SortPipeline {
     /// Plan a sort of a relation with columns `types` by `order`.
-    pub fn new(types: Vec<LogicalType>, order: OrderBy, options: SortOptions) -> SortPipeline {
-        assert!(options.threads >= 1);
-        assert!(options.run_rows >= 1);
+    /// `threads == 0` or `run_rows == 0` are clamped to 1 — both would
+    /// otherwise divide by zero in morsel splitting / worker spawn.
+    pub fn new(types: Vec<LogicalType>, order: OrderBy, mut options: SortOptions) -> SortPipeline {
+        options.threads = options.threads.max(1);
+        options.run_rows = options.run_rows.max(1);
         let layout = Arc::new(RowLayout::new(&types));
         let tie_cmp = FusedRowComparator::new(&layout, &order);
         let varlen_cols = (0..types.len())
             .filter(|&c| types[c] == LogicalType::Varchar)
             .collect();
+        let metrics = Arc::new(CounterRegistry::new());
         SortPipeline {
             types,
             order,
@@ -250,9 +259,11 @@ impl SortPipeline {
             layout,
             tie_cmp,
             varlen_cols,
-            pool: BufferPool::new(),
+            pool: BufferPool::with_metrics(Arc::clone(&metrics)),
             workers: OnceLock::new(),
             scratch: Mutex::new(Scratch::default()),
+            metrics,
+            profile: Mutex::new(SortProfile::zeroed()),
         }
     }
 
@@ -285,25 +296,45 @@ impl SortPipeline {
         }
         let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         let scratch = &mut *guard;
-        // String statistics are plan-wide: every run must agree on the
-        // normalized-key shape or the merge phase could not compare keys.
-        scratch.stats.clear();
-        for c in 0..self.types.len() {
-            scratch.stats.push(Self::varchar_stat(input, c));
+        let sort_start = Instant::now();
+        let before = self.metrics.snapshot();
+        {
+            let _prepare = self.metrics.time_phase(Phase::Prepare);
+            // String statistics are plan-wide: every run must agree on the
+            // normalized-key shape or the merge phase could not compare keys.
+            scratch.stats.clear();
+            for c in 0..self.types.len() {
+                scratch.stats.push(Self::varchar_stat(input, c));
+            }
+            if scratch.stats != scratch.key_stats {
+                // Cached key blocks were planned for different VARCHAR
+                // stats; their layout no longer applies.
+                scratch
+                    .key_blocks
+                    .get_mut()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clear();
+                scratch.key_stats.clear();
+                scratch.key_stats.extend_from_slice(&scratch.stats);
+            }
         }
-        if scratch.stats != scratch.key_stats {
-            // Cached key blocks were planned for different VARCHAR stats;
-            // their layout no longer applies.
-            scratch
-                .key_blocks
-                .get_mut()
-                .unwrap_or_else(|e| e.into_inner())
-                .clear();
-            scratch.key_stats.clear();
-            scratch.key_stats.extend_from_slice(&scratch.stats);
+        {
+            let _gen = self.metrics.time_phase(Phase::RunGeneration);
+            self.generate_runs(input, scratch);
         }
-        self.generate_runs(input, scratch);
-        let run = self.merge_runs(scratch);
+        let run = {
+            let _merge = self.metrics.time_phase(Phase::Merge);
+            self.merge_runs(scratch)
+        };
+        self.metrics.record_sort(input.len() as u64);
+        let profile = SortProfile {
+            operator: "pipeline",
+            rows: input.len() as u64,
+            total_ns: sort_start.elapsed().as_nanos() as u64,
+            metrics: self.metrics.snapshot().since(&before),
+        };
+        *self.profile.lock().unwrap_or_else(|e| e.into_inner()) = profile;
+        emit_trace(&profile);
         SortedRows {
             pipeline: self,
             run: Some(run),
@@ -314,6 +345,17 @@ impl SortPipeline {
     /// every buffer from the pool (hits grow, misses do not).
     pub fn pool_stats(&self) -> (usize, usize) {
         (self.pool.hits(), self.pool.misses())
+    }
+
+    /// The profile of the most recent completed sort (zeroed before the
+    /// first one). A `Copy` snapshot — reading it allocates nothing.
+    pub fn last_profile(&self) -> SortProfile {
+        *self.profile.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Cumulative [`Metrics`] across every sort this pipeline has run.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.snapshot()
     }
 
     /// Statistics callback for VARCHAR prefix sizing: max string length in
@@ -329,7 +371,7 @@ impl SortPipeline {
     /// The persistent phase crew (spawned on first use).
     fn worker_pool(&self) -> &WorkerPool {
         self.workers
-            .get_or_init(|| WorkerPool::new(self.options.threads))
+            .get_or_init(|| WorkerPool::with_metrics(self.options.threads, Arc::clone(&self.metrics)))
     }
 
     /// Phase 1: morsel-parallel run generation. Each completed run is
@@ -410,7 +452,7 @@ impl SortPipeline {
         let mut radix_scratch = self
             .pool
             .get_bytes(radix_scratch_len(rows * keys.stride(), keys.stride()));
-        keys.sort_with_scratch(&mut radix_scratch, |a, b| {
+        let algo = keys.sort_with_scratch(&mut radix_scratch, |a, b| {
             self.tie_cmp.compare(
                 staging.row(a as usize),
                 staging.heap(),
@@ -419,6 +461,14 @@ impl SortPipeline {
             )
         });
         self.pool.put_bytes(radix_scratch);
+        match algo {
+            KeySortAlgo::Radix { passes } => {
+                self.metrics.add(Counter::RadixSorts, 1);
+                self.metrics.add(Counter::RadixPasses, passes);
+            }
+            KeySortAlgo::Pdq => self.metrics.add(Counter::PdqSorts, 1),
+            KeySortAlgo::Noop => {}
+        }
 
         let mut run_keys = self.pool.get_bytes(rows * keys.key_width());
         keys.keys_only_into(&mut run_keys);
@@ -430,6 +480,13 @@ impl SortPipeline {
         payload.assign_reordered(&staging, keys.order_iter());
 
         let key_width = keys.key_width();
+        self.metrics.add(Counter::RunsGenerated, 1);
+        // Staged rows + encoded key entries + stripped keys + reordered
+        // payload: the bytes this run wrote.
+        self.metrics.add(
+            Counter::BytesMoved,
+            (rows * (2 * width + keys.stride() + key_width)) as u64,
+        );
         key_blocks
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -515,6 +572,10 @@ impl SortPipeline {
             } else {
                 self.worker_pool().broadcast(&body);
             }
+            self.metrics.add(Counter::MergeRounds, 1);
+            self.metrics.add(Counter::MergeTasks, tasks as u64);
+            let round_bytes: usize = jobs.iter().map(|j| j.total * (kw + width)).sum();
+            self.metrics.add(Counter::BytesMoved, round_bytes as u64);
 
             // Recycle this round's inputs; any odd run carries over last.
             let odd = if runs.len() % 2 == 1 { runs.pop() } else { None };
@@ -1005,6 +1066,92 @@ mod tests {
             };
             assert_eq!(p, k * 7 + 1, "payload detached from its key at row {i}");
         }
+    }
+
+    #[test]
+    fn zero_threads_and_zero_run_rows_clamp_to_one() {
+        // Regression: `SortOptions { threads: 0, .. }` used to trip an
+        // assert (and without it would divide by zero in morsel
+        // splitting); both knobs now clamp to 1 and the sort completes.
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(500, 41, 100))]).unwrap();
+        let order = OrderBy::ascending(1);
+        let pipeline = SortPipeline::new(
+            chunk.types(),
+            order.clone(),
+            SortOptions {
+                threads: 0,
+                run_rows: 0,
+            },
+        );
+        let got = pipeline.sort(&chunk);
+        assert_sorted_equal(&got, &chunk, &order);
+    }
+
+    #[test]
+    fn rowsort_threads_env_zero_clamps_to_one() {
+        // Regression: `ROWSORT_THREADS=0` must mean "1 thread", not fall
+        // through to hardware parallelism or panic downstream.
+        std::env::set_var("ROWSORT_THREADS", "0");
+        let got = default_threads();
+        std::env::remove_var("ROWSORT_THREADS");
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn sort_populates_profile_and_metrics() {
+        use crate::metrics::{Counter, Phase};
+        let n = 5_000usize;
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(
+            n,
+            51,
+            1 << 20,
+        ))])
+        .unwrap();
+        let order = OrderBy::ascending(1);
+        let pipeline = SortPipeline::new(
+            chunk.types(),
+            order.clone(),
+            SortOptions {
+                threads: 1,
+                run_rows: 700, // 8 runs → 3 merge rounds
+            },
+        );
+        let got = pipeline.sort(&chunk);
+        assert_sorted_equal(&got, &chunk, &order);
+
+        let profile = pipeline.last_profile();
+        assert_eq!(profile.operator, "pipeline");
+        assert_eq!(profile.rows, n as u64);
+        assert!(profile.total_ns > 0);
+        let m = &profile.metrics;
+        assert_eq!(m.counter(Counter::SortCalls), 1);
+        assert_eq!(m.counter(Counter::RowsSorted), n as u64);
+        assert_eq!(m.counter(Counter::RunsGenerated), 8);
+        assert_eq!(m.counter(Counter::RadixSorts), 8, "u32 keys take radix");
+        assert!(m.counter(Counter::RadixPasses) >= 8);
+        assert_eq!(m.counter(Counter::MergeRounds), 3);
+        assert!(m.counter(Counter::MergeTasks) >= 3);
+        assert!(m.counter(Counter::BytesMoved) > 0);
+        assert!(m.counter(Counter::PoolMisses) > 0, "cold sort allocates");
+        assert!(m.phase(Phase::RunGeneration) > 0);
+        assert!(m.phase(Phase::Merge) > 0);
+        // Coordinator-measured phases partition the sort: their sum can
+        // never exceed the total wall time.
+        let active =
+            m.phase(Phase::Prepare) + m.phase(Phase::RunGeneration) + m.phase(Phase::Merge);
+        assert!(active <= profile.total_ns);
+
+        // The second sort's delta counts only itself; the pool is warm.
+        let _again = pipeline.sort(&chunk);
+        let second = pipeline.last_profile();
+        assert_eq!(second.metrics.counter(Counter::SortCalls), 1);
+        assert!(second.metrics.counter(Counter::PoolHits) > 0);
+        // Cumulative registry saw both sorts.
+        assert_eq!(pipeline.metrics().counter(Counter::SortCalls), 2);
+        let text = pipeline.metrics().render();
+        assert!(text.contains("counter.rows_sorted: 10000"), "{text}");
+        assert!(text.contains("phase.run_generation_ns:"), "{text}");
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! `put` into a full class simply drops the buffer.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, CounterRegistry};
 
 /// Smallest pooled capacity: `1 << MIN_SHIFT` bytes. Anything smaller is
 /// dropped on `put` — recycling tiny buffers saves nothing.
@@ -51,6 +53,7 @@ pub struct BufferPool {
     classes: Vec<Mutex<Vec<Vec<u8>>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    metrics: Option<Arc<CounterRegistry>>,
 }
 
 impl BufferPool {
@@ -66,6 +69,22 @@ impl BufferPool {
             classes,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            metrics: None,
+        }
+    }
+
+    /// A pool that mirrors hit/miss traffic into `metrics`
+    /// ([`Counter::PoolHits`] / [`Counter::PoolMisses`]), so per-sort
+    /// profiles can attribute pool behaviour.
+    pub fn with_metrics(metrics: Arc<CounterRegistry>) -> BufferPool {
+        let mut pool = BufferPool::new();
+        pool.metrics = Some(metrics);
+        pool
+    }
+
+    fn record(&self, counter: Counter) {
+        if let Some(metrics) = &self.metrics {
+            metrics.add(counter, 1);
         }
     }
 
@@ -91,6 +110,7 @@ impl BufferPool {
         let Some(class) = Self::class_for_request(min_capacity) else {
             // Beyond the largest class (> 16 GiB): plain allocation.
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.record(Counter::PoolMisses);
             return Vec::with_capacity(min_capacity);
         };
         let mut list = self.classes[class]
@@ -98,10 +118,12 @@ impl BufferPool {
             .unwrap_or_else(|e| e.into_inner());
         if let Some(buf) = list.pop() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record(Counter::PoolHits);
             buf
         } else {
             drop(list);
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.record(Counter::PoolMisses);
             Vec::with_capacity(1usize << (class + MIN_SHIFT))
         }
     }

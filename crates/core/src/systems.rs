@@ -74,19 +74,37 @@ pub fn sort_with_system(
     order: &OrderBy,
     threads: usize,
 ) -> DataChunk {
+    sort_with_system_profiled(profile, input, order, threads).0
+}
+
+/// [`sort_with_system`] that also returns the per-sort
+/// [`SortProfile`](crate::metrics::SortProfile) when the profile runs the
+/// real pipeline (`RowsortDb`); the emulated systems are not instrumented
+/// and return `None`. `EXPLAIN ANALYZE` uses this to annotate Sort
+/// operators with the phase breakdown.
+pub fn sort_with_system_profiled(
+    profile: SystemProfile,
+    input: &DataChunk,
+    order: &OrderBy,
+    threads: usize,
+) -> (DataChunk, Option<crate::metrics::SortProfile>) {
     match profile {
         SystemProfile::RowsortDb => {
             let options = SortOptions {
                 threads,
                 ..SortOptions::default()
             };
-            SortPipeline::new(input.types(), order.clone(), options).sort(input)
+            let pipeline = SortPipeline::new(input.types(), order.clone(), options);
+            let sorted = pipeline.sort(input);
+            (sorted, Some(pipeline.last_profile()))
         }
-        SystemProfile::ColumnarJit => columnar_jit_sort(input, order, threads),
-        SystemProfile::ColumnarSingle => columnar_single_sort(input, order),
-        SystemProfile::CompiledRows => compiled_rows_sort(input, order, threads, MergeKind::KWay),
+        SystemProfile::ColumnarJit => (columnar_jit_sort(input, order, threads), None),
+        SystemProfile::ColumnarSingle => (columnar_single_sort(input, order), None),
+        SystemProfile::CompiledRows => {
+            (compiled_rows_sort(input, order, threads, MergeKind::KWay), None)
+        }
         SystemProfile::CompiledRowsV2 => {
-            compiled_rows_sort(input, order, threads, MergeKind::Cascade2Way)
+            (compiled_rows_sort(input, order, threads, MergeKind::Cascade2Way), None)
         }
     }
 }

@@ -20,6 +20,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::metrics::{Counter, CounterRegistry};
 
 /// The phase closure, lifetime-erased. The pointer is only dereferenced
 /// between the generation bump that publishes it and the last worker's
@@ -92,6 +95,8 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     /// Total workers including the caller (= spawned + 1).
     threads: usize,
+    /// Optional counter registry recording broadcast count and wall time.
+    metrics: Option<Arc<CounterRegistry>>,
 }
 
 impl WorkerPool {
@@ -119,12 +124,28 @@ impl WorkerPool {
             shared,
             handles,
             threads,
+            metrics: None,
         }
+    }
+
+    /// A pool that records each phase broadcast ([`Counter::Broadcasts`])
+    /// and its wall time ([`Counter::BroadcastNs`]) into `metrics`.
+    pub fn with_metrics(threads: usize, metrics: Arc<CounterRegistry>) -> WorkerPool {
+        let mut pool = WorkerPool::new(threads);
+        pool.metrics = Some(metrics);
+        pool
     }
 
     /// Total workers, including the calling thread.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    fn record_broadcast(&self, start: Instant) {
+        if let Some(metrics) = &self.metrics {
+            metrics.add(Counter::Broadcasts, 1);
+            metrics.add(Counter::BroadcastNs, start.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Run `f(worker_index)` on every worker (indices `0..threads`, the
@@ -134,8 +155,10 @@ impl WorkerPool {
     /// Re-raises on the caller if any worker's closure panicked; the pool
     /// stays usable afterwards.
     pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        let start = Instant::now();
         if self.handles.is_empty() {
             f(0);
+            self.record_broadcast(start);
             return;
         }
         {
@@ -165,6 +188,7 @@ impl WorkerPool {
         // the spawned workers before the unwind leaves this frame.
         f(0);
         drop(guard); // waits; panics if a worker panicked
+        self.record_broadcast(start);
     }
 }
 

@@ -6,6 +6,7 @@
 //! the file holds exactly one test: any parallel test in the same binary
 //! would allocate concurrently and poison the count.
 
+use rowsort_core::metrics::Counter;
 use rowsort_core::pipeline::{SortOptions, SortPipeline};
 use rowsort_testkit::alloc::{allocation_count, CountingAllocator};
 use rowsort_testkit::Rng;
@@ -51,4 +52,18 @@ fn steady_state_sort_does_not_allocate() {
          (pool hits={hits} misses={misses})"
     );
     assert!(hits > 0, "pool was never used (hits={hits} misses={misses})");
+
+    // The observability layer recorded the measured sort — counters,
+    // phase timers, and the per-sort profile all updated — while the
+    // allocation count above stayed at exactly zero: the metrics
+    // registry is preallocated at pipeline construction.
+    let profile = pipeline.last_profile();
+    assert_eq!(profile.operator, "pipeline");
+    assert_eq!(profile.rows, n as u64);
+    assert!(profile.total_ns > 0);
+    assert_eq!(profile.metrics.counter(Counter::SortCalls), 1);
+    assert_eq!(profile.metrics.counter(Counter::RowsSorted), n as u64);
+    assert!(profile.metrics.counter(Counter::PoolHits) > 0);
+    assert!(profile.metrics.phase_total_ns() > 0);
+    assert_eq!(pipeline.metrics().counter(Counter::SortCalls), 3);
 }

@@ -12,9 +12,11 @@ use crate::catalog::Catalog;
 use crate::plan::{LogicalPlan, ResolvedPredicate};
 use crate::sql::CmpOp;
 use crate::{EngineError, Result};
-use rowsort_core::systems::{sort_with_system, SystemProfile};
+use rowsort_core::metrics::Phase;
+use rowsort_core::systems::{sort_with_system, sort_with_system_profiled, SystemProfile};
 use rowsort_vector::{DataChunk, OrderBy, Value, Vector};
 use std::cmp::Ordering;
+use std::time::Instant;
 
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
@@ -36,9 +38,71 @@ impl Default for ExecOptions {
     }
 }
 
+/// Per-operator statistics collected by `EXPLAIN ANALYZE`, in pre-order.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// Operator label (same text as [`LogicalPlan::explain`]).
+    pub label: String,
+    /// Depth in the plan tree (root = 0).
+    pub depth: usize,
+    /// Rows this operator emitted.
+    pub rows: u64,
+    /// Inclusive wall-clock time (this operator and its inputs).
+    pub elapsed_ns: u64,
+    /// Operator-specific annotation (e.g. sort phase attribution).
+    pub detail: String,
+}
+
+/// Pre-order operator stats being collected during a profiled execution.
+struct Profiler {
+    entries: Vec<NodeStats>,
+    depth: usize,
+}
+
 /// Execute a plan, returning the concatenated result relation.
 pub fn execute(plan: &LogicalPlan, catalog: &Catalog, options: &ExecOptions) -> Result<DataChunk> {
-    let chunks = exec_stream(plan, catalog, options)?;
+    let mut prof = None;
+    execute_inner(plan, catalog, options, &mut prof)
+}
+
+/// As [`execute`], additionally returning per-operator row counts and
+/// timings — the executor half of `EXPLAIN ANALYZE`.
+pub fn execute_profiled(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    options: &ExecOptions,
+) -> Result<(DataChunk, Vec<NodeStats>)> {
+    let mut prof = Some(Profiler {
+        entries: Vec::new(),
+        depth: 0,
+    });
+    let out = execute_inner(plan, catalog, options, &mut prof)?;
+    Ok((out, prof.map(|p| p.entries).unwrap_or_default()))
+}
+
+/// Render profiled-execution stats as an annotated plan tree.
+pub fn render_analyze(stats: &[NodeStats]) -> String {
+    let mut out = String::new();
+    for s in stats {
+        let pad = "  ".repeat(s.depth);
+        out.push_str(&format!(
+            "{pad}{}  [rows={} time={:.3}ms{}]\n",
+            s.label,
+            s.rows,
+            s.elapsed_ns as f64 / 1e6,
+            s.detail
+        ));
+    }
+    out
+}
+
+fn execute_inner(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    options: &ExecOptions,
+    prof: &mut Option<Profiler>,
+) -> Result<DataChunk> {
+    let chunks = exec_stream(plan, catalog, options, prof)?;
     let (_, types) = plan.schema(catalog)?;
     let mut out = DataChunk::new(&types);
     for c in &chunks {
@@ -48,10 +112,91 @@ pub fn execute(plan: &LogicalPlan, catalog: &Catalog, options: &ExecOptions) -> 
     Ok(out)
 }
 
+/// Operator label for one node, matching [`LogicalPlan::explain`] lines.
+fn node_label(plan: &LogicalPlan) -> String {
+    match plan {
+        LogicalPlan::Scan { table } => format!("Scan {table}"),
+        LogicalPlan::Filter { predicates, .. } => {
+            format!("Filter ({} conjuncts)", predicates.len())
+        }
+        LogicalPlan::Sort { order, .. } => format!("Sort ({} keys)", order.len()),
+        LogicalPlan::Project { columns, .. } => format!("Project {columns:?}"),
+        LogicalPlan::Limit { limit, offset, .. } => {
+            format!("Limit limit={limit:?} offset={offset}")
+        }
+        LogicalPlan::TopN {
+            order,
+            limit,
+            offset,
+            ..
+        } => format!("TopN ({} keys) limit={limit} offset={offset}", order.len()),
+        LogicalPlan::CountStar { .. } => "CountStar".to_owned(),
+        LogicalPlan::SortMergeJoin {
+            left_col,
+            right_col,
+            ..
+        } => format!("SortMergeJoin (left.{left_col} = right.{right_col})"),
+        LogicalPlan::WindowRowNumber { order, .. } => {
+            format!("WindowRowNumber ({} keys)", order.len())
+        }
+    }
+}
+
+/// Per-phase sort-time attribution for a Sort node's annotation, from the
+/// sort operator's own [`rowsort_core::SortProfile`].
+fn sort_detail(profile: &rowsort_core::SortProfile) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for ph in Phase::ALL {
+        let ns = profile.metrics.phase(ph);
+        if ns > 0 {
+            let _ = write!(s, " {}={:.3}ms", ph.name(), ns as f64 / 1e6);
+        }
+    }
+    s
+}
+
+/// Execute one node, recording a [`NodeStats`] entry when profiling.
 fn exec_stream(
     plan: &LogicalPlan,
     catalog: &Catalog,
     options: &ExecOptions,
+    prof: &mut Option<Profiler>,
+) -> Result<Vec<DataChunk>> {
+    let slot = match prof {
+        Some(p) => {
+            p.entries.push(NodeStats {
+                label: node_label(plan),
+                depth: p.depth,
+                rows: 0,
+                elapsed_ns: 0,
+                detail: String::new(),
+            });
+            p.depth += 1;
+            Some(p.entries.len() - 1)
+        }
+        None => None,
+    };
+    let start = Instant::now();
+    let mut detail = String::new();
+    let result = exec_node(plan, catalog, options, prof, &mut detail);
+    if let (Some(i), Some(p)) = (slot, prof.as_mut()) {
+        p.depth -= 1;
+        if let Ok(chunks) = &result {
+            p.entries[i].elapsed_ns = start.elapsed().as_nanos() as u64;
+            p.entries[i].rows = chunks.iter().map(|c| c.len() as u64).sum();
+            p.entries[i].detail = detail;
+        }
+    }
+    result
+}
+
+fn exec_node(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    options: &ExecOptions,
+    prof: &mut Option<Profiler>,
+    detail: &mut String,
 ) -> Result<Vec<DataChunk>> {
     match plan {
         LogicalPlan::Scan { table } => {
@@ -61,7 +206,7 @@ fn exec_stream(
             Ok(t.data.split_into_vectors())
         }
         LogicalPlan::Filter { input, predicates } => {
-            let chunks = exec_stream(input, catalog, options)?;
+            let chunks = exec_stream(input, catalog, options, prof)?;
             Ok(chunks
                 .into_iter()
                 .map(|c| filter_chunk(&c, predicates))
@@ -69,7 +214,7 @@ fn exec_stream(
                 .collect())
         }
         LogicalPlan::Project { input, columns } => {
-            let chunks = exec_stream(input, catalog, options)?;
+            let chunks = exec_stream(input, catalog, options, prof)?;
             chunks
                 .into_iter()
                 .map(|c| {
@@ -81,14 +226,18 @@ fn exec_stream(
         LogicalPlan::Sort { input, order } => {
             // Pipeline breaker: materialize, sort via the configured
             // system profile, re-emit as vectors.
-            let chunks = exec_stream(input, catalog, options)?;
+            let chunks = exec_stream(input, catalog, options, prof)?;
             let (_, types) = input.schema(catalog)?;
             let mut all = DataChunk::new(&types);
             for c in &chunks {
                 all.append(c)
                     .map_err(|e| EngineError::Invalid(e.to_string()))?;
             }
-            let sorted = sort_with_system(options.profile, &all, order, options.threads);
+            let (sorted, sort_profile) =
+                sort_with_system_profiled(options.profile, &all, order, options.threads);
+            if let Some(p) = &sort_profile {
+                *detail = sort_detail(p);
+            }
             Ok(sorted.split_into_vectors())
         }
         LogicalPlan::Limit {
@@ -96,7 +245,7 @@ fn exec_stream(
             limit,
             offset,
         } => {
-            let chunks = exec_stream(input, catalog, options)?;
+            let chunks = exec_stream(input, catalog, options, prof)?;
             Ok(apply_limit(chunks, *limit, *offset))
         }
         LogicalPlan::TopN {
@@ -105,12 +254,12 @@ fn exec_stream(
             limit,
             offset,
         } => {
-            let chunks = exec_stream(input, catalog, options)?;
+            let chunks = exec_stream(input, catalog, options, prof)?;
             let (_, types) = input.schema(catalog)?;
             top_n(chunks, &types, order, *limit, *offset)
         }
         LogicalPlan::CountStar { input } => {
-            let chunks = exec_stream(input, catalog, options)?;
+            let chunks = exec_stream(input, catalog, options, prof)?;
             let count: usize = chunks.iter().map(DataChunk::len).sum();
             let col = Vector::from_i64s(vec![count as i64]);
             let out = DataChunk::from_columns(vec![col])
@@ -125,13 +274,13 @@ fn exec_stream(
             types,
             ..
         } => {
-            let l = materialize(exec_stream(left, catalog, options)?, left, catalog)?;
-            let r = materialize(exec_stream(right, catalog, options)?, right, catalog)?;
+            let l = materialize(exec_stream(left, catalog, options, prof)?, left, catalog)?;
+            let r = materialize(exec_stream(right, catalog, options, prof)?, right, catalog)?;
             let joined = sort_merge_join(&l, &r, *left_col, *right_col, types, options)?;
             Ok(joined.split_into_vectors())
         }
         LogicalPlan::WindowRowNumber { input, order } => {
-            let all = materialize(exec_stream(input, catalog, options)?, input, catalog)?;
+            let all = materialize(exec_stream(input, catalog, options, prof)?, input, catalog)?;
             let sorted = sort_with_system(options.profile, &all, order, options.threads);
             let numbers = Vector::from_i64s((1..=sorted.len() as i64).collect());
             let mut columns: Vec<Vector> = sorted.columns().to_vec();
@@ -257,8 +406,8 @@ fn row_matches(chunk: &DataChunk, row: usize, p: &ResolvedPredicate) -> bool {
 // ---------------------------------------------------------------------------
 
 fn apply_limit(chunks: Vec<DataChunk>, limit: Option<u64>, offset: u64) -> Vec<DataChunk> {
-    let mut skip = offset as usize;
-    let mut remaining = limit.map(|l| l as usize);
+    let mut skip = usize::try_from(offset).unwrap_or(usize::MAX);
+    let mut remaining = limit.map(|l| usize::try_from(l).unwrap_or(usize::MAX));
     let mut out = Vec::new();
     for c in chunks {
         if remaining == Some(0) {
@@ -298,13 +447,16 @@ fn top_n(
     limit: u64,
     offset: u64,
 ) -> Result<Vec<DataChunk>> {
-    let keep = (limit + offset) as usize;
+    // `limit + offset` saturates: a huge LIMIT/OFFSET pair must degrade to
+    // "keep everything", not overflow u64 (or usize on 32-bit targets).
+    let keep = usize::try_from(limit.saturating_add(offset)).unwrap_or(usize::MAX);
     if keep == 0 {
         return Ok(vec![DataChunk::new(types)]);
     }
+    let total: usize = chunks.iter().map(DataChunk::len).sum();
     // Bounded selection buffer: keep at most `keep` best rows, compacting
     // whenever the buffer doubles.
-    let mut buf: Vec<Vec<Value>> = Vec::with_capacity(2 * keep);
+    let mut buf: Vec<Vec<Value>> = Vec::with_capacity(keep.saturating_mul(2).min(total));
     let compact = |buf: &mut Vec<Vec<Value>>| {
         buf.sort_by(|a, b| order.compare_rows(a, b));
         buf.truncate(keep);
@@ -312,14 +464,14 @@ fn top_n(
     for c in &chunks {
         for row in 0..c.len() {
             buf.push(c.row(row));
-            if buf.len() >= 2 * keep {
+            if buf.len() >= keep.saturating_mul(2) {
                 compact(&mut buf);
             }
         }
     }
     compact(&mut buf);
     let mut out = DataChunk::new(types);
-    for row in buf.iter().skip(offset as usize) {
+    for row in buf.iter().skip(usize::try_from(offset).unwrap_or(usize::MAX)) {
         out.push_row(row)
             .map_err(|e| EngineError::Internal(e.to_string()))?;
     }
@@ -607,6 +759,124 @@ mod tests {
         let logical = plan::build(&sql::parse(sql_text).unwrap(), e.catalog()).unwrap();
         let expected = execute_reference(&logical, e.catalog()).unwrap();
         assert_eq!(e.query(sql_text).unwrap().to_rows(), expected);
+    }
+
+    fn varchar_lines(chunk: &DataChunk) -> String {
+        (0..chunk.len())
+            .map(|i| match &chunk.row(i)[0] {
+                Value::Varchar(s) => s.clone(),
+                other => panic!("expected varchar line, got {other:?}"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn explain_returns_plan_without_executing() {
+        let e = engine();
+        let r = e.query("EXPLAIN SELECT id FROM t ORDER BY id LIMIT 2").unwrap();
+        let text = varchar_lines(&r);
+        assert!(text.contains("TopN"), "{text}");
+        assert!(text.contains("Scan t"), "{text}");
+        assert!(!text.contains("rows="), "EXPLAIN has no runtime stats: {text}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_rows_timings_and_sort_phases() {
+        let e = engine();
+        let r = e
+            .query("EXPLAIN ANALYZE SELECT id FROM t WHERE id >= 2 ORDER BY name DESC")
+            .unwrap();
+        let text = varchar_lines(&r);
+        assert!(text.contains("Scan t  [rows=5"), "{text}");
+        assert!(text.contains("Filter (1 conjuncts)  [rows=4"), "{text}");
+        assert!(text.contains("Sort (1 keys)  [rows=4"), "{text}");
+        assert!(text.contains("time="), "{text}");
+        assert!(text.contains("ms"), "{text}");
+        // The Sort node carries the sort operator's own phase attribution.
+        assert!(text.contains("run_generation="), "{text}");
+        // Pre-order indentation: Scan is the deepest node.
+        let scan_line = text.lines().find(|l| l.contains("Scan")).unwrap();
+        assert!(scan_line.starts_with("      "), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_result_matches_plain_query_rows() {
+        let e = engine();
+        let sql = "SELECT count(*) FROM (SELECT id FROM t ORDER BY name OFFSET 1) s";
+        // EXPLAIN ANALYZE runs the same plan: the CountStar node must
+        // report the single aggregate output row.
+        let text = varchar_lines(&e.query(&format!("EXPLAIN ANALYZE {sql}")).unwrap());
+        assert!(text.contains("CountStar  [rows=1"), "{text}");
+        assert!(text.contains("Limit limit=None offset=1  [rows=4"), "{text}");
+    }
+
+    #[test]
+    fn limit_offset_boundaries_across_chunks() {
+        use rowsort_vector::VECTOR_SIZE;
+        // Three chunks' worth of rows so OFFSET can land exactly on a
+        // chunk boundary.
+        let n = 2 * VECTOR_SIZE + 3;
+        let mut e = Engine::new();
+        let data =
+            DataChunk::from_columns(vec![Vector::from_i32s((0..n as i32).collect())]).unwrap();
+        e.register_table(Table::new("big", vec!["x".into()], data));
+
+        // OFFSET exactly one chunk: the first row kept is row VECTOR_SIZE.
+        let r = e
+            .query(&format!(
+                "SELECT x FROM big ORDER BY x LIMIT 5 OFFSET {VECTOR_SIZE}"
+            ))
+            .unwrap();
+        assert_eq!(r.len(), 5);
+        for i in 0..5 {
+            assert_eq!(r.row(i), vec![Value::Int32((VECTOR_SIZE + i) as i32)]);
+        }
+
+        // OFFSET past the end yields nothing; LIMIT 0 yields nothing.
+        assert_eq!(
+            e.query(&format!("SELECT x FROM big OFFSET {n}")).unwrap().len(),
+            0
+        );
+        assert_eq!(
+            e.query(&format!("SELECT x FROM big OFFSET {}", n + 1))
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            e.query("SELECT x FROM big ORDER BY x LIMIT 0 OFFSET 7")
+                .unwrap()
+                .len(),
+            0
+        );
+
+        // LIMIT reaching exactly the end of the relation.
+        let r = e
+            .query(&format!(
+                "SELECT x FROM big ORDER BY x LIMIT 3 OFFSET {}",
+                n - 3
+            ))
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.row(2), vec![Value::Int32(n as i32 - 1)]);
+    }
+
+    #[test]
+    fn top_n_huge_limit_offset_saturates() {
+        let chunks =
+            vec![DataChunk::from_columns(vec![Vector::from_i32s(vec![3, 1, 2])]).unwrap()];
+        let types = [rowsort_vector::LogicalType::Int32];
+        let order = OrderBy::new(vec![rowsort_vector::OrderByColumn::asc(0)]);
+        // limit + offset would overflow u64 without saturation.
+        let out = top_n(chunks.clone(), &types, &order, u64::MAX, 5).unwrap();
+        assert_eq!(out.iter().map(DataChunk::len).sum::<usize>(), 0);
+        let out = top_n(chunks.clone(), &types, &order, u64::MAX, 0).unwrap();
+        assert_eq!(out[0].len(), 3);
+        assert_eq!(out[0].row(0), vec![Value::Int32(1)]);
+        // And apply_limit with a saturating skip.
+        let out = apply_limit(chunks, None, u64::MAX);
+        assert_eq!(out.iter().map(DataChunk::len).sum::<usize>(), 0);
     }
 
     #[test]

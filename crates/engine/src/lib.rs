@@ -34,7 +34,7 @@ pub mod reference;
 pub mod sql;
 
 pub use catalog::{Catalog, Table};
-pub use exec::ExecOptions;
+pub use exec::{ExecOptions, NodeStats};
 pub use plan::LogicalPlan;
 
 use rowsort_vector::DataChunk;
@@ -110,13 +110,26 @@ impl Engine {
         &mut self.options
     }
 
-    /// Parse, plan, optimize, and execute a SQL query, returning the full
-    /// result relation.
+    /// Parse, plan, optimize, and execute a SQL statement, returning the
+    /// full result relation.
+    ///
+    /// `EXPLAIN <query>` returns the optimized plan tree (one VARCHAR row
+    /// per line) without executing; `EXPLAIN ANALYZE <query>` executes the
+    /// query and returns the tree annotated with per-operator row counts,
+    /// wall-clock timings, and — for Sort operators running the full
+    /// pipeline — per-phase sort-time attribution.
     pub fn query(&self, sql_text: &str) -> Result<DataChunk> {
-        let ast = sql::parse(sql_text)?;
+        let (mode, ast) = sql::parse_statement(sql_text)?;
         let plan = plan::build(&ast, &self.catalog)?;
         let plan = plan::optimize(plan);
-        exec::execute(&plan, &self.catalog, &self.options)
+        match mode {
+            sql::ExplainMode::None => exec::execute(&plan, &self.catalog, &self.options),
+            sql::ExplainMode::Plan => text_chunk(&plan.explain()),
+            sql::ExplainMode::Analyze => {
+                let (_, stats) = exec::execute_profiled(&plan, &self.catalog, &self.options)?;
+                text_chunk(&exec::render_analyze(&stats))
+            }
+        }
     }
 
     /// As [`Engine::query`], but skip the optimizer — used to demonstrate
@@ -132,4 +145,13 @@ impl Default for Engine {
     fn default() -> Self {
         Engine::new()
     }
+}
+
+/// A one-VARCHAR-column relation holding `text`, one row per line — the
+/// result shape of `EXPLAIN` statements.
+fn text_chunk(text: &str) -> Result<DataChunk> {
+    rowsort_vector::DataChunk::from_columns(vec![rowsort_vector::Vector::from_strings(
+        text.lines(),
+    )])
+    .map_err(|e| EngineError::Internal(e.to_string()))
 }

@@ -122,6 +122,18 @@ pub enum FromClause {
     },
 }
 
+/// An `EXPLAIN` prefix on a query, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// Plain query: execute and return its result.
+    None,
+    /// `EXPLAIN …`: return the optimized plan tree without executing.
+    Plan,
+    /// `EXPLAIN ANALYZE …`: execute and return the plan tree annotated
+    /// with per-operator row counts and wall-clock timings.
+    Analyze,
+}
+
 /// A parsed query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
@@ -561,14 +573,37 @@ fn is_clause_keyword(s: &str) -> bool {
     .any(|k| s.eq_ignore_ascii_case(k))
 }
 
-/// Parse one SQL query (an optional trailing `;` is allowed).
-pub fn parse(input: &str) -> Result<Query> {
+/// Parse one SQL statement: an optional `EXPLAIN [ANALYZE]` prefix
+/// followed by a query (an optional trailing `;` is allowed).
+pub fn parse_statement(input: &str) -> Result<(ExplainMode, Query)> {
     let tokens = tokenize(input)?;
     let mut p = Parser { tokens, pos: 0 };
+    let mode = if p.eat_keyword("explain") {
+        if p.eat_keyword("analyze") {
+            ExplainMode::Analyze
+        } else {
+            ExplainMode::Plan
+        }
+    } else {
+        ExplainMode::None
+    };
     let q = p.parse_query()?;
     while p.eat_symbol(';') {}
     if let Some(t) = p.peek() {
         return Err(EngineError::Parse(format!("trailing input: {t:?}")));
+    }
+    Ok((mode, q))
+}
+
+/// Parse one SQL query (an optional trailing `;` is allowed). `EXPLAIN`
+/// prefixes are rejected here: they are a statement-level concern handled
+/// by [`parse_statement`].
+pub fn parse(input: &str) -> Result<Query> {
+    let (mode, q) = parse_statement(input)?;
+    if mode != ExplainMode::None {
+        return Err(EngineError::Parse(
+            "EXPLAIN is only supported through Engine::query".into(),
+        ));
     }
     Ok(q)
 }
@@ -773,6 +808,20 @@ mod tests {
         assert!(parse("SELECT * FROM a JOIN b ON x <> y").is_err());
         assert!(parse("SELECT row_number() FROM t").is_err());
         assert!(parse("SELECT row_number() OVER () FROM t").is_err());
+    }
+
+    #[test]
+    fn explain_prefixes() {
+        let (mode, q) = parse_statement("EXPLAIN SELECT * FROM t ORDER BY a").unwrap();
+        assert_eq!(mode, ExplainMode::Plan);
+        assert_eq!(q.order_by.len(), 1);
+        let (mode, _) = parse_statement("explain analyze SELECT * FROM t;").unwrap();
+        assert_eq!(mode, ExplainMode::Analyze);
+        let (mode, _) = parse_statement("SELECT * FROM t").unwrap();
+        assert_eq!(mode, ExplainMode::None);
+        // `parse` is query-only: the prefix is rejected there.
+        assert!(parse("EXPLAIN SELECT * FROM t").is_err());
+        assert!(parse_statement("EXPLAIN").is_err());
     }
 
     #[test]

@@ -33,18 +33,29 @@ cargo test -q --workspace --offline
 echo "== cargo build --benches --offline =="
 cargo build --benches --workspace --offline
 
-# --- 5. Pipeline perf smoke (warn-only) ------------------------------------
+# --- 5. Traced sort smoke --------------------------------------------------
+# Runs pipeline + external sorts with ROWSORT_TRACE=1 and validates every
+# emitted JSON line against the documented trace schema (DESIGN.md §7.5)
+# using testkit's JSON parser. Fails the build on schema drift. The trace
+# file is kept under target/perf/ and uploaded as a CI artifact.
+echo "== traced sort smoke =="
+mkdir -p target/perf
+trace_jsonl="$PWD/target/perf/trace_smoke.jsonl"
+cargo run --release --offline -q -p rowsort-bench --bin trace_smoke -- "$trace_jsonl"
+
+# --- 6. Pipeline perf smoke (warn-only) ------------------------------------
 # A fast pipeline bench run (250k rows, not the full Figure 12 sizes),
 # compared against the checked-in BENCH_pipeline.json baseline. The gate
 # prints a ratio per bench id and warns past tolerance, but never fails
-# the build: the boxes this runs on are noisy single-core machines.
+# the build: the boxes this runs on are noisy single-core machines. The
+# --trace flag appends a phase attribution of the traced sorts from step 5
+# so a flagged regression points at the phase that slowed down.
 echo "== pipeline perf smoke =="
 # Absolute path: cargo runs benches with the package dir as cwd.
-mkdir -p target/perf
 smoke_json="$PWD/target/perf/pipeline_smoke.json"
 ROWSORT_PIPE_ROWS=250000 ROWSORT_BENCH_JSON="$smoke_json" \
     cargo bench --offline -q -p rowsort-bench --bench pipeline
 cargo run --release --offline -q -p rowsort-bench --bin bench_gate -- \
-    BENCH_pipeline.json "$smoke_json" --tolerance 50
+    BENCH_pipeline.json "$smoke_json" --tolerance 50 --trace "$trace_jsonl"
 
 echo "verify: OK"
