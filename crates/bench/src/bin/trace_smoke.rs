@@ -57,7 +57,7 @@ fn run_sorts() {
         OrderBy::ascending(1),
         ExternalSortOptions {
             memory_limit_rows: 20_000,
-            spill_dir: None,
+            ..Default::default()
         },
     );
     drop(sorter.sort(&ints).unwrap_or_else(|e| die(&format!("external sort failed: {e}"))));

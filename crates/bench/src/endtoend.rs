@@ -221,7 +221,7 @@ pub fn external_degradation(scale: &Scale) -> ExperimentResult {
                     order.clone(),
                     ExternalSortOptions {
                         memory_limit_rows: budget,
-                        spill_dir: None,
+                        ..Default::default()
                     },
                 );
                 let out = sorter.sort(&chunk).expect("external sort");

@@ -23,6 +23,7 @@ pub mod counters;
 pub mod endtoend;
 pub mod info;
 pub mod micro;
+pub mod stress;
 
 use std::time::{Duration, Instant};
 

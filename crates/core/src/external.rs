@@ -1,4 +1,5 @@
-//! Out-of-core sorting — the paper's §IX future work, implemented.
+//! Out-of-core sorting — the paper's §IX future work, implemented and
+//! hardened against a hostile disk.
 //!
 //! The sort operator is a pipeline breaker: it must materialize its input,
 //! and a main-memory engine that cannot either fails the query or falls off
@@ -15,20 +16,45 @@
 //! 2. **Streaming merge**: a loser tree over buffered run readers pops one
 //!    record at a time; peak memory during the merge is one buffer per run
 //!    plus the output.
+//!
+//! Storage is reached only through the [`SpillIo`] trait (`std::fs` by
+//! default, a fault-injecting in-memory backend in tests), and the spill
+//! path defends itself (DESIGN.md §8):
+//!
+//! * every run file carries an xxHash64 trailer, verified streamingly as
+//!   the merge reads it back — truncation, bit flips, or trailing garbage
+//!   surface as a typed [`SpillError::Corrupt`], never as wrong rows;
+//! * transient write failures are retried with doubling backoff
+//!   ([`ExternalSortOptions::max_write_retries`]);
+//! * out-of-space errors degrade the sort to fewer/larger in-memory runs
+//!   instead of failing the query;
+//! * a drop-guard deletes every spilled file on all exit paths, and
+//!   deletions that *fail* are counted in `spill_cleanup_failed` so leaks
+//!   are observable rather than silent.
 
 use crate::comparator::FusedRowComparator;
 use crate::keys::KeyBlock;
 use crate::metrics::{emit_trace, Counter, CounterRegistry, Metrics, Phase, SortProfile};
+use crate::spill::{SpillError, SpillIo, SpillOp, StdFs};
 use rowsort_algos::kway::LoserTree;
 use rowsort_row::{RowBlock, RowLayout};
+use rowsort_testkit::hash::XxHash64;
 use rowsort_vector::{DataChunk, LogicalType, OrderBy};
 use std::cmp::Ordering;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::PathBuf;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Seed for the per-run xxHash64 checksum ("ROWSORT!" as bytes), so spill
+/// trailers are distinguishable from unseeded digests of the same bytes.
+const SPILL_CHECKSUM_SEED: u64 = 0x524F_5753_4F52_5421;
+
+/// Upper bound on one record's string-segment length. A corrupted length
+/// word must not translate into a multi-gigabyte allocation before the
+/// checksum gets a chance to reject the file.
+const MAX_SEG_BYTES: usize = 1 << 28;
 
 /// Tuning for the external sorter.
 #[derive(Debug, Clone)]
@@ -39,6 +65,11 @@ pub struct ExternalSortOptions {
     pub memory_limit_rows: usize,
     /// Directory for spill files (defaults to the system temp dir).
     pub spill_dir: Option<PathBuf>,
+    /// How many times a transient write failure (interrupted, timed out,
+    /// would-block) is retried before the sort gives up on the run.
+    pub max_write_retries: usize,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ExternalSortOptions {
@@ -46,6 +77,8 @@ impl Default for ExternalSortOptions {
         ExternalSortOptions {
             memory_limit_rows: 1 << 17,
             spill_dir: None,
+            max_write_retries: 3,
+            retry_backoff: Duration::from_micros(250),
         }
     }
 }
@@ -65,7 +98,7 @@ static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// let sorter = ExternalSorter::new(
 ///     chunk.types(),
 ///     OrderBy::ascending(1),
-///     ExternalSortOptions { memory_limit_rows: 100, spill_dir: None },
+///     ExternalSortOptions { memory_limit_rows: 100, ..Default::default() },
 /// );
 /// let sorted = sorter.sort(&chunk).unwrap(); // 10 spilled runs, merged
 /// assert_eq!(sorted.row(0), vec![Value::Int32(0)]);
@@ -76,7 +109,8 @@ pub struct ExternalSorter {
     order: OrderBy,
     options: ExternalSortOptions,
     layout: Arc<RowLayout>,
-    metrics: CounterRegistry,
+    io: Arc<dyn SpillIo>,
+    metrics: Arc<CounterRegistry>,
     profile: Mutex<SortProfile>,
 }
 
@@ -89,32 +123,93 @@ fn read_slot<const W: usize>(bytes: &[u8], at: usize) -> [u8; W] {
     buf
 }
 
-/// One spilled run and the metadata to read it back.
+/// One spilled run file and the metadata to read it back. The `Drop` impl
+/// is the cleanup guarantee: whatever path the sort exits through, every
+/// run file is deleted — and a deletion that fails is counted in
+/// `spill_cleanup_failed` instead of being silently ignored.
 struct SpilledRun {
     path: PathBuf,
     rows: usize,
+    io: Arc<dyn SpillIo>,
+    metrics: Arc<CounterRegistry>,
 }
 
 impl Drop for SpilledRun {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        if let Err(err) = self.io.delete(&self.path) {
+            // Already gone (e.g. the backend reaped it) is a clean state,
+            // not a leak; anything else means a temp file survived us.
+            if err.kind() != io::ErrorKind::NotFound {
+                self.metrics.add(Counter::SpillCleanupFailed, 1);
+            }
+        }
     }
 }
 
-/// A buffered reader over one spilled run, holding the current record.
-struct RunCursor {
-    reader: BufReader<File>,
+/// One sorted run: normally a spilled file, or — after spill space is
+/// exhausted — the same encoded bytes held in memory. Both shapes are
+/// read back through the identical [`RunCursor`] code path.
+enum Run {
+    Spilled(SpilledRun),
+    Memory { bytes: Vec<u8>, rows: usize },
+}
+
+impl Run {
+    fn rows(&self) -> usize {
+        match self {
+            Run::Spilled(r) => r.rows,
+            Run::Memory { rows, .. } => *rows,
+        }
+    }
+
+    fn open(&self, kw: usize, width: usize) -> Result<RunCursor<'_>, SpillError> {
+        match self {
+            Run::Spilled(r) => {
+                let reader = r
+                    .io
+                    .open(&r.path)
+                    .map_err(|e| SpillError::io(SpillOp::Read, &r.path, &e))?;
+                RunCursor::new(reader, r.path.clone(), r.rows, kw, width)
+            }
+            Run::Memory { bytes, rows } => RunCursor::new(
+                Box::new(&bytes[..]),
+                PathBuf::from("<in-memory run>"),
+                *rows,
+                kw,
+                width,
+            ),
+        }
+    }
+}
+
+/// A reader over one run, holding the current record and a streaming
+/// checksum of every byte read. The cursor reads exactly its advertised
+/// record count; the advance past the last record checks the xxHash64
+/// trailer and rejects trailing garbage, so by the time a merge drains
+/// all cursors every run file has been fully verified.
+struct RunCursor<'a> {
+    reader: Box<dyn Read + Send + 'a>,
+    path: PathBuf,
     remaining: usize,
+    hasher: XxHash64,
     key: Vec<u8>,
     row: Vec<u8>,
     heap: Vec<u8>,
 }
 
-impl RunCursor {
-    fn open(run: &SpilledRun, kw: usize, width: usize) -> io::Result<RunCursor> {
+impl<'a> RunCursor<'a> {
+    fn new(
+        reader: Box<dyn Read + Send + 'a>,
+        path: PathBuf,
+        rows: usize,
+        kw: usize,
+        width: usize,
+    ) -> Result<RunCursor<'a>, SpillError> {
         let mut c = RunCursor {
-            reader: BufReader::new(File::open(&run.path)?),
-            remaining: run.rows,
+            reader,
+            path,
+            remaining: rows,
+            hasher: XxHash64::with_seed(SPILL_CHECKSUM_SEED),
             key: vec![0; kw],
             row: vec![0; width],
             heap: Vec::new(),
@@ -127,30 +222,107 @@ impl RunCursor {
         self.remaining == usize::MAX
     }
 
-    /// Read the next record into the cursor (or mark exhausted).
-    fn advance(&mut self) -> io::Result<()> {
+    /// `read_exact` into `buf`, feeding the checksum and translating
+    /// errors: an early EOF is corruption (the file is shorter than its
+    /// record count promises), everything else is an I/O failure.
+    fn fill(
+        reader: &mut dyn Read,
+        hasher: &mut XxHash64,
+        path: &Path,
+        buf: &mut [u8],
+    ) -> Result<(), SpillError> {
+        match reader.read_exact(buf) {
+            Ok(()) => {
+                hasher.write(buf);
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(SpillError::corrupt(
+                path,
+                "truncated: file ends before its advertised record count",
+            )),
+            Err(e) => Err(SpillError::io(SpillOp::Read, path, &e)),
+        }
+    }
+
+    /// Read the next record into the cursor (or verify the trailer and
+    /// mark exhausted).
+    fn advance(&mut self) -> Result<(), SpillError> {
         if self.remaining == 0 {
             self.remaining = usize::MAX;
-            return Ok(());
+            return self.verify_trailer();
         }
         self.remaining -= 1;
-        self.reader.read_exact(&mut self.key)?;
-        self.reader.read_exact(&mut self.row)?;
+        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut self.key)?;
+        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut self.row)?;
         let mut len_buf = [0u8; 4];
-        self.reader.read_exact(&mut len_buf)?;
+        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut len_buf)?;
         let seg_len = u32::from_le_bytes(len_buf) as usize;
+        if seg_len > MAX_SEG_BYTES {
+            // A flipped bit in the length word must not become a huge
+            // allocation; reject structurally before trusting it.
+            return Err(SpillError::corrupt(
+                &self.path,
+                format!("segment length {seg_len} exceeds the {MAX_SEG_BYTES}-byte bound"),
+            ));
+        }
         self.heap.resize(seg_len, 0);
-        self.reader.read_exact(&mut self.heap)?;
+        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut self.heap)?;
         Ok(())
+    }
+
+    /// After the last record: the next 8 bytes must be the xxHash64 of
+    /// everything before them, and nothing may follow.
+    fn verify_trailer(&mut self) -> Result<(), SpillError> {
+        let computed = self.hasher.finish();
+        let mut trailer = [0u8; 8];
+        match self.reader.read_exact(&mut trailer) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(SpillError::corrupt(
+                    &self.path,
+                    "truncated: checksum trailer missing",
+                ));
+            }
+            Err(e) => return Err(SpillError::io(SpillOp::Read, &self.path, &e)),
+        }
+        let stored = u64::from_le_bytes(trailer);
+        if stored != computed {
+            return Err(SpillError::corrupt(
+                &self.path,
+                format!("checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"),
+            ));
+        }
+        let mut probe = [0u8; 1];
+        match self.reader.read(&mut probe) {
+            Ok(0) => Ok(()),
+            Ok(_) => Err(SpillError::corrupt(
+                &self.path,
+                "trailing bytes after the checksum trailer",
+            )),
+            Err(e) => Err(SpillError::io(SpillOp::Read, &self.path, &e)),
+        }
     }
 }
 
 impl ExternalSorter {
-    /// Plan an external sort of a relation with columns `types` by `order`.
+    /// Plan an external sort of a relation with columns `types` by `order`,
+    /// spilling through `std::fs`.
     pub fn new(
         types: Vec<LogicalType>,
         order: OrderBy,
+        options: ExternalSortOptions,
+    ) -> ExternalSorter {
+        ExternalSorter::with_spill_io(types, order, options, Arc::new(StdFs))
+    }
+
+    /// As [`ExternalSorter::new`], but spilling through an explicit
+    /// [`SpillIo`] backend (tests and the stress harness inject faults
+    /// here).
+    pub fn with_spill_io(
+        types: Vec<LogicalType>,
+        order: OrderBy,
         mut options: ExternalSortOptions,
+        io: Arc<dyn SpillIo>,
     ) -> ExternalSorter {
         // A zero budget would leave the run-generation loop unable to make
         // progress (each run would cover zero rows); degrade to one-row runs.
@@ -161,7 +333,8 @@ impl ExternalSorter {
             order,
             options,
             layout,
-            metrics: CounterRegistry::new(),
+            io,
+            metrics: Arc::new(CounterRegistry::new()),
             profile: Mutex::new(SortProfile::zeroed()),
         }
     }
@@ -196,9 +369,15 @@ impl ExternalSorter {
             .collect()
     }
 
-    /// Sort `input`, spilling sorted runs to disk whenever the row budget
-    /// is reached, then stream-merge the runs.
-    pub fn sort(&self, input: &DataChunk) -> io::Result<DataChunk> {
+    /// Sort `input`, spilling sorted runs whenever the row budget is
+    /// reached, then stream-merge the runs.
+    ///
+    /// Failures come back as typed [`SpillError`]s: I/O failures name the
+    /// operation and the run file; corruption detected by read-back
+    /// verification is [`SpillError::Corrupt`]. On any error every spill
+    /// file already written is deleted by the run drop-guards before this
+    /// returns.
+    pub fn sort(&self, input: &DataChunk) -> Result<DataChunk, SpillError> {
         let n = input.len();
         if n == 0 {
             return Ok(DataChunk::new(&self.types));
@@ -224,14 +403,23 @@ impl ExternalSorter {
         let width = self.layout.width();
         let varlen_cols = self.varlen_cols();
 
-        // Phase 1: generate and spill runs within the row budget.
+        // Phase 1: generate and spill runs within the row budget. Once
+        // spill space runs out (`degraded`), runs stay in memory and the
+        // budget doubles — fewer, larger runs, since the row budget no
+        // longer buys file descriptors back.
         let budget = self.options.memory_limit_rows;
-        let mut runs: Vec<SpilledRun> = Vec::new();
+        let mut degraded = false;
+        let mut runs: Vec<Run> = Vec::new();
         let mut start = 0;
         {
             let _spill = self.metrics.time_phase(Phase::Spill);
             while start < n {
-                let end = (start + budget).min(n);
+                let step = if degraded {
+                    budget.saturating_mul(2)
+                } else {
+                    budget
+                };
+                let end = (start + step).min(n);
                 let morsel = input.slice(start, end);
                 let mut payload = RowBlock::with_capacity(Arc::clone(&self.layout), morsel.len());
                 payload.append_chunk(&morsel);
@@ -255,15 +443,24 @@ impl ExternalSorter {
                     crate::keys::KeySortAlgo::Noop => {}
                 }
                 self.metrics.add(Counter::RunsGenerated, 1);
-                runs.push(self.spill_run(&keys, &payload, &varlen_cols)?);
+                runs.push(self.spill_run(&keys, &payload, &varlen_cols, &mut degraded)?);
                 start = end;
             }
         }
 
-        // Phase 2: streaming k-way merge over the spilled runs.
-        let out = {
+        // Phase 2: streaming k-way merge over the runs.
+        let merged = {
             let _merge = self.metrics.time_phase(Phase::SpillMerge);
-            self.merge_spilled(&runs, kw, width, &varlen_cols)?
+            self.merge_runs(&runs, kw, width, &varlen_cols)
+        };
+        let out = match merged {
+            Ok(out) => out,
+            Err(err) => {
+                if matches!(err, SpillError::Corrupt { .. }) {
+                    self.metrics.add(Counter::SpillChecksumFailed, 1);
+                }
+                return Err(err);
+            }
         };
         self.metrics.record_sort(n as u64);
         let profile = SortProfile {
@@ -280,22 +477,18 @@ impl ExternalSorter {
         Ok(out)
     }
 
-    /// Write one sorted run as self-contained records.
-    fn spill_run(
-        &self,
-        keys: &KeyBlock,
-        payload: &RowBlock,
-        varlen_cols: &[usize],
-    ) -> io::Result<SpilledRun> {
-        let path = self.spill_path();
-        let mut w = BufWriter::new(File::create(&path)?);
+    /// Encode one sorted run as self-contained records plus the xxHash64
+    /// trailer. The encoding is identical whether the run lands on disk
+    /// or stays in memory.
+    fn encode_run(&self, keys: &KeyBlock, payload: &RowBlock, varlen_cols: &[usize]) -> Vec<u8> {
         let width = self.layout.width();
+        let kw = keys.key_width();
+        let mut out: Vec<u8> = Vec::with_capacity(keys.len() * (kw + width + 4) + 8);
         let mut row_buf = vec![0u8; width];
         let mut seg: Vec<u8> = Vec::new();
-        let mut bytes_written = 0u64;
         for i in 0..keys.len() {
             let rid = keys.row_id(i) as usize;
-            w.write_all(keys.key(i))?;
+            out.extend_from_slice(keys.key(i));
             row_buf.copy_from_slice(payload.row(rid));
             // Rewrite heap offsets to be relative to this record's segment.
             seg.clear();
@@ -309,38 +502,108 @@ impl ExternalSorter {
                 seg.extend_from_slice(bytes);
                 row_buf[at..at + 4].copy_from_slice(&new_off.to_le_bytes());
             }
-            w.write_all(&row_buf)?;
-            w.write_all(&(seg.len() as u32).to_le_bytes())?;
-            w.write_all(&seg)?;
-            bytes_written += (keys.key(i).len() + width + 4 + seg.len()) as u64;
+            out.extend_from_slice(&row_buf);
+            out.extend_from_slice(&(seg.len() as u32).to_le_bytes());
+            out.extend_from_slice(&seg);
         }
-        w.flush()?;
-        self.metrics.add(Counter::SpilledRuns, 1);
-        self.metrics.add(Counter::SpilledBytes, bytes_written);
-        self.metrics.add(Counter::BytesMoved, bytes_written);
-        Ok(SpilledRun {
-            path,
-            rows: keys.len(),
-        })
+        let digest = XxHash64::hash(&out, SPILL_CHECKSUM_SEED);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
     }
 
-    fn merge_spilled(
+    /// Write `bytes` to a fresh run file in one shot.
+    fn try_write_file(&self, path: &Path, bytes: &[u8]) -> Result<(), SpillError> {
+        let mut w = self
+            .io
+            .create(path)
+            .map_err(|e| SpillError::io(SpillOp::Create, path, &e))?;
+        w.write_all(bytes)
+            .map_err(|e| SpillError::io(SpillOp::Write, path, &e))?;
+        w.flush()
+            .map_err(|e| SpillError::io(SpillOp::Flush, path, &e))?;
+        Ok(())
+    }
+
+    /// Delete a partially written file after a failure, counting (not
+    /// hiding) deletions that themselves fail.
+    fn cleanup_partial(&self, path: &Path) {
+        if let Err(err) = self.io.delete(path) {
+            if err.kind() != io::ErrorKind::NotFound {
+                self.metrics.add(Counter::SpillCleanupFailed, 1);
+            }
+        }
+    }
+
+    /// Encode one sorted run and place it: on disk under the retry /
+    /// degradation policy, or in memory once spill space is gone.
+    fn spill_run(
         &self,
-        runs: &[SpilledRun],
+        keys: &KeyBlock,
+        payload: &RowBlock,
+        varlen_cols: &[usize],
+        degraded: &mut bool,
+    ) -> Result<Run, SpillError> {
+        let bytes = self.encode_run(keys, payload, varlen_cols);
+        let rows = keys.len();
+        self.metrics.add(Counter::BytesMoved, bytes.len() as u64);
+        if *degraded {
+            self.metrics.add(Counter::SpillMemFallbackRuns, 1);
+            return Ok(Run::Memory { bytes, rows });
+        }
+        let mut attempt = 0;
+        let mut backoff = self.options.retry_backoff;
+        loop {
+            let path = self.spill_path();
+            match self.try_write_file(&path, &bytes) {
+                Ok(()) => {
+                    self.metrics.add(Counter::SpilledRuns, 1);
+                    self.metrics.add(Counter::SpilledBytes, bytes.len() as u64);
+                    return Ok(Run::Spilled(SpilledRun {
+                        path,
+                        rows,
+                        io: Arc::clone(&self.io),
+                        metrics: Arc::clone(&self.metrics),
+                    }));
+                }
+                Err(err) => {
+                    self.cleanup_partial(&path);
+                    if err.is_no_space() {
+                        // Degradation ladder, rung 2: no point retrying a
+                        // full disk — keep this and later runs in memory.
+                        *degraded = true;
+                        self.metrics.add(Counter::SpillMemFallbackRuns, 1);
+                        return Ok(Run::Memory { bytes, rows });
+                    }
+                    if err.is_transient() && attempt < self.options.max_write_retries {
+                        attempt += 1;
+                        self.metrics.add(Counter::SpillRetries, 1);
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                        continue;
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    fn merge_runs(
+        &self,
+        runs: &[Run],
         kw: usize,
         width: usize,
         varlen_cols: &[usize],
-    ) -> io::Result<DataChunk> {
+    ) -> Result<DataChunk, SpillError> {
         let k = runs.len();
-        let mut cursors: Vec<RunCursor> = runs
+        let mut cursors: Vec<RunCursor<'_>> = runs
             .iter()
-            .map(|r| RunCursor::open(r, kw, width))
-            .collect::<io::Result<Vec<_>>>()?;
-        let total: usize = runs.iter().map(|r| r.rows).sum();
+            .map(|r| r.open(kw, width))
+            .collect::<Result<Vec<_>, _>>()?;
+        let total: usize = runs.iter().map(|r| r.rows()).sum();
         let tie_cmp = FusedRowComparator::new(&self.layout, &self.order);
         let tie_possible = !varlen_cols.is_empty();
 
-        let cmp = |a: &RunCursor, b: &RunCursor| -> Ordering {
+        let cmp = |a: &RunCursor<'_>, b: &RunCursor<'_>| -> Ordering {
             match a.key.cmp(&b.key) {
                 Ordering::Equal if tie_possible => {
                     tie_cmp.compare(&a.row, &a.heap, &b.row, &b.heap)
@@ -373,8 +636,17 @@ impl ExternalSorter {
                         let at = base + self.layout.offset(c);
                         let rel = u32::from_le_bytes(read_slot(&out_data, at));
                         let len = u32::from_le_bytes(read_slot(&out_data, at + 4)) as usize;
+                        let (rel, end) = (rel as usize, rel as usize + len);
+                        if end > cur.heap.len() {
+                            // Only reachable with corrupted offsets the
+                            // checksum has not yet had a chance to reject.
+                            return Err(SpillError::corrupt(
+                                &cursors[w].path,
+                                "string segment reference out of bounds",
+                            ));
+                        }
                         let new_off = out_heap.len() as u32;
-                        out_heap.extend_from_slice(&cur.heap[rel as usize..rel as usize + len]);
+                        out_heap.extend_from_slice(&cur.heap[rel..end]);
                         out_data[at..at + 4].copy_from_slice(&new_off.to_le_bytes());
                     }
                 }
@@ -383,6 +655,14 @@ impl ExternalSorter {
                 tree.replay(w, &mut |i| cursors_ref[i].exhausted(), &mut |a, b| {
                     cmp(&cursors_ref[a], &cursors_ref[b]) == Ordering::Less
                 });
+            }
+            // Every cursor has consumed its record count; drive the final
+            // advance on any cursor the winner loop left un-finalized so
+            // all trailers are verified before the output escapes.
+            for cur in cursors.iter_mut() {
+                if !cur.exhausted() {
+                    cur.advance()?;
+                }
             }
         }
         drop(cursors);
@@ -395,6 +675,7 @@ impl ExternalSorter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rowsort_testkit::faultfs::{FaultFs, FaultKind, FaultSchedule, FaultSpec};
     use rowsort_vector::{OrderByColumn, SortSpec, Value, Vector};
 
     fn pseudo_random(n: usize, seed: u64, modk: u32) -> Vec<u32> {
@@ -407,23 +688,16 @@ mod tests {
             .collect()
     }
 
-    fn check_against_in_memory(chunk: &DataChunk, order: &OrderBy, budget: usize) {
-        let external = ExternalSorter::new(
-            chunk.types(),
-            order.clone(),
-            ExternalSortOptions {
-                memory_limit_rows: budget,
-                spill_dir: None,
-            },
-        )
-        .sort(chunk)
-        .expect("external sort succeeds");
-        let in_memory = crate::pipeline::SortPipeline::new(
+    fn in_memory_reference(chunk: &DataChunk, order: &OrderBy) -> DataChunk {
+        crate::pipeline::SortPipeline::new(
             chunk.types(),
             order.clone(),
             crate::pipeline::SortOptions::default(),
         )
-        .sort(chunk);
+        .sort(chunk)
+    }
+
+    fn assert_same_multiset_sorted(external: &DataChunk, in_memory: &DataChunk, order: &OrderBy) {
         // Both are valid orderings; key columns must agree exactly, and the
         // multisets must match.
         assert_eq!(external.len(), in_memory.len());
@@ -435,7 +709,21 @@ mod tests {
             rows.sort();
             rows
         };
-        assert_eq!(canon(&external), canon(&in_memory));
+        assert_eq!(canon(external), canon(in_memory));
+    }
+
+    fn check_against_in_memory(chunk: &DataChunk, order: &OrderBy, budget: usize) {
+        let external = ExternalSorter::new(
+            chunk.types(),
+            order.clone(),
+            ExternalSortOptions {
+                memory_limit_rows: budget,
+                ..Default::default()
+            },
+        )
+        .sort(chunk)
+        .expect("external sort succeeds");
+        assert_same_multiset_sorted(&external, &in_memory_reference(chunk, order), order);
     }
 
     #[test]
@@ -512,6 +800,7 @@ mod tests {
             ExternalSortOptions {
                 memory_limit_rows: 500,
                 spill_dir: Some(dir.clone()),
+                ..Default::default()
             },
         );
         let _ = sorter.sort(&chunk).unwrap();
@@ -536,7 +825,7 @@ mod tests {
         sorter: &ExternalSorter,
         chunk: &DataChunk,
         budget: usize,
-    ) -> (Vec<SpilledRun>, usize) {
+    ) -> (Vec<Run>, usize) {
         let stats: Vec<usize> = (0..sorter.types.len())
             .map(|c| {
                 chunk
@@ -567,7 +856,12 @@ mod tests {
                     payload.heap(),
                 )
             });
-            runs.push(sorter.spill_run(&keys, &payload, &varlen).unwrap());
+            let mut degraded = false;
+            runs.push(
+                sorter
+                    .spill_run(&keys, &payload, &varlen, &mut degraded)
+                    .unwrap(),
+            );
             start = end;
         }
         (runs, kw)
@@ -604,7 +898,8 @@ mod tests {
 
     /// The spill-file record format round-trips exactly: reading a run back
     /// reproduces every key, every fixed-width row byte, and every string
-    /// segment that was written, with nothing left over in the file.
+    /// segment that was written — and the cursor's final advance verifies
+    /// the checksum trailer with nothing left over in the file.
     #[test]
     fn spill_record_format_roundtrip() {
         let chunk = stringy_chunk(512, 11);
@@ -655,8 +950,11 @@ mod tests {
                 payload.heap(),
             )
         });
-        let run = sorter.spill_run(&keys, &payload, &varlen).unwrap();
-        assert_eq!(run.rows, chunk.len());
+        let mut degraded = false;
+        let run = sorter
+            .spill_run(&keys, &payload, &varlen, &mut degraded)
+            .unwrap();
+        assert_eq!(run.rows(), chunk.len());
 
         // Bytes of the offset word rewritten per record; everything else in
         // the row must survive the round trip untouched.
@@ -668,9 +966,9 @@ mod tests {
             }
         }
 
-        let mut cur = RunCursor::open(&run, keys.key_width(), width).unwrap();
+        let mut cur = run.open(keys.key_width(), width).unwrap();
         let mut prev_key: Vec<u8> = Vec::new();
-        for i in 0..run.rows {
+        for i in 0..run.rows() {
             assert!(!cur.exhausted(), "record {i} missing");
             assert_eq!(cur.key.as_slice(), keys.key(i), "key {i} differs");
             assert!(prev_key.as_slice() <= cur.key.as_slice(), "run not sorted at {i}");
@@ -698,12 +996,11 @@ mod tests {
                 );
             }
             prev_key = cur.key.clone();
+            // The final advance reads and verifies the checksum trailer and
+            // rejects trailing bytes; `unwrap` is the assertion.
             cur.advance().unwrap();
         }
         assert!(cur.exhausted());
-        let mut rest = Vec::new();
-        cur.reader.read_to_end(&mut rest).unwrap();
-        assert!(rest.is_empty(), "trailing bytes in spill file");
     }
 
     /// Under a small row budget every spilled run is individually sorted,
@@ -718,20 +1015,20 @@ mod tests {
             order,
             ExternalSortOptions {
                 memory_limit_rows: 123,
-                spill_dir: None,
+                ..Default::default()
             },
         );
         let budget = 123;
         let (runs, kw) = build_spilled_runs(&sorter, &chunk, budget);
         assert_eq!(runs.len(), chunk.len().div_ceil(budget));
-        let total: usize = runs.iter().map(|r| r.rows).sum();
+        let total: usize = runs.iter().map(|r| r.rows()).sum();
         assert_eq!(total, chunk.len());
         let width = sorter.layout.width();
         for (ri, run) in runs.iter().enumerate() {
-            assert!(run.rows <= budget, "run {ri} exceeds the row budget");
-            let mut cur = RunCursor::open(run, kw, width).unwrap();
+            assert!(run.rows() <= budget, "run {ri} exceeds the row budget");
+            let mut cur = run.open(kw, width).unwrap();
             let mut prev: Vec<u8> = Vec::new();
-            for i in 0..run.rows {
+            for i in 0..run.rows() {
                 assert!(!cur.exhausted(), "run {ri} record {i} missing");
                 assert!(
                     prev.as_slice() <= cur.key.as_slice(),
@@ -757,7 +1054,7 @@ mod tests {
             OrderBy::ascending(1),
             ExternalSortOptions {
                 memory_limit_rows: 0,
-                spill_dir: None,
+                ..Default::default()
             },
         );
         let sorted = sorter.sort(&chunk).unwrap();
@@ -782,7 +1079,7 @@ mod tests {
             OrderBy::ascending(1),
             ExternalSortOptions {
                 memory_limit_rows: 1_000,
-                spill_dir: None,
+                ..Default::default()
             },
         );
         let _ = sorter.sort(&chunk).unwrap();
@@ -797,6 +1094,10 @@ mod tests {
         assert_eq!(m.counter(Counter::RunsGenerated), 4);
         // Every record is key + row + length word at minimum.
         assert!(m.counter(Counter::SpilledBytes) >= 4_000 * 8);
+        assert_eq!(m.counter(Counter::SpillRetries), 0);
+        assert_eq!(m.counter(Counter::SpillCleanupFailed), 0);
+        assert_eq!(m.counter(Counter::SpillMemFallbackRuns), 0);
+        assert_eq!(m.counter(Counter::SpillChecksumFailed), 0);
         assert!(m.phase(Phase::Spill) > 0, "spill phase timed");
         assert!(m.phase(Phase::SpillMerge) > 0, "merge phase timed");
         assert!(m.phase_total_ns() <= profile.total_ns);
@@ -818,7 +1119,7 @@ mod tests {
             order.clone(),
             ExternalSortOptions {
                 memory_limit_rows: 1 << 20,
-                spill_dir: None,
+                ..Default::default()
             },
         )
         .sort(&chunk)
@@ -829,12 +1130,272 @@ mod tests {
                 order.clone(),
                 ExternalSortOptions {
                     memory_limit_rows: budget,
-                    spill_dir: None,
+                    ..Default::default()
                 },
             )
             .sort(&chunk)
             .unwrap();
             assert_eq!(got.to_rows(), reference.to_rows(), "budget {budget}");
         }
+    }
+
+    // ---- fault-injection coverage (the hardened paths) -----------------
+
+    /// A sorter spilling into a fresh fault-injecting filesystem.
+    fn faulty_sorter(
+        chunk: &DataChunk,
+        order: &OrderBy,
+        budget: usize,
+        schedule: FaultSchedule,
+    ) -> (ExternalSorter, FaultFs) {
+        let fs = FaultFs::new(schedule);
+        let sorter = ExternalSorter::with_spill_io(
+            chunk.types(),
+            order.clone(),
+            ExternalSortOptions {
+                memory_limit_rows: budget,
+                retry_backoff: Duration::from_micros(10),
+                ..Default::default()
+            },
+            Arc::new(fs.clone()),
+        );
+        (sorter, fs)
+    }
+
+    fn wspec(file: usize, at_byte: u64, kind: FaultKind) -> FaultSpec {
+        FaultSpec {
+            file,
+            at_byte,
+            bit: 0,
+            kind,
+        }
+    }
+
+    /// A truncated run file is rejected by verification with a typed
+    /// corruption error — and no spill file survives the failed sort.
+    #[test]
+    fn truncated_run_file_is_detected() {
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(2_000, 21, 300))])
+                .unwrap();
+        let order = OrderBy::ascending(1);
+        let (sorter, fs) = faulty_sorter(
+            &chunk,
+            &order,
+            500,
+            FaultSchedule {
+                specs: vec![wspec(1, 64, FaultKind::ShortRead)],
+                disk_capacity: None,
+            },
+        );
+        let err = sorter.sort(&chunk).expect_err("truncation must surface");
+        assert!(
+            matches!(err, SpillError::Corrupt { .. }),
+            "want Corrupt, got {err:?}"
+        );
+        assert!(err.path().contains("rowsort-spill-"), "path context: {err}");
+        assert_eq!(sorter.metrics().counter(Counter::SpillChecksumFailed), 1);
+        drop(sorter);
+        assert!(fs.live_files().is_empty(), "leaked: {:?}", fs.live_files());
+    }
+
+    /// Bit flips anywhere in a run file — keys, rows, length words, or the
+    /// trailer itself — surface as typed corruption, never as wrong rows.
+    #[test]
+    fn bit_flipped_run_file_is_detected() {
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(2_000, 22, 300))])
+                .unwrap();
+        let order = OrderBy::ascending(1);
+        let reference = in_memory_reference(&chunk, &order);
+        // Sweep flip positions across the record stream (byte 3 of a key,
+        // mid-row, a length word, deep into the file).
+        for (at_byte, bit) in [(3u64, 7u8), (9, 0), (1500, 4), (4000, 1)] {
+            let (sorter, fs) = faulty_sorter(
+                &chunk,
+                &order,
+                500,
+                FaultSchedule {
+                    specs: vec![FaultSpec {
+                        file: 2,
+                        at_byte,
+                        bit,
+                        kind: FaultKind::BitFlip,
+                    }],
+                    disk_capacity: None,
+                },
+            );
+            match sorter.sort(&chunk) {
+                Ok(out) => {
+                    // Only acceptable if the flip landed beyond the file
+                    // (never fired) — then the output must be correct.
+                    assert_eq!(fs.stats().bit_flips, 0, "flip fired but sort succeeded");
+                    assert_same_multiset_sorted(&out, &reference, &order);
+                }
+                Err(err) => {
+                    assert!(
+                        matches!(err, SpillError::Corrupt { .. }),
+                        "byte {at_byte} bit {bit}: want Corrupt, got {err:?}"
+                    );
+                    assert_eq!(
+                        sorter.metrics().counter(Counter::SpillChecksumFailed),
+                        1,
+                        "byte {at_byte} bit {bit}"
+                    );
+                }
+            }
+            drop(sorter);
+            assert!(fs.live_files().is_empty(), "leaked: {:?}", fs.live_files());
+        }
+    }
+
+    /// Transient write failures are absorbed by retry-with-backoff: the
+    /// sort succeeds, the retries are counted, nothing leaks.
+    #[test]
+    fn transient_write_errors_are_retried() {
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 23, 100))])
+                .unwrap();
+        let order = OrderBy::ascending(1);
+        // Two consecutive creation ordinals fail: the first run's write and
+        // its first retry. The second retry (ordinal 2) succeeds.
+        let (sorter, fs) = faulty_sorter(
+            &chunk,
+            &order,
+            250,
+            FaultSchedule {
+                specs: vec![
+                    wspec(0, 0, FaultKind::WriteError(io::ErrorKind::TimedOut)),
+                    wspec(1, 100, FaultKind::WriteError(io::ErrorKind::WouldBlock)),
+                ],
+                disk_capacity: None,
+            },
+        );
+        let out = sorter.sort(&chunk).expect("retries absorb the faults");
+        assert_same_multiset_sorted(&out, &in_memory_reference(&chunk, &order), &order);
+        assert_eq!(sorter.metrics().counter(Counter::SpillRetries), 2);
+        assert_eq!(sorter.metrics().counter(Counter::SpilledRuns), 4);
+        drop(sorter);
+        assert!(fs.live_files().is_empty(), "leaked: {:?}", fs.live_files());
+    }
+
+    /// A non-transient write failure is not retried: it surfaces as a
+    /// typed I/O error naming the operation, with nothing leaked.
+    #[test]
+    fn hard_write_error_fails_typed() {
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 24, 100))])
+                .unwrap();
+        let order = OrderBy::ascending(1);
+        let (sorter, fs) = faulty_sorter(
+            &chunk,
+            &order,
+            250,
+            FaultSchedule {
+                specs: vec![wspec(2, 50, FaultKind::WriteError(io::ErrorKind::Other))],
+                disk_capacity: None,
+            },
+        );
+        let err = sorter.sort(&chunk).expect_err("hard error must surface");
+        match &err {
+            SpillError::Io { op, kind, .. } => {
+                assert_eq!(*op, SpillOp::Write);
+                assert_eq!(*kind, io::ErrorKind::Other);
+            }
+            other => panic!("want Io, got {other:?}"),
+        }
+        assert_eq!(sorter.metrics().counter(Counter::SpillRetries), 0);
+        drop(sorter);
+        assert!(fs.live_files().is_empty(), "leaked: {:?}", fs.live_files());
+    }
+
+    /// Exhausted spill space degrades to in-memory runs (with a doubled
+    /// budget) instead of failing: the sort completes and matches the
+    /// in-memory oracle, and the fallback is visible in the metrics.
+    #[test]
+    fn enospc_degrades_to_in_memory_runs() {
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(4_000, 25, 500))])
+                .unwrap();
+        let order = OrderBy::ascending(1);
+        // Capacity fits roughly two of the eight ~500-row runs.
+        let (sorter, fs) = faulty_sorter(
+            &chunk,
+            &order,
+            500,
+            FaultSchedule {
+                specs: vec![],
+                disk_capacity: Some(16 * 1024),
+            },
+        );
+        let out = sorter.sort(&chunk).expect("degradation absorbs ENOSPC");
+        assert_same_multiset_sorted(&out, &in_memory_reference(&chunk, &order), &order);
+        let m = sorter.metrics();
+        assert!(m.counter(Counter::SpillMemFallbackRuns) > 0, "fallback used");
+        assert!(fs.stats().enospc_errors > 0, "capacity actually hit");
+        drop(sorter);
+        assert!(fs.live_files().is_empty(), "leaked: {:?}", fs.live_files());
+    }
+
+    /// A run file that vanishes before the merge (tmp-reaper race) is a
+    /// typed read error carrying the file's path — satellite coverage for
+    /// `RunCursor` open losing context.
+    #[test]
+    fn vanished_run_file_error_names_the_path() {
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 26, 100))])
+                .unwrap();
+        let order = OrderBy::ascending(1);
+        let (sorter, fs) = faulty_sorter(
+            &chunk,
+            &order,
+            250,
+            FaultSchedule {
+                specs: vec![wspec(1, 0, FaultKind::DeleteOnClose)],
+                disk_capacity: None,
+            },
+        );
+        let err = sorter.sort(&chunk).expect_err("vanished file must surface");
+        match &err {
+            SpillError::Io { op, kind, path, .. } => {
+                assert_eq!(*op, SpillOp::Read);
+                assert_eq!(*kind, io::ErrorKind::NotFound);
+                assert!(path.contains("rowsort-spill-"), "path context: {path}");
+            }
+            other => panic!("want Io, got {other:?}"),
+        }
+        drop(sorter);
+        // The double-delete (drop guard after delete-on-close) is clean:
+        // a NotFound cleanup is not a failure.
+        assert!(fs.live_files().is_empty());
+    }
+
+    /// Failed spill-file deletions are counted, not silently ignored —
+    /// the leak is observable as `spill_cleanup_failed == live files`.
+    #[test]
+    fn cleanup_failures_are_counted() {
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 27, 100))])
+                .unwrap();
+        let order = OrderBy::ascending(1);
+        let (sorter, fs) = faulty_sorter(
+            &chunk,
+            &order,
+            250,
+            FaultSchedule {
+                specs: vec![wspec(2, 0, FaultKind::DeleteError)],
+                disk_capacity: None,
+            },
+        );
+        let out = sorter.sort(&chunk).expect("delete fault does not break the sort");
+        assert_same_multiset_sorted(&out, &in_memory_reference(&chunk, &order), &order);
+        let leaked = sorter.metrics().counter(Counter::SpillCleanupFailed);
+        assert_eq!(leaked, 1, "one deletion failed");
+        drop(sorter);
+        assert_eq!(
+            fs.live_files().len() as u64,
+            leaked,
+            "every leak is accounted for"
+        );
     }
 }

@@ -15,6 +15,10 @@
 //!   MonetDB-, HyPer-, Umbra-like sort configurations) behind one trait,
 //! * [`external`] — out-of-core sorting with spilled runs and a streaming
 //!   merge (the §IX "graceful degradation" future work, implemented),
+//! * [`spill`] — the storage surface behind the external sorter: the
+//!   [`SpillIo`](spill::SpillIo) trait (std::fs default, fault-injecting
+//!   test backend) and the typed [`SpillError`](spill::SpillError)
+//!   taxonomy (DESIGN.md §8),
 //! * [`model`] — the §II run-generation vs merge comparison-count model,
 //! * [`pool`] — the size-classed buffer pool that makes steady-state
 //!   sorts allocation-free (DESIGN.md §6),
@@ -34,6 +38,7 @@ pub mod metrics;
 pub mod model;
 pub mod pipeline;
 pub mod pool;
+pub mod spill;
 pub mod strategy;
 pub mod systems;
 pub mod workers;
@@ -43,5 +48,6 @@ pub use keys::{KeyBlock, KeySortAlgo};
 pub use metrics::{Counter, CounterRegistry, Metrics, Phase, SortProfile};
 pub use pipeline::{default_threads, SortOptions, SortPipeline, SortedRows};
 pub use pool::BufferPool;
+pub use spill::{SpillError, SpillIo, SpillOp, StdFs};
 pub use systems::{sort_with_system, sort_with_system_profiled, SystemProfile};
 pub use workers::WorkerPool;

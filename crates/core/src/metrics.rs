@@ -110,11 +110,20 @@ pub enum Counter {
     SpilledRuns,
     /// Bytes written into spill files.
     SpilledBytes,
+    /// Transient spill-write failures absorbed by retry-with-backoff.
+    SpillRetries,
+    /// Spill-file deletions that failed (each one is a leaked temp file).
+    SpillCleanupFailed,
+    /// Runs kept in memory because spill space was exhausted.
+    SpillMemFallbackRuns,
+    /// Run files rejected by read-back verification (checksum mismatch,
+    /// truncation, or a structurally impossible record).
+    SpillChecksumFailed,
 }
 
 impl Counter {
     /// Number of counters (array dimension of the registry).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 19;
 
     /// All counters, in declaration order (= registry index order).
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -133,6 +142,10 @@ impl Counter {
         Counter::BroadcastNs,
         Counter::SpilledRuns,
         Counter::SpilledBytes,
+        Counter::SpillRetries,
+        Counter::SpillCleanupFailed,
+        Counter::SpillMemFallbackRuns,
+        Counter::SpillChecksumFailed,
     ];
 
     /// The snake_case name used in trace JSON and text dumps.
@@ -153,6 +166,10 @@ impl Counter {
             Counter::BroadcastNs => "broadcast_ns",
             Counter::SpilledRuns => "spilled_runs",
             Counter::SpilledBytes => "spilled_bytes",
+            Counter::SpillRetries => "spill_retries",
+            Counter::SpillCleanupFailed => "spill_cleanup_failed",
+            Counter::SpillMemFallbackRuns => "spill_mem_fallback_runs",
+            Counter::SpillChecksumFailed => "spill_checksum_failed",
         }
     }
 }

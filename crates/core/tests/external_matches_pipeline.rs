@@ -65,7 +65,7 @@ fn external_output_identical_to_pipeline_across_budgets_and_specs() {
                 order.clone(),
                 ExternalSortOptions {
                     memory_limit_rows: budget,
-                    spill_dir: None,
+                    ..Default::default()
                 },
             );
             let got = sorter.sort(&chunk).expect("external sort succeeds").to_rows();

@@ -12,14 +12,17 @@ use crate::catalog::Catalog;
 use crate::plan::{LogicalPlan, ResolvedPredicate};
 use crate::sql::CmpOp;
 use crate::{EngineError, Result};
+use rowsort_core::external::{ExternalSortOptions, ExternalSorter};
 use rowsort_core::metrics::Phase;
-use rowsort_core::systems::{sort_with_system, sort_with_system_profiled, SystemProfile};
+use rowsort_core::systems::{sort_with_system_profiled, SystemProfile};
 use rowsort_vector::{DataChunk, OrderBy, Value, Vector};
 use std::cmp::Ordering;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Execution configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Which system's sort-operator configuration to use.
     pub profile: SystemProfile,
@@ -27,6 +30,9 @@ pub struct ExecOptions {
     /// [`rowsort_core::default_threads`]: the `ROWSORT_THREADS` environment
     /// variable if set, otherwise the machine's available parallelism.
     pub threads: usize,
+    /// When set, pipeline-breaking sorts run through the external
+    /// (spilling) sorter instead of the in-memory system profile.
+    pub spill: Option<SpillExecOptions>,
 }
 
 impl Default for ExecOptions {
@@ -34,8 +40,20 @@ impl Default for ExecOptions {
         ExecOptions {
             profile: SystemProfile::RowsortDb,
             threads: rowsort_core::default_threads(),
+            spill: None,
         }
     }
+}
+
+/// External-sort configuration for the engine: the subset of
+/// [`ExternalSortOptions`] a session controls (retry tuning keeps the
+/// sorter's hardened defaults).
+#[derive(Debug, Clone)]
+pub struct SpillExecOptions {
+    /// Maximum rows a sort holds in memory before spilling a run.
+    pub memory_limit_rows: usize,
+    /// Directory for spill files (defaults to the system temp dir).
+    pub spill_dir: Option<PathBuf>,
 }
 
 /// Per-operator statistics collected by `EXPLAIN ANALYZE`, in pre-order.
@@ -156,6 +174,50 @@ fn sort_detail(profile: &rowsort_core::SortProfile) -> String {
     s
 }
 
+/// Sort a materialized relation under the session's options: the
+/// configured in-memory system profile by default, or the external
+/// (spilling) sorter when [`ExecOptions::spill`] is set, with spill
+/// failures surfacing as [`EngineError::Spill`].
+///
+/// Any panic escaping the sort machinery — including panics re-raised
+/// from worker-pool threads — is contained here and converted to
+/// [`EngineError::Internal`], so one poisoned sort job fails its own
+/// query but leaves the engine (and the worker pool) usable.
+fn sort_relation(
+    all: &DataChunk,
+    order: &OrderBy,
+    options: &ExecOptions,
+) -> Result<(DataChunk, Option<rowsort_core::SortProfile>)> {
+    let run = || match &options.spill {
+        Some(spill) => {
+            let sorter = ExternalSorter::new(
+                all.types(),
+                order.clone(),
+                ExternalSortOptions {
+                    memory_limit_rows: spill.memory_limit_rows,
+                    spill_dir: spill.spill_dir.clone(),
+                    ..ExternalSortOptions::default()
+                },
+            );
+            let sorted = sorter.sort(all).map_err(EngineError::Spill)?;
+            Ok((sorted, Some(sorter.last_profile())))
+        }
+        None => {
+            let (sorted, profile) =
+                sort_with_system_profiled(options.profile, all, order, options.threads);
+            Ok((sorted, profile))
+        }
+    };
+    catch_unwind(AssertUnwindSafe(run)).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_owned());
+        Err(EngineError::Internal(format!("sort panicked: {msg}")))
+    })
+}
+
 /// Execute one node, recording a [`NodeStats`] entry when profiling.
 fn exec_stream(
     plan: &LogicalPlan,
@@ -233,8 +295,7 @@ fn exec_node(
                 all.append(c)
                     .map_err(|e| EngineError::Invalid(e.to_string()))?;
             }
-            let (sorted, sort_profile) =
-                sort_with_system_profiled(options.profile, &all, order, options.threads);
+            let (sorted, sort_profile) = sort_relation(&all, order, options)?;
             if let Some(p) = &sort_profile {
                 *detail = sort_detail(p);
             }
@@ -281,7 +342,7 @@ fn exec_node(
         }
         LogicalPlan::WindowRowNumber { input, order } => {
             let all = materialize(exec_stream(input, catalog, options, prof)?, input, catalog)?;
-            let sorted = sort_with_system(options.profile, &all, order, options.threads);
+            let (sorted, _) = sort_relation(&all, order, options)?;
             let numbers = Vector::from_i64s((1..=sorted.len() as i64).collect());
             let mut columns: Vec<Vector> = sorted.columns().to_vec();
             columns.push(numbers);
@@ -320,8 +381,8 @@ fn sort_merge_join(
     use rowsort_vector::OrderByColumn;
     let l_order = OrderBy::new(vec![OrderByColumn::asc(left_col)]);
     let r_order = OrderBy::new(vec![OrderByColumn::asc(right_col)]);
-    let l = sort_with_system(options.profile, left, &l_order, options.threads);
-    let r = sort_with_system(options.profile, right, &r_order, options.threads);
+    let (l, _) = sort_relation(left, &l_order, options)?;
+    let (r, _) = sort_relation(right, &r_order, options)?;
 
     let mut out = DataChunk::new(out_types);
     let (mut i, mut j) = (0usize, 0usize);
@@ -887,5 +948,93 @@ mod tests {
             e.query(sql).unwrap().to_rows(),
             e.query_unoptimized(sql).unwrap().to_rows()
         );
+    }
+
+    /// A many-row engine so spill-enabled sorts actually produce several
+    /// runs (memory_limit_rows below forces spilling).
+    fn big_engine() -> Engine {
+        let n = 4_000i32;
+        let ids: Vec<i32> = (0..n).rev().collect();
+        let names: Vec<String> = ids.iter().map(|i| format!("name-{:04}", i % 97)).collect();
+        let data = DataChunk::from_columns(vec![
+            Vector::from_i32s(ids),
+            Vector::from_strings(names.iter().map(String::as_str)),
+        ])
+        .unwrap();
+        let mut e = Engine::new();
+        e.register_table(Table::new("big", vec!["id".into(), "name".into()], data));
+        e
+    }
+
+    #[test]
+    fn spill_enabled_query_matches_in_memory() {
+        // `id` as a tie-breaker: duplicate names would otherwise leave the
+        // within-group order unspecified (external vs in-memory sorts
+        // break ties differently).
+        let sql = "SELECT id FROM big WHERE id <> 17 ORDER BY name DESC, id";
+        let expected = big_engine().query(sql).unwrap().to_rows();
+
+        let mut e = big_engine();
+        e.options_mut().spill = Some(SpillExecOptions {
+            memory_limit_rows: 256, // 4k rows -> ~16 spilled runs
+            spill_dir: None,
+        });
+        assert_eq!(e.query(sql).unwrap().to_rows(), expected);
+
+        // Joins and window functions route through the same sort path.
+        let sql = "SELECT id, row_number() OVER (ORDER BY id DESC) FROM big ORDER BY row_number LIMIT 3";
+        let expected = big_engine().query(sql).unwrap().to_rows();
+        assert_eq!(e.query(sql).unwrap().to_rows(), expected);
+    }
+
+    #[test]
+    fn spill_create_failure_surfaces_typed_error() {
+        let mut e = big_engine();
+        e.options_mut().spill = Some(SpillExecOptions {
+            memory_limit_rows: 256,
+            spill_dir: Some(PathBuf::from("/nonexistent-rowsort-spill-dir/sub")),
+        });
+        let err = e
+            .query("SELECT id FROM big ORDER BY name")
+            .unwrap_err();
+        match err {
+            EngineError::Spill(rowsort_core::SpillError::Io { op, ref path, .. }) => {
+                assert_eq!(op, rowsort_core::SpillOp::Create);
+                assert!(
+                    path.contains("nonexistent-rowsort-spill-dir"),
+                    "error should name the failing path: {path}"
+                );
+            }
+            other => panic!("expected Spill(Io{{Create}}), got {other:?}"),
+        }
+        // The engine stays usable after the failed sort.
+        assert_eq!(e.query("SELECT count(*) FROM big").unwrap().row(0), vec![
+            Value::Int64(4_000)
+        ]);
+    }
+
+    #[test]
+    fn panicking_sort_is_contained_as_internal_error() {
+        use crate::plan::LogicalPlan;
+        let e = engine();
+        // A manually built plan with an out-of-range sort column: the sort
+        // machinery (including its worker threads) panics on the bad
+        // index. The executor must contain that panic to this one query.
+        let plan = LogicalPlan::Sort {
+            input: Box::new(LogicalPlan::Scan { table: "t".into() }),
+            order: OrderBy::new(vec![rowsort_vector::OrderByColumn::asc(99)]),
+        };
+        let err = execute(&plan, e.catalog(), &ExecOptions::default()).unwrap_err();
+        match err {
+            EngineError::Internal(msg) => {
+                assert!(msg.contains("sort panicked"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // Regression: the pool and engine survive the poisoned sort — the
+        // next (valid) query on the same engine runs normally.
+        let r = e.query("SELECT id FROM t ORDER BY id").unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.row(0), vec![Value::Int32(1)]);
     }
 }

@@ -34,9 +34,10 @@ pub mod reference;
 pub mod sql;
 
 pub use catalog::{Catalog, Table};
-pub use exec::{ExecOptions, NodeStats};
+pub use exec::{ExecOptions, NodeStats, SpillExecOptions};
 pub use plan::LogicalPlan;
 
+use rowsort_core::spill::SpillError;
 use rowsort_vector::DataChunk;
 
 /// Errors surfaced to engine users.
@@ -53,6 +54,10 @@ pub enum EngineError {
     /// An executor invariant did not hold (a bug, not a user error):
     /// surfaced as an error instead of a panic so callers keep control.
     Internal(String),
+    /// Spill I/O or run-file verification failed during an external sort.
+    /// Carries the typed [`SpillError`] so callers can see which run file
+    /// failed doing what.
+    Spill(SpillError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -63,7 +68,14 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             EngineError::Invalid(m) => write!(f, "invalid query: {m}"),
             EngineError::Internal(m) => write!(f, "internal error: {m}"),
+            EngineError::Spill(e) => write!(f, "spill error: {e}"),
         }
+    }
+}
+
+impl From<SpillError> for EngineError {
+    fn from(e: SpillError) -> EngineError {
+        EngineError::Spill(e)
     }
 }
 

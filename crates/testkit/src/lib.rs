@@ -18,6 +18,13 @@
 //! * [`bench`] — a small wall-clock benchmark harness in the shape of
 //!   criterion's API (groups, `iter`/`iter_batched`, warmup,
 //!   median-of-N samples) that reports results as text and JSON.
+//! * [`hash`] — a hand-rolled streaming xxHash64 ([`hash::XxHash64`]),
+//!   pinned to the reference test vectors; the checksum behind spill-file
+//!   integrity verification.
+//! * [`faultfs`] — a deterministic fault-injecting in-memory filesystem
+//!   ([`faultfs::FaultFs`]) that replays seeded [`faultfs::FaultSchedule`]s
+//!   (write errors, ENOSPC, short reads, bit flips, delete faults) against
+//!   the spill I/O surface.
 //!
 //! # Reproducing a failure
 //!
@@ -36,6 +43,8 @@
 
 pub mod alloc;
 pub mod bench;
+pub mod faultfs;
+pub mod hash;
 pub mod json;
 pub mod prop;
 pub mod rng;

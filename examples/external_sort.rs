@@ -34,7 +34,7 @@ fn main() {
             order.clone(),
             ExternalSortOptions {
                 memory_limit_rows: budget,
-                spill_dir: None,
+                ..Default::default()
             },
         );
         let start = Instant::now();

@@ -58,4 +58,16 @@ ROWSORT_PIPE_ROWS=250000 ROWSORT_BENCH_JSON="$smoke_json" \
 cargo run --release --offline -q -p rowsort-bench --bin bench_gate -- \
     BENCH_pipeline.json "$smoke_json" --tolerance 50 --trace "$trace_jsonl"
 
+# --- 7. Spill fault-injection stress ----------------------------------------
+# 50 seeded iterations of the differential stress loop (DESIGN.md §8.5):
+# random relations sorted through the external sorter under injected
+# write errors / ENOSPC / corruption, checked against an in-memory
+# oracle. Deterministic (everything derives from the seed) and offline
+# (the fault filesystem is in-memory). Fails the build on any oracle
+# mismatch or leaked run file; the JSON report is uploaded as a CI
+# artifact.
+echo "== spill stress =="
+cargo run --release --offline -q -p rowsort-bench --bin stress -- \
+    --iters 50 --seed 0xR0WS0RT --report "$PWD/target/perf/stress_report.json"
+
 echo "verify: OK"
