@@ -7,6 +7,17 @@ use rowsort_normkey::{encode_column_range_into, KeyColumn, NormKeyLayout};
 use rowsort_vector::{DataChunk, LogicalType, OrderBy};
 use std::cmp::Ordering;
 
+/// Load `N` bytes of `s` starting at `at` into a fixed-size word. The
+/// callers' length guards make the slice exact, so this compiles to a
+/// plain load; it replaces `try_into().unwrap()` so the key accessors and
+/// the merge-loop copy/compare helpers stay free of panic calls.
+#[inline]
+pub(crate) fn word<const N: usize>(s: &[u8], at: usize) -> [u8; N] {
+    let mut w = [0u8; N];
+    w.copy_from_slice(&s[at..at + N]);
+    w
+}
+
 /// A block of fixed-width normalized keys, each suffixed with a `u32`
 /// row id linking back to the payload row.
 ///
@@ -117,7 +128,7 @@ impl KeyBlock {
     pub fn row_id(&self, i: usize) -> u32 {
         let s = self.stride();
         let off = i * s + self.key_width();
-        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+        u32::from_le_bytes(word::<4>(&self.data, off))
     }
 
     /// Remove all entries, keeping the layout and the buffer capacity, so
@@ -199,8 +210,8 @@ impl KeyBlock {
                     Ordering::Less => true,
                     Ordering::Greater => false,
                     Ordering::Equal => {
-                        let ra = u32::from_le_bytes(a[kw..kw + 4].try_into().unwrap());
-                        let rb = u32::from_le_bytes(b[kw..kw + 4].try_into().unwrap());
+                        let ra = u32::from_le_bytes(word::<4>(a, kw));
+                        let rb = u32::from_le_bytes(word::<4>(b, kw));
                         resolve(ra, rb) == Ordering::Less
                     }
                 },

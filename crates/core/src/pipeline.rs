@@ -29,7 +29,7 @@
 //! ties, is bit-identical for any thread count.
 
 use crate::comparator::FusedRowComparator;
-use crate::keys::{KeyBlock, KeySortAlgo};
+use crate::keys::{word, KeyBlock, KeySortAlgo};
 use crate::metrics::{emit_trace, Counter, CounterRegistry, Metrics, Phase, SortProfile};
 use crate::pool::BufferPool;
 use crate::workers::{SendPtr, WorkerPool};
@@ -147,18 +147,18 @@ fn copy_small(dst: &mut [u8], src: &[u8]) {
     debug_assert_eq!(dst.len(), src.len());
     let n = src.len();
     if n >= 16 && n <= 32 {
-        let a = u128::from_ne_bytes(src[..16].try_into().unwrap());
-        let b = u128::from_ne_bytes(src[n - 16..].try_into().unwrap());
+        let a = u128::from_ne_bytes(word::<16>(src, 0));
+        let b = u128::from_ne_bytes(word::<16>(src, n - 16));
         dst[..16].copy_from_slice(&a.to_ne_bytes());
         dst[n - 16..].copy_from_slice(&b.to_ne_bytes());
     } else if n >= 8 && n < 16 {
-        let a = u64::from_ne_bytes(src[..8].try_into().unwrap());
-        let b = u64::from_ne_bytes(src[n - 8..].try_into().unwrap());
+        let a = u64::from_ne_bytes(word::<8>(src, 0));
+        let b = u64::from_ne_bytes(word::<8>(src, n - 8));
         dst[..8].copy_from_slice(&a.to_ne_bytes());
         dst[n - 8..].copy_from_slice(&b.to_ne_bytes());
     } else if n >= 4 && n < 8 {
-        let a = u32::from_ne_bytes(src[..4].try_into().unwrap());
-        let b = u32::from_ne_bytes(src[n - 4..].try_into().unwrap());
+        let a = u32::from_ne_bytes(word::<4>(src, 0));
+        let b = u32::from_ne_bytes(word::<4>(src, n - 4));
         dst[..4].copy_from_slice(&a.to_ne_bytes());
         dst[n - 4..].copy_from_slice(&b.to_ne_bytes());
     } else {
@@ -175,22 +175,22 @@ fn cmp_keys(a: &[u8], b: &[u8]) -> Ordering {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();
     if n >= 4 && n <= 8 {
-        let a0 = u32::from_be_bytes(a[..4].try_into().unwrap());
-        let b0 = u32::from_be_bytes(b[..4].try_into().unwrap());
+        let a0 = u32::from_be_bytes(word::<4>(a, 0));
+        let b0 = u32::from_be_bytes(word::<4>(b, 0));
         if a0 != b0 {
             return a0.cmp(&b0);
         }
-        let a1 = u32::from_be_bytes(a[n - 4..].try_into().unwrap());
-        let b1 = u32::from_be_bytes(b[n - 4..].try_into().unwrap());
+        let a1 = u32::from_be_bytes(word::<4>(a, n - 4));
+        let b1 = u32::from_be_bytes(word::<4>(b, n - 4));
         a1.cmp(&b1)
     } else if n > 8 && n <= 16 {
-        let a0 = u64::from_be_bytes(a[..8].try_into().unwrap());
-        let b0 = u64::from_be_bytes(b[..8].try_into().unwrap());
+        let a0 = u64::from_be_bytes(word::<8>(a, 0));
+        let b0 = u64::from_be_bytes(word::<8>(b, 0));
         if a0 != b0 {
             return a0.cmp(&b0);
         }
-        let a1 = u64::from_be_bytes(a[n - 8..].try_into().unwrap());
-        let b1 = u64::from_be_bytes(b[n - 8..].try_into().unwrap());
+        let a1 = u64::from_be_bytes(word::<8>(a, n - 8));
+        let b1 = u64::from_be_bytes(word::<8>(b, n - 8));
         a1.cmp(&b1)
     } else {
         a.cmp(b)
@@ -414,6 +414,8 @@ impl SortPipeline {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .take()
+                // lint:allow(R010): the phase-1 barrier completes before
+                // this runs, and phase 1 fills every slot exactly once.
                 .expect("every morsel slot is filled by phase 1");
             runs.push(run);
         }
@@ -516,7 +518,10 @@ impl SortPipeline {
         let width = self.layout.width();
 
         while runs.len() > 1 {
-            let kw = runs[0].key_width;
+            let kw = match runs.first() {
+                Some(r) => r.key_width,
+                None => break,
+            };
             let pairs = runs.len() / 2;
             next_round.clear();
             jobs.clear();
@@ -587,6 +592,8 @@ impl SortPipeline {
             }
             std::mem::swap(runs, next_round);
         }
+        // lint:allow(R010): the entry assert guarantees `runs` is
+        // non-empty and each cascade round halves it toward one.
         runs.pop().expect("cascade leaves exactly one run")
     }
 
@@ -629,13 +636,14 @@ impl SortPipeline {
 
         // SAFETY: Merge Path bounds are exact — partition `part` produces
         // output rows `d0..d1` and no other partition writes them, so the
-        // slices below are disjoint between tasks; the backing buffers are
-        // sized `total * kw` / `total * width` and owned by `next_round`,
-        // which outlives the phase.
+        // slice carved out of `job.out_keys` below is disjoint between
+        // tasks; the backing buffer is sized `total * kw` and owned by
+        // `next_round`, which outlives the phase.
         let out_keys = unsafe {
             std::slice::from_raw_parts_mut(job.out_keys.get().add(d0 * kw), (d1 - d0) * kw)
         };
-        // SAFETY: same disjointness argument as `out_keys` above.
+        // SAFETY: same disjointness argument on `job.out_rows` — the row
+        // buffer is sized `total * width` and outlives the phase.
         let out_rows = unsafe {
             std::slice::from_raw_parts_mut(job.out_rows.get().add(d0 * width), (d1 - d0) * width)
         };
@@ -661,7 +669,7 @@ impl SortPipeline {
             if let Some(dst) = key_out.next() {
                 copy_small(dst, &src_keys[r * kw..(r + 1) * kw]);
             }
-            // lint:allow(R002): the iterator yields exactly d1-d0 rows by
+            // lint:allow(R002, R010): the iterator yields d1-d0 rows by
             // construction; see the SAFETY disjointness argument above.
             let out_row = row_out.next().expect("output sized to partition");
             copy_small(out_row, &src_rows[r * width..(r + 1) * width]);

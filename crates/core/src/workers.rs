@@ -167,9 +167,9 @@ impl WorkerPool {
                 .state
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
-            // SAFETY: erasing the closure's lifetime to publish it. The
-            // guard below — dropped only after `active` returns to 0 —
-            // keeps this stack frame (and thus the closure) alive until
+            // SAFETY: erasing the lifetime of the closure `f` to publish
+            // it. The guard below — dropped only after `active` returns
+            // to 0 — keeps this stack frame (and thus `f`) alive until
             // the last worker is done with the pointer.
             let erased: *const (dyn Fn(usize) + Sync) = unsafe {
                 std::mem::transmute::<
@@ -215,7 +215,7 @@ impl Drop for PhaseGuard<'_> {
         let panicked = state.panicked;
         drop(state);
         if panicked > 0 && !std::thread::panicking() {
-            // lint:allow(R002): a worker panic is a genuine phase failure;
+            // lint:allow(R002, R010): a worker panic is a phase failure;
             // re-raising it on the caller is the contract of `broadcast`.
             panic!("{panicked} sort worker(s) panicked during a phase");
         }

@@ -1,0 +1,367 @@
+//! A lightweight Rust AST — exactly the shapes the deep rules reason about.
+//!
+//! This is deliberately not a faithful Rust grammar: it models *items*
+//! (functions, impls, traits, modules), *blocks*, and the expression forms
+//! the rule engine needs — calls, method calls, macro invocations, slice
+//! indexing, `unsafe` blocks, loops, and `let _ =` discards. Everything
+//! else is folded into [`Expr::Other`] with its sub-expressions preserved,
+//! so tree walks still see every call no matter what syntax surrounds it.
+//!
+//! Positions are 1-based line/column of the anchoring token, and blocks
+//! carry the token-index span of their braces in the file's full token
+//! stream (comments included), so rules can relate AST nodes back to
+//! nearby comments (R013 reads SAFETY text this way).
+
+/// A parsed source file: its top-level items.
+#[derive(Debug, Default)]
+pub struct File {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item. Containers (impl/mod/trait) carry their nested items so
+/// walks can qualify method names and inherit `#[cfg(test)]` status.
+#[derive(Debug)]
+pub enum Item {
+    /// A function (free, method, or trait default/required method).
+    Fn(FnItem),
+    /// An `impl`, `mod`, or `trait` with nested items.
+    Container(Container),
+    /// Anything else (struct, enum, use, static, …) — no rule reads these.
+    Other,
+}
+
+/// What kind of container an item-nesting construct is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerKind {
+    /// `impl Type { … }` or `impl Trait for Type { … }`.
+    Impl,
+    /// `mod name { … }`.
+    Mod,
+    /// `trait Name { … }`.
+    Trait,
+}
+
+/// An item-nesting construct.
+#[derive(Debug)]
+pub struct Container {
+    /// Impl/mod/trait discriminator.
+    pub kind: ContainerKind,
+    /// Type name for impls, module name for mods, trait name for traits.
+    pub name: String,
+    /// `true` under `#[cfg(test)]` (directly or inherited).
+    pub is_test: bool,
+    /// Nested items.
+    pub items: Vec<Item>,
+}
+
+/// A function item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Bare name (`sort`).
+    pub name: String,
+    /// Qualified name: `Type::sort` inside an impl/trait, else the bare
+    /// name. Modules do not qualify (call sites rarely spell them out).
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// `#[test]`, or nested under `#[cfg(test)]`.
+    pub is_test: bool,
+    /// Return type as normalized text (`Result<(),SpillError>`), empty for
+    /// unit. Whitespace-free so callers match with `contains`.
+    pub ret: String,
+    /// Body, `None` for trait-required methods and extern decls.
+    pub body: Option<Block>,
+}
+
+/// A `{ … }` block.
+#[derive(Debug)]
+pub struct Block {
+    /// Statements in source order (the tail expression is a statement
+    /// with `semi == false`).
+    pub stmts: Vec<Stmt>,
+    /// 1-based line of the opening brace.
+    pub line: u32,
+    /// Index of the `{` token in the file's full token stream.
+    pub tok_open: usize,
+    /// Index of the matching `}` token (== `tok_open` if unterminated).
+    pub tok_close: usize,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let PAT = init;` — `underscore` is true for exactly `let _ = …`
+    /// (not `let _x`, not tuple patterns).
+    Let {
+        /// The pattern is the wildcard `_`.
+        underscore: bool,
+        /// Initializer, if any.
+        init: Option<Expr>,
+        /// 1-based line of the `let`.
+        line: u32,
+    },
+    /// An expression statement; `semi` distinguishes `f();` (value
+    /// discarded) from a tail expression `f()` (value used/returned).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Terminated by `;`.
+        semi: bool,
+    },
+    /// A nested item (functions declared inside function bodies become
+    /// call-graph nodes through this).
+    Item(Box<Item>),
+}
+
+/// One expression. Variants carry positions only where rules anchor
+/// findings on them.
+#[derive(Debug)]
+pub enum Expr {
+    /// `path::to::f(args)` — callee is the `::`-joined path with generic
+    /// arguments stripped.
+    Call {
+        /// Normalized callee path.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line of the callee's last segment.
+        line: u32,
+        /// 1-based column of the callee's last segment.
+        col: u32,
+    },
+    /// `recv.name(args)`.
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line of the method name.
+        line: u32,
+        /// 1-based column of the method name.
+        col: u32,
+    },
+    /// `name!(…)` — arguments are parsed best-effort so calls inside
+    /// macro invocations still appear in the tree.
+    Macro {
+        /// Macro name (last path segment, no `!`).
+        name: String,
+        /// Recovered argument expressions.
+        args: Vec<Expr>,
+        /// 1-based line of the macro name.
+        line: u32,
+        /// 1-based column of the macro name.
+        col: u32,
+    },
+    /// `base.field` (also tuple fields: `pair.0`, and `.await`).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+    },
+    /// `base[index]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// The index is a bare integer literal (`v[0]`).
+        literal: bool,
+        /// 1-based line of the `[`.
+        line: u32,
+        /// 1-based column of the `[`.
+        col: u32,
+    },
+    /// A path used as a value (`x`, `Counter::Spills`, `self`).
+    Path {
+        /// Normalized `::`-joined path.
+        path: String,
+    },
+    /// Any literal (number, string, char, bool is a Path).
+    Lit {
+        /// The literal is a bare integer (drives `Index::literal`).
+        int: bool,
+    },
+    /// A prefix operator application; only `*` (deref) is distinguished.
+    Unary {
+        /// `'*'`, `'&'`, `'!'`, or `'-'`.
+        op: char,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// An operator chain `a + b < c` — operands in source order, the
+    /// operators themselves are not recorded.
+    Bin(Vec<Expr>),
+    /// A plain `{ … }` block expression.
+    Block(Block),
+    /// An `unsafe { … }` block.
+    Unsafe {
+        /// The block.
+        block: Block,
+        /// 1-based line of the `unsafe` keyword.
+        line: u32,
+        /// 1-based column of the `unsafe` keyword.
+        col: u32,
+    },
+    /// `loop`/`while`/`for` — the rules only need the body.
+    Loop {
+        /// Pre-body expressions (condition / iterator), if any.
+        head: Vec<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `if cond { … } else …` (also `if let`).
+    If {
+        /// Condition (the matched expression for `if let`).
+        cond: Box<Expr>,
+        /// Then-block.
+        then: Block,
+        /// `else` branch: a block or a chained `if`.
+        els: Option<Box<Expr>>,
+    },
+    /// `match scrutinee { arms }` — children are the scrutinee, then each
+    /// arm's guard/body expressions.
+    Match(Vec<Expr>),
+    /// `|args| body` / `move || body`.
+    Closure {
+        /// Closure body.
+        body: Box<Expr>,
+    },
+    /// Everything else, sub-expressions preserved (tuples, arrays,
+    /// ranges, struct literals, `return`/`break` operands, …).
+    Other(Vec<Expr>),
+}
+
+impl Expr {
+    /// Visit `self` and every sub-expression, pre-order. Blocks nested in
+    /// expressions are traversed; nested *items* are not (they are their
+    /// own analysis roots).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Call { args, .. } | Expr::Macro { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Method { recv, args, .. } => {
+                recv.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Field { base, .. } => base.walk(f),
+            Expr::Index { base, index, .. } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Bin(items) | Expr::Match(items) | Expr::Other(items) => {
+                for e in items {
+                    e.walk(f);
+                }
+            }
+            Expr::Block(b) | Expr::Unsafe { block: b, .. } => b.walk_exprs(f),
+            Expr::Loop { head, body } => {
+                for e in head {
+                    e.walk(f);
+                }
+                body.walk_exprs(f);
+            }
+            Expr::If { cond, then, els } => {
+                cond.walk(f);
+                then.walk_exprs(f);
+                if let Some(e) = els {
+                    e.walk(f);
+                }
+            }
+            Expr::Closure { body } => body.walk(f),
+            Expr::Path { .. } | Expr::Lit { .. } => {}
+        }
+    }
+
+    /// The identifier a human would name this place by: the last path
+    /// segment, the field name, or the root of a call chain. `None` for
+    /// literals and structural expressions.
+    pub fn root_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Path { path } => Some(path.rsplit("::").next().unwrap_or(path)),
+            Expr::Field { name, .. } => Some(name),
+            Expr::Method { recv, .. } => recv.root_ident(),
+            Expr::Index { base, .. } => base.root_ident(),
+            Expr::Unary { expr, .. } => expr.root_ident(),
+            Expr::Call { callee, .. } => Some(callee.rsplit("::").next().unwrap_or(callee)),
+            _ => None,
+        }
+    }
+
+    /// Collect every leaf identifier (path last-segments and field names)
+    /// in this expression, excluding `self` — the names a SAFETY comment
+    /// is expected to argue about.
+    pub fn leaf_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        self.walk(&mut |e| match e {
+            Expr::Path { path } => {
+                let last = path.rsplit("::").next().unwrap_or(path);
+                if last != "self" && !last.is_empty() {
+                    out.push(last);
+                }
+            }
+            Expr::Field { name, .. } => {
+                if !name.chars().all(|c| c.is_ascii_digit()) {
+                    out.push(name);
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+impl Block {
+    /// Visit every expression in this block's statements, pre-order.
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        for stmt in &self.stmts {
+            match stmt {
+                Stmt::Let { init: Some(e), .. } => e.walk(f),
+                Stmt::Let { init: None, .. } => {}
+                Stmt::Expr { expr, .. } => expr.walk(f),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+}
+
+/// Flatten a file into `(qualified-fn, is_test)` pairs with their items,
+/// recursing through containers. The callback receives every function in
+/// the file, with `is_test` true if the function or any enclosing
+/// container is test-gated.
+pub fn for_each_fn<'a>(file: &'a File, f: &mut impl FnMut(&'a FnItem, bool)) {
+    fn rec<'a>(items: &'a [Item], in_test: bool, f: &mut impl FnMut(&'a FnItem, bool)) {
+        for item in items {
+            match item {
+                Item::Fn(func) => {
+                    f(func, in_test || func.is_test);
+                    // Nested fns declared inside this body.
+                    if let Some(body) = &func.body {
+                        for stmt in &body.stmts {
+                            if let Stmt::Item(nested) = stmt {
+                                rec(
+                                    std::slice::from_ref(nested),
+                                    in_test || func.is_test,
+                                    f,
+                                );
+                            }
+                        }
+                    }
+                }
+                Item::Container(c) => rec(&c.items, in_test || c.is_test, f),
+                Item::Other => {}
+            }
+        }
+    }
+    rec(&file.items, false, f);
+}

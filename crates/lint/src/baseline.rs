@@ -34,6 +34,24 @@ pub fn contains(baseline: &[BaselineEntry], f: &Finding) -> bool {
         .any(|b| b.rule == f.rule && b.path == f.path && b.line == f.line)
 }
 
+/// Render already-parsed baseline entries back to a document (used by
+/// `--prune-baseline` to rewrite the file without stale entries).
+pub fn render_entries(entries: &[BaselineEntry]) -> String {
+    let items: Vec<Json> = entries
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("rule", Json::str(e.rule.clone())),
+                ("path", Json::str(e.path.clone())),
+                ("line", Json::Num(e.line as f64)),
+            ])
+        })
+        .collect();
+    let mut text = Json::obj(vec![("findings", Json::Arr(items))]).render();
+    text.push('\n');
+    text
+}
+
 /// Render findings as a baseline document.
 pub fn render(findings: &[Finding]) -> String {
     let entries: Vec<Json> = findings

@@ -15,12 +15,39 @@
 //!
 //! [exclude]              # never scanned
 //! globs = ["target/**"]
+//!
+//! [test-paths]           # whole files treated as test scaffolding
+//! globs = ["crates/*/tests/**"]
+//!
+//! [hot-entry-points]     # R010 reachability roots, "<file>:<Qual::fn>"
+//! fns = ["crates/core/src/pipeline.rs:SortPipeline::sort"]
+//!
+//! [atomic-relaxed-allow] # R011: Ordering::Relaxed permitted (counters)
+//! globs = ["crates/core/src/metrics.rs"]
+//!
+//! [spill-cleanup-allow]  # R012: discarding SpillError results permitted
+//! globs = []
+//!
+//! [unsafe-budget]        # R013
+//! max-statements = 8
+//!
+//! [severity]             # per-rule override, "deny" (default) or "warn"
+//! R011 = "warn"
 //! ```
 
 use crate::toml_scan;
 
+/// How a finding affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the build (unless baselined).
+    Deny,
+    /// Reported, never fails the build.
+    Warn,
+}
+
 /// Parsed lint configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// R002/R003 apply to files matching these globs.
     pub hot_paths: Vec<String>,
@@ -32,6 +59,38 @@ pub struct Config {
     pub unsafe_impl_allow: Vec<String>,
     /// Files excluded from all rules (e.g. lint test fixtures).
     pub exclude: Vec<String>,
+    /// Whole files treated as test scaffolding: scanned (R001/R005/R006
+    /// still apply) but exempt from the hot-path and deep rules, exactly
+    /// like a `#[cfg(test)]` region.
+    pub test_paths: Vec<String>,
+    /// R010 reachability roots as `(file, qualified-fn)` pairs.
+    pub hot_entries: Vec<(String, String)>,
+    /// Files where `Ordering::Relaxed` is permitted (metrics counters).
+    pub atomic_relaxed_allow: Vec<String>,
+    /// Files where discarding a `SpillError` result is permitted.
+    pub spill_cleanup_allow: Vec<String>,
+    /// R013: maximum statements per `unsafe` block.
+    pub unsafe_max_stmts: usize,
+    /// Per-rule severity overrides (`R011` → `warn`).
+    pub severity: Vec<(String, String)>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            hot_paths: Vec::new(),
+            cast_strict: Vec::new(),
+            exit_allow: Vec::new(),
+            unsafe_impl_allow: Vec::new(),
+            exclude: Vec::new(),
+            test_paths: Vec::new(),
+            hot_entries: Vec::new(),
+            atomic_relaxed_allow: Vec::new(),
+            spill_cleanup_allow: Vec::new(),
+            unsafe_max_stmts: 8,
+            severity: Vec::new(),
+        }
+    }
 }
 
 impl Config {
@@ -39,20 +98,56 @@ impl Config {
     pub fn parse(src: &str) -> Config {
         let mut cfg = Config::default();
         for item in toml_scan::scan(src) {
-            if item.key != "globs" {
-                continue;
-            }
-            let globs = toml_scan::array_strings(&item.value);
-            match item.section.as_str() {
-                "hot-paths" => cfg.hot_paths = globs,
-                "cast-strict" => cfg.cast_strict = globs,
-                "exit-allow" => cfg.exit_allow = globs,
-                "unsafe-impl-allow" => cfg.unsafe_impl_allow = globs,
-                "exclude" => cfg.exclude = globs,
+            match (item.section.as_str(), item.key.as_str()) {
+                (section, "globs") => {
+                    let globs = toml_scan::array_strings(&item.value);
+                    match section {
+                        "hot-paths" => cfg.hot_paths = globs,
+                        "cast-strict" => cfg.cast_strict = globs,
+                        "exit-allow" => cfg.exit_allow = globs,
+                        "unsafe-impl-allow" => cfg.unsafe_impl_allow = globs,
+                        "exclude" => cfg.exclude = globs,
+                        "test-paths" => cfg.test_paths = globs,
+                        "atomic-relaxed-allow" => cfg.atomic_relaxed_allow = globs,
+                        "spill-cleanup-allow" => cfg.spill_cleanup_allow = globs,
+                        _ => {}
+                    }
+                }
+                ("hot-entry-points", "fns") => {
+                    cfg.hot_entries = toml_scan::array_strings(&item.value)
+                        .into_iter()
+                        .filter_map(|spec| {
+                            spec.split_once(':')
+                                .map(|(p, q)| (p.to_string(), q.to_string()))
+                        })
+                        .collect();
+                }
+                ("unsafe-budget", "max-statements") => {
+                    if let Ok(n) = item.value.trim().parse::<usize>() {
+                        cfg.unsafe_max_stmts = n;
+                    }
+                }
+                ("severity", rule) => {
+                    let level = item.value.trim().trim_matches('"').to_string();
+                    cfg.severity.push((rule.to_string(), level));
+                }
                 _ => {}
             }
         }
         cfg
+    }
+
+    /// Effective severity of a rule: `deny` unless overridden to `warn`.
+    pub fn severity_of(&self, rule: &str) -> Severity {
+        match self
+            .severity
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map(|(_, l)| l.as_str())
+        {
+            Some("warn") => Severity::Warn,
+            _ => Severity::Deny,
+        }
     }
 
     /// Does `path` (repo-relative, `/`-separated) match any glob in `set`?
@@ -138,5 +233,32 @@ mod tests {
         assert_eq!(cfg.hot_paths, vec!["a.rs", "b/**"]);
         assert_eq!(cfg.exclude, vec!["t/**"]);
         assert!(Config::matches(&cfg.hot_paths, "b/x/y.rs"));
+    }
+
+    #[test]
+    fn parse_deep_sections() {
+        let cfg = Config::parse(
+            "[hot-entry-points]\nfns = [\"crates/core/src/pipeline.rs:SortPipeline::sort\"]\n\
+             [test-paths]\nglobs = [\"crates/*/tests/**\"]\n\
+             [atomic-relaxed-allow]\nglobs = [\"crates/core/src/metrics.rs\"]\n\
+             [unsafe-budget]\nmax-statements = 5\n\
+             [severity]\nR011 = \"warn\"\n",
+        );
+        assert_eq!(
+            cfg.hot_entries,
+            vec![(
+                "crates/core/src/pipeline.rs".to_string(),
+                "SortPipeline::sort".to_string()
+            )]
+        );
+        assert!(Config::matches(&cfg.test_paths, "crates/core/tests/x.rs"));
+        assert_eq!(cfg.unsafe_max_stmts, 5);
+        assert_eq!(cfg.severity_of("R011"), Severity::Warn);
+        assert_eq!(cfg.severity_of("R010"), Severity::Deny);
+    }
+
+    #[test]
+    fn default_unsafe_budget() {
+        assert_eq!(Config::parse("").unsafe_max_stmts, 8);
     }
 }

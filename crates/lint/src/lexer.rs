@@ -345,6 +345,27 @@ fn lex_number(cur: &mut Cursor) -> Tok {
             }
         }
     }
+    // Signed exponent (`1e-3`, `2.5E+10`): the alphanumeric loops above
+    // already took the `e`, but the sign stops them. Radix-prefixed
+    // literals never take one — `0xFFe - 1` is a subtraction, and in hex
+    // `e` is a digit.
+    let radix_prefixed = text.len() >= 2
+        && text.starts_with('0')
+        && matches!(text.as_bytes()[1], b'x' | b'X' | b'b' | b'B' | b'o' | b'O');
+    if !radix_prefixed
+        && (text.ends_with('e') || text.ends_with('E'))
+        && matches!(cur.peek(0), Some('+' | '-'))
+        && matches!(cur.peek(1), Some(c) if c.is_ascii_digit())
+    {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+        while matches!(cur.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+        }
+    }
     Tok {
         kind: TokKind::Num,
         text,
@@ -500,5 +521,118 @@ mod tests {
     fn unterminated_string_reaches_eof() {
         let toks = kinds("let s = \"never closed");
         assert_eq!(toks.last().map(|(k, _)| *k), Some(TokKind::Str));
+    }
+
+    /// `(kind, text, line, col)` for exact-location assertions.
+    fn spans(src: &str) -> Vec<(TokKind, String, u32, u32)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text, t.line, t.col))
+            .collect()
+    }
+
+    #[test]
+    fn multi_hash_raw_string_exact_span() {
+        // `"#` inside a `##`-delimited raw string must not terminate it,
+        // and the token after must land at the exact column.
+        let toks = spans("r##\"a\"# b\"## y");
+        assert_eq!(
+            toks[0],
+            (TokKind::RawStr, "r##\"a\"# b\"##".into(), 1, 1)
+        );
+        assert_eq!(toks[1], (TokKind::Ident, "y".into(), 1, 14));
+    }
+
+    #[test]
+    fn deep_hash_raw_string_with_shorter_candidate_close() {
+        // `"##` inside `###` delimiters is content, not a terminator.
+        let toks = spans("let s = r###\"deep \"## quote\"### ; end");
+        assert_eq!(toks[3].0, TokKind::RawStr);
+        assert_eq!(toks[3].1, "r###\"deep \"## quote\"###");
+        assert_eq!(toks[4], (TokKind::Punct, ";".into(), 1, 33));
+        assert_eq!(toks[5], (TokKind::Ident, "end".into(), 1, 35));
+    }
+
+    #[test]
+    fn byte_and_c_raw_strings() {
+        let toks = spans("br##\"deep bytes\"## cr#\"raw c\"# t");
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        assert_eq!(toks[0].1, "br##\"deep bytes\"##");
+        assert_eq!(toks[1].0, TokKind::RawStr);
+        assert_eq!(toks[1].1, "cr#\"raw c\"#");
+        assert_eq!(toks[2], (TokKind::Ident, "t".into(), 1, 32));
+    }
+
+    #[test]
+    fn multiline_raw_string_position_tracking() {
+        // The raw string spans two lines; `after` must report line 2 with
+        // a column counted from the line start, not from the token start.
+        let toks = spans("r#\"line1\nline2\"# after");
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        assert_eq!((toks[1].1.as_str(), toks[1].2, toks[1].3), ("after", 2, 9));
+    }
+
+    #[test]
+    fn doubly_nested_block_comment_exact_close() {
+        // Two levels of nesting, adjacent delimiters: `/*/**/*/`.
+        let toks = spans("/*/**/*/ after");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[0].1, "/*/**/*/");
+        assert_eq!(toks[1], (TokKind::Ident, "after".into(), 1, 10));
+    }
+
+    #[test]
+    fn multiline_nested_comment_position_tracking() {
+        let toks = spans("/* a\n /* b */\n c */ after");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!((toks[1].1.as_str(), toks[1].2, toks[1].3), ("after", 3, 7));
+    }
+
+    #[test]
+    fn unterminated_nested_comment_reaches_eof() {
+        // Inner comment closes, outer does not: everything is comment.
+        let toks = spans("/* unterminated /* nest */");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn raw_string_containing_comment_close_is_text() {
+        let toks = spans("r#\"contains */ inside\"# ok");
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        assert_eq!(toks[1], (TokKind::Ident, "ok".into(), 1, 25));
+    }
+
+    #[test]
+    fn signed_float_exponents_are_one_token() {
+        assert_eq!(
+            kinds("1.5e-3 + 2.5E+10"),
+            vec![
+                (TokKind::Num, "1.5e-3".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Num, "2.5E+10".into()),
+            ]
+        );
+        // No fraction, exponent directly on the integer part.
+        assert_eq!(kinds("1e-9")[0], (TokKind::Num, "1e-9".into()));
+        // Hex `e` is a digit, not an exponent: `0xFe - 1` is a subtraction.
+        assert_eq!(
+            kinds("0xFe-1"),
+            vec![
+                (TokKind::Num, "0xFe".into()),
+                (TokKind::Punct, "-".into()),
+                (TokKind::Num, "1".into()),
+            ]
+        );
+        // `7e.x` must not swallow the dot; `1e-x` has no exponent digits.
+        assert_eq!(kinds("7e.x")[0], (TokKind::Num, "7e".into()));
+        assert_eq!(
+            kinds("1e-x"),
+            vec![
+                (TokKind::Num, "1e".into()),
+                (TokKind::Punct, "-".into()),
+                (TokKind::Ident, "x".into()),
+            ]
+        );
     }
 }

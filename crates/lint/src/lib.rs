@@ -1,20 +1,34 @@
 //! rowsort-lint — in-tree static analysis for the rowsort workspace.
 //!
 //! A dependency-free analyzer built on a hand-rolled Rust lexer
-//! ([`lexer`]) and a token-stream rule engine ([`rules`]). It walks every
-//! `.rs` file and `Cargo.toml` in the workspace and enforces the
-//! invariants the sorting paper's performance claims rest on: documented
-//! `unsafe`, panic-free and allocation-free hot paths, lossless casts in
-//! order-preserving key encodings, and a hermetic (path-only) dependency
-//! closure. See `lint.toml` for rule scoping and `DESIGN.md` for the
-//! rationale per rule.
+//! ([`lexer`]), a recursive-descent parser ([`parser`] → [`ast`]), and a
+//! per-crate call graph ([`callgraph`]). Analysis runs in two passes:
+//!
+//! 1. **Per file** ([`analyze_source`]): the token-stream rules
+//!    R001–R006 over every `.rs` file and `Cargo.toml`.
+//! 2. **Per crate unit** ([`rules::analyze_unit`]): each crate's files
+//!    are parsed into ASTs, a symbol table and conservative call graph
+//!    are built, and the deep rules run — R010 panic reachability from
+//!    `[hot-entry-points]`, R011 atomic-ordering discipline, R012
+//!    spill-error observability, R013 unsafe-block budget/SAFETY
+//!    completeness.
+//!
+//! Together they enforce the invariants the sorting paper's performance
+//! claims rest on: documented `unsafe`, panic-free and allocation-free
+//! hot paths, lossless casts in order-preserving key encodings, sound
+//! atomic orderings, observable spill failures, and a hermetic
+//! (path-only) dependency closure. See `lint.toml` for rule scoping and
+//! `DESIGN.md` for the rationale per rule.
 //!
 //! Run it as `cargo run -p lint --release` (binary name `rowsort-lint`);
 //! `scripts/verify.sh` treats a non-zero exit as a tier-1 failure.
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 mod toml_scan;
 
@@ -37,19 +51,30 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     }
 }
 
-/// The result of a workspace run: findings split by baseline status.
+/// The result of a workspace run: findings split by how they affect the
+/// exit code.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Findings not covered by the baseline — these fail the build.
+    /// Deny-severity findings not covered by the baseline — these fail
+    /// the build.
     pub errors: Vec<Finding>,
-    /// Grandfathered findings — reported as warnings only.
+    /// Grandfathered (baselined) findings — reported as warnings only.
     pub warnings: Vec<Finding>,
+    /// Warn-severity findings (`lint.toml [severity]`) — reported, never
+    /// fail the build, never baselined.
+    pub warn_severity: Vec<Finding>,
+    /// Baseline entries whose file no longer exists in the workspace.
+    pub stale_baseline: Vec<baseline::BaselineEntry>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
 
-/// Walk the workspace rooted at `root`, analyze every `.rs` and
-/// `Cargo.toml`, and partition findings against `grandfathered`.
+/// Walk the workspace rooted at `root`, run both analysis passes
+/// (per-file token rules, then per-crate-unit AST/call-graph rules), and
+/// partition findings against `grandfathered` and the configured
+/// severities. Baseline entries pointing at files that no longer exist
+/// are reported in [`Report::stale_baseline`] instead of being silently
+/// retained.
 pub fn run_workspace(
     root: &Path,
     cfg: &Config,
@@ -59,19 +84,52 @@ pub fn run_workspace(
     collect_files(root, root, cfg, &mut files)?;
     files.sort();
     let mut report = Report::default();
-    for rel in files {
-        let src = fs::read_to_string(root.join(&rel))
+    let mut findings = Vec::new();
+    // (unit name, files) in first-seen order; ordering findings come from
+    // the final sort, but deterministic unit order keeps runs stable.
+    let mut units: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))
             .map_err(|e| format!("read {rel}: {e}"))?;
         report.files_scanned += 1;
-        for f in analyze_source(&rel, &src, cfg) {
-            if baseline::contains(grandfathered, &f) {
-                report.warnings.push(f);
-            } else {
-                report.errors.push(f);
+        findings.extend(analyze_source(rel, &src, cfg));
+        if rel.ends_with(".rs") {
+            let unit = crate_unit(rel);
+            match units.iter_mut().find(|(u, _)| *u == unit) {
+                Some((_, fs)) => fs.push((rel.clone(), src)),
+                None => units.push((unit, vec![(rel.clone(), src)])),
             }
         }
     }
+    for (_, unit_files) in &units {
+        findings.extend(rules::analyze_unit(unit_files, cfg));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    for f in findings {
+        if cfg.severity_of(&f.rule) == config::Severity::Warn {
+            report.warn_severity.push(f);
+        } else if baseline::contains(grandfathered, &f) {
+            report.warnings.push(f);
+        } else {
+            report.errors.push(f);
+        }
+    }
+    for entry in grandfathered {
+        if !files.contains(&entry.path) {
+            report.stale_baseline.push(entry.clone());
+        }
+    }
     Ok(report)
+}
+
+/// The crate unit a file belongs to: `crates/<name>/…` → `<name>`,
+/// everything else (root `src/`, top-level scripts) → `root`. Call-graph
+/// edges never cross units.
+fn crate_unit(rel: &str) -> String {
+    match rel.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or("root").to_string(),
+        None => "root".to_string(),
+    }
 }
 
 /// Directories never worth descending into, regardless of `lint.toml`.

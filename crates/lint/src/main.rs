@@ -2,14 +2,23 @@
 //!
 //! ```text
 //! rowsort-lint [--root DIR] [--json] [--write-baseline]
+//!              [--baseline-diff] [--prune-baseline] [--explain RXXX]
 //! ```
 //!
-//! Exit codes: 0 = clean (baseline warnings allowed), 1 = findings,
-//! 2 = usage or I/O error. `--json` emits one machine-readable document
-//! on stdout; `--write-baseline` records all current errors into
-//! `lint-baseline.json` so a new rule can land warn-only.
+//! Exit codes: 0 = clean (warnings allowed), 1 = deny findings,
+//! 2 = usage or I/O error.
+//!
+//! - `--json` emits one machine-readable document on stdout (CI uploads
+//!   it as the findings artifact).
+//! - `--write-baseline` records all current errors into
+//!   `lint-baseline.json` so a new rule can land warn-only.
+//! - `--baseline-diff` prints only findings *not* in the baseline — the
+//!   new-findings-only mode for CI on forks whose baseline lags.
+//! - `--prune-baseline` rewrites `lint-baseline.json` without entries
+//!   whose file no longer exists (reported as stale otherwise).
+//! - `--explain RXXX` prints the long-form rationale for one rule.
 
-use lint::{baseline, load_baseline, load_config, run_workspace, Finding, Report};
+use lint::{baseline, load_baseline, load_config, run_workspace, rules, Finding, Report};
 use rowsort_testkit::json::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +27,9 @@ struct Args {
     root: PathBuf,
     json: bool,
     write_baseline: bool,
+    baseline_diff: bool,
+    prune_baseline: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,19 +37,31 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         json: false,
         write_baseline: false,
+        baseline_diff: false,
+        prune_baseline: false,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
             "--write-baseline" => args.write_baseline = true,
+            "--baseline-diff" => args.baseline_diff = true,
+            "--prune-baseline" => args.prune_baseline = true,
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain requires a rule id (e.g. R010)")?);
+            }
             "--root" => {
                 args.root = PathBuf::from(
                     it.next().ok_or("--root requires a directory argument")?,
                 );
             }
             "--help" | "-h" => {
-                return Err("usage: rowsort-lint [--root DIR] [--json] [--write-baseline]".into())
+                return Err(
+                    "usage: rowsort-lint [--root DIR] [--json] [--write-baseline] \
+                     [--baseline-diff] [--prune-baseline] [--explain RXXX]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -45,9 +69,10 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn finding_json(f: &Finding) -> Json {
+fn finding_json(f: &Finding, severity: &str) -> Json {
     Json::obj(vec![
         ("rule", Json::str(f.rule.clone())),
+        ("severity", Json::str(severity)),
         ("path", Json::str(f.path.clone())),
         ("line", Json::Num(f.line as f64)),
         ("col", Json::Num(f.col as f64)),
@@ -55,12 +80,45 @@ fn finding_json(f: &Finding) -> Json {
     ])
 }
 
-fn print_human(report: &Report) {
-    for f in &report.warnings {
-        println!(
-            "warning[{}]: {}:{}:{}: {} (baselined)",
-            f.rule, f.path, f.line, f.col, f.message
-        );
+/// `R001: 2, R013: 5`-style summary over every reported finding.
+fn per_rule_counts(report: &Report) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for f in report
+        .errors
+        .iter()
+        .chain(&report.warnings)
+        .chain(&report.warn_severity)
+    {
+        match counts.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((f.rule.clone(), 1)),
+        }
+    }
+    counts.sort();
+    counts
+}
+
+fn print_human(report: &Report, baseline_diff: bool) {
+    if !baseline_diff {
+        for f in &report.warnings {
+            println!(
+                "warning[{}]: {}:{}:{}: {} (baselined)",
+                f.rule, f.path, f.line, f.col, f.message
+            );
+        }
+        for f in &report.warn_severity {
+            println!(
+                "warning[{}]: {}:{}:{}: {} (severity=warn)",
+                f.rule, f.path, f.line, f.col, f.message
+            );
+        }
+        for e in &report.stale_baseline {
+            println!(
+                "warning[stale-baseline]: {}:{}: baseline entry for {} points at a \
+                 file that no longer exists — run `rowsort-lint --prune-baseline`",
+                e.path, e.line, e.rule
+            );
+        }
     }
     for f in &report.errors {
         println!(
@@ -68,11 +126,22 @@ fn print_human(report: &Report) {
             f.rule, f.path, f.line, f.col, f.message
         );
     }
+    let counts = per_rule_counts(report);
+    if !counts.is_empty() {
+        let rendered: Vec<String> = counts
+            .iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect();
+        println!("per-rule counts: {}", rendered.join(", "));
+    }
     println!(
-        "rowsort-lint: {} file(s) scanned, {} error(s), {} baselined warning(s)",
+        "rowsort-lint: {} file(s) scanned, {} error(s), {} baselined warning(s), \
+         {} warn-severity, {} stale baseline entr(ies)",
         report.files_scanned,
         report.errors.len(),
-        report.warnings.len()
+        report.warnings.len(),
+        report.warn_severity.len(),
+        report.stale_baseline.len()
     );
 }
 
@@ -84,6 +153,33 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(rule) = &args.explain {
+        return match rules::explain(rule) {
+            Some(doc) => {
+                println!("{doc}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("rowsort-lint: unknown rule `{rule}` (rules: R000–R006, R010–R013)");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if args.prune_baseline {
+        return match prune_baseline(&args.root) {
+            Ok(msg) => {
+                println!("{msg}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("rowsort-lint: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let result = (|| -> Result<Report, String> {
         let cfg = load_config(&args.root)?;
         let grandfathered = load_baseline(&args.root)?;
@@ -113,20 +209,50 @@ fn main() -> ExitCode {
     }
 
     if args.json {
+        let mut entries: Vec<Json> = Vec::new();
+        entries.extend(report.errors.iter().map(|f| finding_json(f, "deny")));
+        if !args.baseline_diff {
+            entries.extend(report.warnings.iter().map(|f| finding_json(f, "baselined")));
+            entries.extend(
+                report
+                    .warn_severity
+                    .iter()
+                    .map(|f| finding_json(f, "warn")),
+            );
+        }
+        let counts = per_rule_counts(&report);
         let doc = Json::obj(vec![
             ("files_scanned", Json::Num(report.files_scanned as f64)),
+            ("findings", Json::Arr(entries)),
             (
-                "errors",
-                Json::Arr(report.errors.iter().map(finding_json).collect()),
+                "per_rule",
+                Json::obj(
+                    counts
+                        .iter()
+                        .map(|(r, n)| (r.as_str(), Json::Num(*n as f64)))
+                        .collect(),
+                ),
             ),
             (
-                "warnings",
-                Json::Arr(report.warnings.iter().map(finding_json).collect()),
+                "stale_baseline",
+                Json::Arr(
+                    report
+                        .stale_baseline
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("rule", Json::str(e.rule.clone())),
+                                ("path", Json::str(e.path.clone())),
+                                ("line", Json::Num(e.line as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ]);
         println!("{}", doc.render());
     } else {
-        print_human(&report);
+        print_human(&report, args.baseline_diff);
     }
 
     if report.errors.is_empty() {
@@ -134,4 +260,23 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Rewrite `lint-baseline.json` without entries whose file is gone.
+fn prune_baseline(root: &std::path::Path) -> Result<String, String> {
+    let entries = load_baseline(root)?;
+    let before = entries.len();
+    let kept: Vec<baseline::BaselineEntry> = entries
+        .into_iter()
+        .filter(|e| root.join(&e.path).exists())
+        .collect();
+    let path = root.join("lint-baseline.json");
+    std::fs::write(&path, baseline::render_entries(&kept))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(format!(
+        "rowsort-lint: pruned {} stale entr(ies), {} kept, wrote {}",
+        before - kept.len(),
+        kept.len(),
+        path.display()
+    ))
 }

@@ -1,4 +1,5 @@
-//! The rule engine: R001–R006 over token streams and Cargo manifests.
+//! The rule engine: token-stream rules R001–R006 over single files, and
+//! AST/call-graph rules R010–R013 over whole crate units.
 //!
 //! | rule | scope (from `lint.toml`) | invariant |
 //! |------|--------------------------|-----------|
@@ -8,15 +9,23 @@
 //! | R004 | `[cast-strict]` globs    | no bare `as` numeric casts (use `to_be_bytes`/`try_into`/`cast_unsigned`) |
 //! | R005 | every `Cargo.toml`       | all dependencies are `path`/`workspace` references |
 //! | R006 | every `.rs` file         | no `std::process::exit` / `unsafe impl Send/Sync` outside allowlists |
+//! | R010 | `[hot-entry-points]`     | nothing transitively reachable from a hot entry may panic (call chain rendered in the finding) |
+//! | R011 | all but `[atomic-relaxed-allow]` | no `Ordering::Relaxed` on atomics (counters are allowlisted) |
+//! | R012 | all but `[spill-cleanup-allow]`  | a discarded `Result<_, SpillError>` must be counted on a metrics counter in the same function |
+//! | R013 | every `.rs` file         | `unsafe` blocks stay under the statement budget and their SAFETY comment names every pointer/index identifier used inside |
 //!
-//! `#[cfg(test)]` modules and `#[test]` functions are exempt from R002–R004:
-//! the invariants guard the measured hot paths, not test scaffolding.
-//! Findings are suppressed by `// lint:allow(R00X): reason` on the same or
-//! the preceding line; a suppression **must** carry a reason, or the
+//! `#[cfg(test)]` modules, `#[test]` functions, and whole files matching
+//! `[test-paths]` are exempt from R002–R004 and R010–R013: the invariants
+//! guard the measured hot paths, not test scaffolding. Findings are
+//! suppressed by `// lint:allow(RXXX): reason` on the same or the
+//! preceding line; a suppression **must** carry a reason, or the
 //! suppression itself becomes a finding (R000).
 
+use crate::ast;
+use crate::callgraph::{self, Graph, Target, UnitFile};
 use crate::config::Config;
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parser;
 use crate::toml_scan;
 
 /// One rule violation.
@@ -57,11 +66,13 @@ struct FileCtx<'a> {
     toks: &'a [Tok],
     /// Token-index ranges belonging to `#[cfg(test)]` mods / `#[test]` fns.
     test_ranges: Vec<(usize, usize)>,
+    /// Whole file is test scaffolding (`lint.toml [test-paths]`).
+    file_is_test: bool,
 }
 
 impl<'a> FileCtx<'a> {
     fn in_test(&self, idx: usize) -> bool {
-        self.test_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+        self.file_is_test || self.test_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
     }
 
     /// Index of the previous non-comment token.
@@ -95,6 +106,7 @@ pub fn analyze_rust(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
         path,
         toks: &toks,
         test_ranges: test_ranges(&toks),
+        file_is_test: Config::matches(&cfg.test_paths, path),
     };
 
     let mut findings = Vec::new();
@@ -344,7 +356,10 @@ fn collect_suppressions(ctx: &FileCtx, findings: &mut Vec<Finding>) -> Vec<Suppr
 }
 
 fn valid_rule_id(r: &str) -> bool {
-    matches!(r, "R001" | "R002" | "R003" | "R004" | "R005" | "R006")
+    matches!(
+        r,
+        "R001" | "R002" | "R003" | "R004" | "R005" | "R006" | "R010" | "R011" | "R012" | "R013"
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -789,4 +804,567 @@ fn rule_r006(ctx: &FileCtx, cfg: &Config, findings: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deep analysis: R010–R013 over a whole crate unit
+// ---------------------------------------------------------------------------
+
+/// Analyze one crate unit (all its `.rs` files) with the AST/call-graph
+/// rules. `files` holds `(repo-relative path, source)` pairs. Findings are
+/// already suppression-filtered and sorted.
+pub fn analyze_unit(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    let mut ufs: Vec<UnitFile> = Vec::new();
+    let mut toks_per_file: Vec<Vec<Tok>> = Vec::new();
+    for (path, src) in files {
+        if !path.ends_with(".rs") {
+            continue;
+        }
+        let toks = lex(src);
+        ufs.push(UnitFile {
+            path: path.clone(),
+            file: parser::parse(&toks),
+            is_test: Config::matches(&cfg.test_paths, path),
+        });
+        toks_per_file.push(toks);
+    }
+    let graph = Graph::build(&ufs);
+    let mut findings = graph.panic_reachability(&cfg.hot_entries);
+    for (uf, toks) in ufs.iter().zip(&toks_per_file) {
+        if uf.is_test {
+            continue; // whole-file test scaffolding: deep rules exempt
+        }
+        let ctx = FileCtx {
+            path: &uf.path,
+            toks,
+            test_ranges: test_ranges(toks),
+            file_is_test: false,
+        };
+        if !Config::matches(&cfg.atomic_relaxed_allow, &uf.path) {
+            rule_r011(&ctx, &mut findings);
+        }
+        if !Config::matches(&cfg.spill_cleanup_allow, &uf.path) {
+            rule_r012(&uf.path, &uf.file, &graph, &mut findings);
+        }
+        rule_r013(&ctx, &uf.file, cfg.unsafe_max_stmts, &mut findings);
+    }
+    // Per-file suppression pass (R010 findings can land in any file of
+    // the unit, so this runs after all rules). R000 reasons-missing
+    // findings were already emitted by the per-file pass — drop them here.
+    for (uf, toks) in ufs.iter().zip(&toks_per_file) {
+        let ctx = FileCtx {
+            path: &uf.path,
+            toks,
+            test_ranges: Vec::new(),
+            file_is_test: false,
+        };
+        let mut scratch = Vec::new();
+        let sups = collect_suppressions(&ctx, &mut scratch);
+        findings.retain(|f| {
+            f.path != uf.path
+                || !sups
+                    .iter()
+                    .any(|s| s.has_reason && s.covers_line == f.line && s.rules.contains(&f.rule))
+        });
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// R011 — atomic-ordering discipline
+// ---------------------------------------------------------------------------
+
+/// Flag `Ordering::Relaxed`. A Relaxed load/store is only sound for
+/// values nothing else synchronizes on (statistics counters); anything
+/// guarding a cross-thread handoff needs Acquire/Release. Counter files
+/// are allowlisted via `[atomic-relaxed-allow]`; a justified Relaxed
+/// elsewhere takes a reasoned `lint:allow(R011)`.
+fn rule_r011(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test(i) || !t.is_ident("Relaxed") {
+            continue;
+        }
+        let qualified = ctx.prev_sig(i).is_some_and(|p| {
+            ctx.toks[p].is_punct(':')
+                && ctx.prev_sig(p).is_some_and(|q| {
+                    ctx.toks[q].is_punct(':')
+                        && ctx
+                            .prev_sig(q)
+                            .is_some_and(|r| ctx.toks[r].is_ident("Ordering"))
+                })
+        });
+        if qualified {
+            findings.push(Finding::new(
+                "R011",
+                ctx.path,
+                t,
+                "`Ordering::Relaxed` outside the counter allowlist — a Relaxed \
+                 atomic cannot order a cross-thread handoff; use Acquire/Release \
+                 (or allowlist the file in [atomic-relaxed-allow] if this is a \
+                 pure statistics counter)",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R012 — SpillError results must not be silently swallowed
+// ---------------------------------------------------------------------------
+
+/// Is this normalized return type a `Result<_, SpillError>`?
+fn is_spill_result(ret: &str) -> bool {
+    ret.starts_with("Result") && ret.contains("SpillError")
+}
+
+/// If `e` is a call that produces a `Result<_, SpillError>` (resolved
+/// through the unit symbol table), return its anchor and a description.
+fn spill_result_call(e: &ast::Expr, graph: &Graph) -> Option<(u32, u32, String)> {
+    match e {
+        ast::Expr::Call {
+            callee, line, col, ..
+        } => {
+            let targets = graph.resolve(&callgraph::classify(callee));
+            targets
+                .iter()
+                .any(|&i| is_spill_result(&graph.nodes[i].ret))
+                .then(|| (*line, *col, format!("`{callee}(…)`")))
+        }
+        ast::Expr::Method {
+            name,
+            recv,
+            line,
+            col,
+            ..
+        } => {
+            if name == "ok" {
+                // `….ok()` with the Ok value unused swallows the error the
+                // same way `let _ =` does.
+                return spill_result_call(recv, graph)
+                    .map(|(l, c, desc)| (l, c, format!("{desc}.ok()")));
+            }
+            let targets = graph.resolve(&Target::Method(name.clone()));
+            targets
+                .iter()
+                .any(|&i| is_spill_result(&graph.nodes[i].ret))
+                .then(|| (*line, *col, format!("`.{name}(…)`")))
+        }
+        _ => None,
+    }
+}
+
+/// Flag discarded `Result<_, SpillError>` values (`let _ = …`, a bare
+/// `…;` statement, `….ok();`) in functions that do not increment a
+/// metrics counter. Spill cleanup is *allowed* to ignore I/O errors —
+/// deleting a temp file that is already gone is fine — but the failure
+/// must be observable, so the same function has to count it
+/// (`metrics.add(Counter::…, 1)`).
+fn rule_r012(path: &str, file: &ast::File, graph: &Graph, findings: &mut Vec<Finding>) {
+    ast::for_each_fn(file, &mut |f, is_test| {
+        if is_test {
+            return;
+        }
+        let Some(body) = &f.body else { return };
+        // Does this function count anything on a metrics counter?
+        let mut counts = false;
+        body.walk_exprs(&mut |e| {
+            if let ast::Expr::Method { name, args, .. } = e {
+                if name == "add"
+                    && args.first().is_some_and(|a| {
+                        matches!(a, ast::Expr::Path { path } if path.starts_with("Counter"))
+                    })
+                {
+                    counts = true;
+                }
+            }
+        });
+        if counts {
+            return;
+        }
+        // Discard sites: `let _ = e;` and `e;` statements, at any block
+        // depth inside the body.
+        let mut discarded: Vec<&ast::Expr> = Vec::new();
+        collect_discards(body, &mut discarded);
+        for e in discarded {
+            if let Some((line, col, desc)) = spill_result_call(e, graph) {
+                findings.push(Finding {
+                    rule: "R012".to_string(),
+                    path: path.to_string(),
+                    line,
+                    col,
+                    message: format!(
+                        "{desc} returns Result<_, SpillError> and the value is \
+                         discarded without incrementing a metrics counter — count \
+                         the failure (metrics.add(Counter::…, 1)) on this path, \
+                         handle the error, or allowlist the file in \
+                         [spill-cleanup-allow]"
+                    ),
+                });
+            }
+        }
+    });
+}
+
+/// Collect every discarded-value expression in a block, recursing into
+/// nested blocks (loop bodies, `if` arms, plain `{}` blocks).
+fn collect_discards<'a>(block: &'a ast::Block, out: &mut Vec<&'a ast::Expr>) {
+    for stmt in &block.stmts {
+        match stmt {
+            ast::Stmt::Let {
+                underscore: true,
+                init: Some(e),
+                ..
+            } => out.push(e),
+            ast::Stmt::Expr { expr, semi } => {
+                if *semi {
+                    out.push(expr);
+                }
+                // Recurse into nested blocks for more statements.
+                expr.walk(&mut |e| match e {
+                    ast::Expr::Block(b) | ast::Expr::Unsafe { block: b, .. } => {
+                        collect_inner_discards(b, out)
+                    }
+                    ast::Expr::Loop { body, .. } => collect_inner_discards(body, out),
+                    ast::Expr::If { then, .. } => collect_inner_discards(then, out),
+                    _ => {}
+                });
+            }
+            ast::Stmt::Let { init: Some(e), .. } => {
+                e.walk(&mut |e| match e {
+                    ast::Expr::Block(b) | ast::Expr::Unsafe { block: b, .. } => {
+                        collect_inner_discards(b, out)
+                    }
+                    ast::Expr::Loop { body, .. } => collect_inner_discards(body, out),
+                    ast::Expr::If { then, .. } => collect_inner_discards(then, out),
+                    _ => {}
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Statement-level discards of a nested block (the walk above already
+/// visits the block's expressions; this only looks at discard *shapes*).
+fn collect_inner_discards<'a>(block: &'a ast::Block, out: &mut Vec<&'a ast::Expr>) {
+    for stmt in &block.stmts {
+        match stmt {
+            ast::Stmt::Let {
+                underscore: true,
+                init: Some(e),
+                ..
+            } => out.push(e),
+            ast::Stmt::Expr { expr, semi: true } => out.push(expr),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R013 — unsafe-block budget and SAFETY completeness
+// ---------------------------------------------------------------------------
+
+/// Pointer methods whose receiver (and pointed-at arguments) a SAFETY
+/// comment must argue about.
+const PTR_METHODS: &[&str] = &[
+    "add",
+    "offset",
+    "sub",
+    "byte_add",
+    "byte_offset",
+    "read",
+    "write",
+    "read_unaligned",
+    "write_unaligned",
+    "copy_from",
+    "copy_from_nonoverlapping",
+    "copy_to",
+    "copy_to_nonoverlapping",
+    "get_unchecked",
+    "get_unchecked_mut",
+    "as_ref",
+    "as_mut",
+];
+
+/// Free/associated functions with raw-pointer arguments.
+fn is_ptr_call(callee: &str) -> bool {
+    let last = callee.rsplit("::").next().unwrap_or(callee);
+    match last {
+        "from_raw_parts" | "from_raw_parts_mut" | "copy_nonoverlapping" | "write_bytes"
+        | "transmute" => true,
+        "read" | "write" | "copy" => {
+            // Only the `ptr::` forms; `io::read` etc. are safe.
+            callee.rsplit("::").nth(1).is_some_and(|m| m == "ptr")
+        }
+        _ => false,
+    }
+}
+
+/// Does `text` contain `word` with identifier boundaries on both sides?
+fn mentions_word(text: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(at) = text[start..].find(word) {
+        let abs = start + at;
+        let before_ok = abs == 0
+            || !text[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = after >= text.len()
+            || !text[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len().max(1);
+    }
+    false
+}
+
+/// Enforce the unsafe-block budget and SAFETY-comment completeness: every
+/// `unsafe` block is at most `max` statements, and the SAFETY comment
+/// attached to it (the contiguous comment run above, a trailing comment,
+/// or comments inside the block) names every identifier that feeds a raw
+/// pointer operation or `get_unchecked` index inside the block.
+fn rule_r013(ctx: &FileCtx, file: &ast::File, max: usize, findings: &mut Vec<Finding>) {
+    ast::for_each_fn(file, &mut |f, is_test| {
+        if is_test {
+            return;
+        }
+        let Some(body) = &f.body else { return };
+        body.walk_exprs(&mut |e| {
+            let ast::Expr::Unsafe { block, line, col } = e else {
+                return;
+            };
+            if block.stmts.len() > max {
+                findings.push(Finding {
+                    rule: "R013".to_string(),
+                    path: ctx.path.to_string(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "unsafe block spans {} statements (budget {max}) — narrow \
+                         the unsafe region to the operations that need it",
+                        block.stmts.len()
+                    ),
+                });
+            }
+            let safety = safety_text(ctx, *line, block);
+            if !safety.contains("SAFETY") {
+                return; // absence of the comment is R001's finding
+            }
+            let mut mentions: Vec<&str> = Vec::new();
+            collect_ptr_mentions(block, &mut mentions);
+            mentions.sort_unstable();
+            mentions.dedup();
+            let missing: Vec<&str> = mentions
+                .into_iter()
+                .filter(|m| !mentions_word(&safety, m))
+                .collect();
+            if !missing.is_empty() {
+                findings.push(Finding {
+                    rule: "R013".to_string(),
+                    path: ctx.path.to_string(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "SAFETY comment for this unsafe block does not mention \
+                         `{}` — name every identifier whose bounds/lifetime the \
+                         argument relies on",
+                        missing.join("`, `")
+                    ),
+                });
+            }
+        });
+    });
+}
+
+/// The SAFETY-relevant comment text for an unsafe block at `line`: the
+/// contiguous run of comment/attribute lines directly above, plus any
+/// comments on the block's own lines (trailing or inside the braces).
+fn safety_text(ctx: &FileCtx, line: u32, block: &ast::Block) -> String {
+    use std::collections::HashSet;
+    let mut comment_lines: HashSet<u32> = HashSet::new();
+    let mut attr_lines: HashSet<u32> = HashSet::new();
+    let mut first_sig_on_line: HashSet<u32> = HashSet::new();
+    for t in ctx.toks {
+        if t.is_comment() {
+            let span = t.text.matches('\n').count() as u32;
+            for l in t.line..=t.line + span {
+                comment_lines.insert(l);
+            }
+        } else if first_sig_on_line.insert(t.line) && t.is_punct('#') {
+            attr_lines.insert(t.line);
+        }
+    }
+    // Walk the contiguous comment/attr run upward from the unsafe line.
+    let mut top = line;
+    while top > 1 && (comment_lines.contains(&(top - 1)) || attr_lines.contains(&(top - 1))) {
+        top -= 1;
+    }
+    let mut text = String::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let span = t.text.matches('\n').count() as u32;
+        let above = t.line + span >= top && t.line < line;
+        let on_open_line = t.line == line;
+        let inside = i > block.tok_open && i < block.tok_close;
+        if above || on_open_line || inside {
+            text.push_str(&t.text);
+            text.push('\n');
+        }
+    }
+    text
+}
+
+/// Collect identifiers feeding raw-pointer operations in a block:
+/// deref operands, receivers/arguments of pointer methods, arguments of
+/// pointer free functions, and `get_unchecked` style indices.
+fn collect_ptr_mentions<'a>(block: &'a ast::Block, out: &mut Vec<&'a str>) {
+    block.walk_exprs(&mut |e| match e {
+        ast::Expr::Unary { op: '*', expr } => {
+            if let Some(root) = expr.root_ident() {
+                out.push(root);
+            }
+        }
+        ast::Expr::Method {
+            recv, name, args, ..
+        } if PTR_METHODS.contains(&name.as_str()) => {
+            if let Some(root) = recv.root_ident() {
+                out.push(root);
+            }
+            for a in args {
+                if let Some(root) = a.root_ident() {
+                    out.push(root);
+                }
+            }
+        }
+        ast::Expr::Call { callee, args, .. } if is_ptr_call(callee) => {
+            for a in args {
+                if let Some(root) = a.root_ident() {
+                    out.push(root);
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+// ---------------------------------------------------------------------------
+// --explain documentation
+// ---------------------------------------------------------------------------
+
+/// Long-form documentation for `rowsort-lint --explain RXXX`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "R000" => {
+            "R000 — malformed or reason-less suppression\n\n\
+             `// lint:allow(RXXX): reason` disables a rule for one line. The\n\
+             reason is mandatory: a suppression is a reviewed claim that the\n\
+             flagged code is sound, and the claim has to be written down.\n\
+             R000 fires on suppressions with no reason, unparseable syntax,\n\
+             or unknown rule ids. R000 itself cannot be suppressed."
+        }
+        "R001" => {
+            "R001 — `unsafe` requires a SAFETY comment\n\n\
+             Every `unsafe` block or fn must be immediately preceded by (or\n\
+             carry on the same line) a `// SAFETY:` comment explaining why\n\
+             the invariants hold. The comment run may be interleaved with\n\
+             attributes. `unsafe impl Send/Sync` is covered by R006 instead.\n\
+             See also R013, which checks the comment's completeness."
+        }
+        "R002" => {
+            "R002 — no panics in hot-path files\n\n\
+             Files listed in `lint.toml [hot-paths]` may not contain\n\
+             `.unwrap()`, `.expect()`, `panic!`, or slice-indexing by integer\n\
+             literal, even in cold branches: the sort kernels must be total\n\
+             functions over their inputs. Test regions are exempt. R002 is\n\
+             file-local; R010 extends the same invariant across calls."
+        }
+        "R003" => {
+            "R003 — no allocation inside hot-path loops\n\n\
+             Loop bodies in `[hot-paths]` files may not call `Vec::new`,\n\
+             `Box::new`, `format!`, `.to_vec()`, `.clone()`, or `.collect()`.\n\
+             Per-iteration allocation destroys the zero-allocation\n\
+             steady-state the pipeline's buffer pool exists to provide —\n\
+             hoist the allocation out of the loop or reuse a pooled buffer."
+        }
+        "R004" => {
+            "R004 — no bare `as` numeric casts in order-preserving encodings\n\n\
+             In `[cast-strict]` files (the normalized-key encoder), a bare\n\
+             `expr as T` can silently truncate or change sign, breaking the\n\
+             byte-comparable ordering contract. Use `to_be_bytes`,\n\
+             `from_be_bytes`, `try_into`, or `cast_unsigned`, which state\n\
+             the conversion's semantics explicitly."
+        }
+        "R005" => {
+            "R005 — path-only dependency closure\n\n\
+             Every dependency in every workspace `Cargo.toml` must be a\n\
+             `path` or `workspace = true` reference. `version`, `git`,\n\
+             `registry`, `branch`, `rev`, and `tag` keys are rejected even\n\
+             alongside `path`, so nothing can silently fall back to a\n\
+             registry: the build stays hermetic and offline."
+        }
+        "R006" => {
+            "R006 — reviewed escape hatches only\n\n\
+             `std::process::exit` is allowed only in `[exit-allow]` files\n\
+             (CLI mains) — anywhere else it steals control from callers and\n\
+             tests. `unsafe impl Send`/`Sync` is allowed only in\n\
+             `[unsafe-impl-allow]` files, where the hand-written\n\
+             thread-safety argument has been reviewed."
+        }
+        "R010" => {
+            "R010 — panic-free hot-path reachability\n\n\
+             For every entry point in `lint.toml [hot-entry-points]`\n\
+             (format \"file.rs:Qualified::name\"), no function transitively\n\
+             reachable through the intra-crate call graph may contain\n\
+             `panic!`/`unreachable!`/`todo!`/`unimplemented!`, `.unwrap()`,\n\
+             `.expect()`, or slice-indexing by integer literal. The finding\n\
+             renders the call chain from the entry to the panic site.\n\n\
+             The graph is conservative: `.method()` calls resolve to every\n\
+             same-crate method with that name, so a finding can arrive via a\n\
+             chain that cannot execute — suppress those with a reasoned\n\
+             `lint:allow(R010)` on the panic site. Cross-crate edges are not\n\
+             tracked; each crate declares its own entries."
+        }
+        "R011" => {
+            "R011 — atomic-ordering discipline\n\n\
+             `Ordering::Relaxed` provides no happens-before edge: a Relaxed\n\
+             flag can be observed set before the data it guards is visible.\n\
+             Only pure statistics counters (never synchronized on) may use\n\
+             it, and those files are allowlisted in `[atomic-relaxed-allow]`.\n\
+             Everywhere else use Acquire/Release (or justify the Relaxed\n\
+             with a reasoned `lint:allow(R011)` naming why no data is\n\
+             published through it)."
+        }
+        "R012" => {
+            "R012 — SpillError results must stay observable\n\n\
+             A call returning `Result<_, SpillError>` whose value is\n\
+             discarded (`let _ = …`, a bare `…;` statement, `….ok()` with\n\
+             the value unused) swallows an I/O failure. Cleanup paths are\n\
+             allowed to *tolerate* such failures — deleting an already-gone\n\
+             run file is fine — but the same function must make the failure\n\
+             observable by incrementing a metrics counter\n\
+             (`metrics.add(Counter::SpillCleanupFailed, 1)`). Files doing\n\
+             sanctioned fire-and-forget cleanup can be allowlisted in\n\
+             `[spill-cleanup-allow]`."
+        }
+        "R013" => {
+            "R013 — unsafe-block budget and SAFETY completeness\n\n\
+             Two checks per `unsafe` block: (1) it spans at most\n\
+             `[unsafe-budget] max-statements` statements (default 8) — a\n\
+             sprawling unsafe region hides which operation each invariant\n\
+             protects; (2) its SAFETY comment (the run above the block, a\n\
+             trailing comment, or comments inside it) must mention, by name,\n\
+             every identifier that feeds a raw-pointer operation or\n\
+             unchecked index inside the block. An argument that does not\n\
+             name `ptr` says nothing about why `ptr` is valid."
+        }
+        _ => return None,
+    })
 }

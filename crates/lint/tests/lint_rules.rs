@@ -12,9 +12,7 @@ fn cfg() -> Config {
         // R002/R003 scope, `enc/…` in the R004 scope.
         hot_paths: vec!["hot/**".to_string()],
         cast_strict: vec!["enc/**".to_string()],
-        exit_allow: vec![],
-        unsafe_impl_allow: vec![],
-        exclude: vec![],
+        ..Config::default()
     }
 }
 
@@ -192,4 +190,171 @@ fn baseline_grandfathers_findings_as_warnings() {
         message: String::new(),
     };
     assert!(!baseline::contains(&grandfathered, &other));
+}
+
+// ---------------------------------------------------------------------------
+// Deep rules (R010–R013): AST + call-graph analysis over a crate unit.
+// ---------------------------------------------------------------------------
+
+/// Run the unit pass over virtual `(path, source)` files.
+fn unit_findings(files: &[(&str, &str)], cfg: &Config) -> Vec<rules::Finding> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    rules::analyze_unit(&owned, cfg)
+}
+
+#[test]
+fn r010_diamond_call_graph_reports_shortest_chain_once() {
+    // entry -> {left, right} -> sink; sink panics. One finding, via the
+    // BFS-shortest chain, anchored at the panic site's exact line/col.
+    let src = "fn entry() { left(); right(); }\n\
+               fn left() { sink(); }\n\
+               fn right() { left(); sink(); }\n\
+               fn sink(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n";
+    let mut cfg = Config::default();
+    cfg.hot_entries = vec![("unit/diamond.rs".to_string(), "entry".to_string())];
+    let got = unit_findings(&[("unit/diamond.rs", src)], &cfg);
+    assert_eq!(got.len(), 1, "{got:?}");
+    let f = &got[0];
+    assert_eq!((f.rule.as_str(), f.path.as_str(), f.line, f.col), ("R010", "unit/diamond.rs", 5, 7));
+    assert!(
+        f.message.contains("entry -> left -> sink"),
+        "chain must render the shortest path: {}",
+        f.message
+    );
+}
+
+#[test]
+fn r010_recursive_graph_terminates_and_reports() {
+    let src = "fn entry() { step(0); }\n\
+               fn step(n: u32) { if n > 0 { step(n - 1); } boom(); }\n\
+               fn boom() { panic!(\"x\"); }\n";
+    let mut cfg = Config::default();
+    cfg.hot_entries = vec![("unit/rec.rs".to_string(), "entry".to_string())];
+    let got = unit_findings(&[("unit/rec.rs", src)], &cfg);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].line, 3);
+    assert!(got[0].message.contains("entry -> step -> boom"), "{}", got[0].message);
+}
+
+#[test]
+fn r010_trait_method_chain_crosses_files_within_a_unit() {
+    // The entry calls `.step()`; conservative method resolution reaches
+    // the impl in the other file of the same unit.
+    let a = "pub fn entry(x: crate::b::A) { x.step(); }\n";
+    let b = "pub struct A;\n\
+             impl A {\n    pub fn step(&self) { helper(); }\n}\n\
+             fn helper(v: Vec<u32>) -> u32 {\n    v[0]\n}\n";
+    let mut cfg = Config::default();
+    cfg.hot_entries = vec![("unit/a.rs".to_string(), "entry".to_string())];
+    let got = unit_findings(&[("unit/a.rs", a), ("unit/b.rs", b)], &cfg);
+    assert_eq!(got.len(), 1, "{got:?}");
+    let f = &got[0];
+    assert_eq!((f.path.as_str(), f.line), ("unit/b.rs", 6));
+    assert!(f.message.contains("entry -> A::step -> helper"), "{}", f.message);
+}
+
+#[test]
+fn r011_relaxed_ordering_flagged_unless_allowlisted() {
+    let src = "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+    let cfg = Config::default();
+    let got = unit_findings(&[("unit/atomics.rs", src)], &cfg);
+    assert_eq!(got.len(), 1);
+    assert_eq!((got[0].rule.as_str(), got[0].line), ("R011", 1));
+    let mut allowed = Config::default();
+    allowed.atomic_relaxed_allow = vec!["unit/**".to_string()];
+    assert!(unit_findings(&[("unit/atomics.rs", src)], &allowed).is_empty());
+}
+
+#[test]
+fn r012_discarded_spill_result_needs_a_counter() {
+    let bad = "impl Spill {\n\
+               fn cleanup(&self) -> Result<(), SpillError> { Ok(()) }\n\
+               fn close(&self) {\n    let _ = self.cleanup();\n}\n}\n";
+    let good = "impl Spill {\n\
+               fn cleanup(&self) -> Result<(), SpillError> { Ok(()) }\n\
+               fn close(&self, m: &Metrics) {\n    let _ = self.cleanup();\n    m.add(Counter::SpillCleanupFailed, 1);\n}\n}\n";
+    let cfg = Config::default();
+    let got = unit_findings(&[("unit/spill.rs", bad)], &cfg);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!((got[0].rule.as_str(), got[0].line), ("R012", 4));
+    assert!(unit_findings(&[("unit/spill.rs", good)], &cfg).is_empty());
+}
+
+#[test]
+fn r013_unsafe_budget_and_safety_mentions() {
+    // 9 statements > default budget of 8, and the SAFETY comment names
+    // neither `p` (deref) nor `buf` (pointer-producing call receiver).
+    let over = "fn f(p: *const u8, buf: &mut [u8]) {\n\
+                // SAFETY: fine, trust me.\n\
+                unsafe {\n\
+                let a = 1; let b = 2; let c = 3; let d = 4; let e = 5;\n\
+                let g = 6; let h = 7; let i = 8;\n\
+                let v = *p;\n\
+                }\n}\n";
+    let cfg = Config::default();
+    let got = unit_findings(&[("unit/unsafe.rs", over)], &cfg);
+    let rules_hit: Vec<&str> = got.iter().map(|f| f.rule.as_str()).collect();
+    assert!(rules_hit.contains(&"R013"), "{got:?}");
+    assert!(
+        got.iter().any(|f| f.message.contains("at most 8 statements")
+            || f.message.contains("`p`")),
+        "budget or mention finding expected: {got:?}"
+    );
+    let ok = "fn f(p: *const u8) {\n\
+              // SAFETY: `p` is valid for reads, promised by the caller.\n\
+              unsafe {\n    let v = *p;\n}\n}\n";
+    assert!(unit_findings(&[("unit/unsafe_ok.rs", ok)], &cfg).is_empty());
+}
+
+#[test]
+fn test_paths_exempt_deep_rules_but_not_token_rules() {
+    let src = "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+    let mut cfg = Config::default();
+    cfg.test_paths = vec!["unit/tests/**".to_string()];
+    assert!(unit_findings(&[("unit/tests/helper.rs", src)], &cfg).is_empty());
+    // The same file outside [test-paths] is flagged.
+    assert_eq!(unit_findings(&[("unit/src/helper.rs", src)], &cfg).len(), 1);
+}
+
+#[test]
+fn severity_warn_keeps_exit_clean_but_reports() {
+    let mut cfg = Config::default();
+    cfg.severity = vec![("R011".to_string(), "warn".to_string())];
+    assert_eq!(cfg.severity_of("R011"), lint::config::Severity::Warn);
+    assert_eq!(cfg.severity_of("R010"), lint::config::Severity::Deny);
+}
+
+#[test]
+fn stale_baseline_entries_are_reported() {
+    use std::fs;
+    let dir = std::env::temp_dir().join(format!("lint-stale-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("src")).unwrap();
+    fs::write(dir.join("lint.toml"), "").unwrap();
+    fs::write(dir.join("src/lib.rs"), "pub fn ok() {}\n").unwrap();
+    fs::write(
+        dir.join("lint-baseline.json"),
+        "{\"findings\":[{\"rule\":\"R002\",\"path\":\"src/gone.rs\",\"line\":3}]}\n",
+    )
+    .unwrap();
+    let config = lint::load_config(&dir).unwrap();
+    let grandfathered = lint::load_baseline(&dir).unwrap();
+    let report = lint::run_workspace(&dir, &config, &grandfathered).unwrap();
+    assert_eq!(report.stale_baseline.len(), 1);
+    assert_eq!(report.stale_baseline[0].path, "src/gone.rs");
+    assert!(report.errors.is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explain_covers_every_rule_id() {
+    for rule in [
+        "R000", "R001", "R002", "R003", "R004", "R005", "R006", "R010", "R011", "R012", "R013",
+    ] {
+        assert!(rules::explain(rule).is_some(), "missing --explain text for {rule}");
+    }
+    assert!(rules::explain("R999").is_none());
 }

@@ -16,14 +16,31 @@ echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
 
 # --- 2. Static analysis ----------------------------------------------------
-# rowsort-lint walks every .rs / Cargo.toml in the workspace: SAFETY
-# comments on unsafe blocks (R001), no unwrap/expect/panic/indexing in hot
-# paths (R002), no allocation in hot-path loops (R003), no bare `as` casts
-# in normkey (R004), path-only dependency closure (R005), and no
-# process::exit / unsafe impl Send/Sync outside allowlists (R006).
-# Exits non-zero on any non-baselined finding.
+# rowsort-lint walks every .rs / Cargo.toml in the workspace. Token rules:
+# SAFETY comments on unsafe blocks (R001), no unwrap/expect/panic/indexing
+# in hot paths (R002), no allocation in hot-path loops (R003), no bare
+# `as` casts in normkey (R004), path-only dependency closure (R005), no
+# process::exit / unsafe impl Send/Sync outside allowlists (R006). Deep
+# rules (AST + per-crate call graph): panic reachability from the
+# [hot-entry-points] in lint.toml (R010), Ordering::Relaxed discipline
+# (R011), discarded Result<_, SpillError> observability (R012), and
+# unsafe-block budget / SAFETY completeness (R013).
+#
+# The human-readable run prints per-rule counts and fails on any deny
+# finding; the second run writes the machine-readable findings document
+# that CI uploads as an artifact.
 echo "== rowsort-lint =="
+lint_json="$PWD/target/perf/lint_findings.json"
+mkdir -p target/perf
 cargo run --release --offline -q -p lint --bin rowsort-lint
+cargo run --release --offline -q -p lint --bin rowsort-lint -- --json > "$lint_json"
+
+# The analyzer's own unit + fixture tests (lexer exact locations, parser
+# recovery, call-graph chain rendering, rule scoping) run here, before the
+# workspace-wide suite, so an analyzer regression fails fast with a
+# focused report.
+echo "== cargo test -p lint =="
+cargo test -q -p lint --offline
 
 # --- 3. Test ---------------------------------------------------------------
 echo "== cargo test -q --offline =="
