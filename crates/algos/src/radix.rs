@@ -324,11 +324,7 @@ fn msd_rec(
                 counts[b as usize] += 1;
             }
         }
-        match multi
-            .iter()
-            .take(fuse)
-            .position(|c| !c.contains(&n))
-        {
+        match multi.iter().take(fuse).position(|c| !c.contains(&n)) {
             Some(k) => {
                 byte += k;
                 break multi[k];
@@ -354,8 +350,17 @@ fn msd_rec(
         for (b, &bs) in bucket_starts.iter().enumerate() {
             let be = bs + counts[b];
             if be - bs > 1 {
-                passes +=
-                    msd_rec(data, aux, wc, width, byte + 1, key_end, bs, be, write_combine);
+                passes += msd_rec(
+                    data,
+                    aux,
+                    wc,
+                    width,
+                    byte + 1,
+                    key_end,
+                    bs,
+                    be,
+                    write_combine,
+                );
             }
         }
     }
@@ -511,14 +516,7 @@ mod tests {
         // and off, must leave identical (stable) row orders.
         let n = WC_MIN_ROWS * 2;
         let rows: Vec<u8> = (0..n)
-            .flat_map(|i| {
-                [
-                    (i % 3) as u8,
-                    (i >> 16) as u8,
-                    (i >> 8) as u8,
-                    i as u8,
-                ]
-            })
+            .flat_map(|i| [(i % 3) as u8, (i >> 16) as u8, (i >> 8) as u8, i as u8])
             .collect();
         let mut scratch = Vec::new();
         let mut wc_on = rows.clone();

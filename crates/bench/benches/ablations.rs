@@ -2,8 +2,6 @@
 //! VARCHAR prefix length, radix variant by key width, merge structure,
 //! row alignment, and the §IX algorithm chooser.
 
-use rowsort_testkit::bench::{BenchmarkId, Harness};
-use rowsort_testkit::{bench_group, bench_main};
 use rowsort_algos::kway::kway_merge_rows;
 use rowsort_algos::mergesort::merge_rows_into;
 use rowsort_algos::pdqsort::pdqsort_rows;
@@ -13,6 +11,8 @@ use rowsort_core::chooser::{duckdb_rule, heuristic_rule, ChosenAlgo, SortStats};
 use rowsort_core::keys::KeyBlock;
 use rowsort_datagen::tpcds;
 use rowsort_row::{scatter, RowAlignment, RowLayout};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::{bench_group, bench_main};
 use rowsort_vector::{DataChunk, OrderBy};
 use std::sync::Arc;
 use std::time::Duration;
@@ -134,7 +134,9 @@ fn ablation_wc(c: &mut Harness) {
                 |b, data| {
                     b.iter_batched(
                         || data.clone(),
-                        |mut d| lsd_radix_sort_rows_opts(&mut d, width, 0, key_len, &mut scratch, wc),
+                        |mut d| {
+                            lsd_radix_sort_rows_opts(&mut d, width, 0, key_len, &mut scratch, wc)
+                        },
                         rowsort_testkit::bench::BatchSize::LargeInput,
                     )
                 },
@@ -145,7 +147,9 @@ fn ablation_wc(c: &mut Harness) {
                 |b, data| {
                     b.iter_batched(
                         || data.clone(),
-                        |mut d| msd_radix_sort_rows_opts(&mut d, width, 0, key_len, &mut scratch, wc),
+                        |mut d| {
+                            msd_radix_sort_rows_opts(&mut d, width, 0, key_len, &mut scratch, wc)
+                        },
                         rowsort_testkit::bench::BatchSize::LargeInput,
                     )
                 },

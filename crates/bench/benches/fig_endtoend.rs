@@ -2,11 +2,11 @@
 //! the benchmark query through the engine, sort operator configured as
 //! each system profile.
 
-use rowsort_testkit::bench::{BenchmarkId, Harness};
-use rowsort_testkit::{bench_group, bench_main};
 use rowsort_core::systems::SystemProfile;
 use rowsort_datagen::{shuffled_integers, tpcds, uniform_floats};
 use rowsort_engine::{Engine, Table};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::{bench_group, bench_main};
 use rowsort_vector::{DataChunk, Vector};
 use std::time::Duration;
 

@@ -1,13 +1,13 @@
 //! Wall-clock benches for the §IV/§V micro-benchmarks (Figures 2–6):
 //! every data format × comparison strategy combination on one input size.
 
-use rowsort_testkit::bench::{BenchmarkId, Harness};
-use rowsort_testkit::{bench_group, bench_main};
 use rowsort_core::strategy::{
     columnar_subsort, columnar_tuple, row_subsort, row_tuple_dynamic, row_tuple_fused,
     row_tuple_static, to_static_rows, Algo, ByteRows,
 };
 use rowsort_datagen::{key_columns, KeyDistribution};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::{bench_group, bench_main};
 use std::time::Duration;
 
 const N: usize = 1 << 16;

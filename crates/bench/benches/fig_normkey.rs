@@ -1,12 +1,12 @@
 //! Wall-clock benches for the §VI normalized-key techniques (Figures 8, 9):
 //! memcmp comparison sorts vs byte-wise radix sort on encoded keys.
 
-use rowsort_testkit::bench::{BenchmarkId, Harness};
-use rowsort_testkit::{bench_group, bench_main};
 use rowsort_core::strategy::{
     normkey_radix, normkey_sort, row_tuple_static, to_static_rows, Algo, NormRows,
 };
 use rowsort_datagen::{key_columns, KeyDistribution};
+use rowsort_testkit::bench::{BenchmarkId, Harness};
+use rowsort_testkit::{bench_group, bench_main};
 use std::time::Duration;
 
 const N: usize = 1 << 16;

@@ -1,4 +1,4 @@
-//! Warn-only perf-regression gate for the pipeline benchmark.
+//! Perf-regression gate for the pipeline benchmark.
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [--tolerance <pct>] [--trace <file.jsonl>]
@@ -10,11 +10,12 @@
 //! * `fresh.json` — a report just produced via `ROWSORT_BENCH_JSON`.
 //!
 //! For every bench id present in both files, prints the median ratio and
-//! warns when the fresh median exceeds baseline by more than the
+//! flags entries whose fresh median exceeds baseline by more than the
 //! tolerance (default 25% — the CI boxes are single-core and noisy, so
-//! the gate flags only gross regressions). Always exits 0 on a completed
-//! comparison: the numbers are advisory, the build decision stays with a
-//! human reading the log.
+//! the gate flags only gross regressions). Any flagged entry **fails the
+//! run** (exit 1); set `ROWSORT_BENCH_WARN_ONLY=1` to demote regressions
+//! back to advisory warnings (exit 0) — the escape hatch for known-noisy
+//! machines or intentional trade-offs awaiting a baseline refresh.
 //!
 //! With `--trace`, also reads a `ROWSORT_TRACE` JSONL file (one
 //! [`rowsort_core::SortProfile`] object per sort) and prints where the
@@ -45,8 +46,8 @@ fn entries(report: &Json) -> Vec<Entry> {
 }
 
 fn load(path: &str) -> Json {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     Json::parse(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
 }
 
@@ -76,7 +77,10 @@ fn trace_attribution(path: &str) {
         total_ns += obj.get("total_ns").and_then(Json::as_f64).unwrap_or(0.0);
         total_rows += obj.get("rows").and_then(Json::as_f64).unwrap_or(0.0);
         for (slot, phase) in phase_ns.iter_mut().zip(Phase::ALL) {
-            *slot += phases.get(phase.name()).and_then(Json::as_f64).unwrap_or(0.0);
+            *slot += phases
+                .get(phase.name())
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
         }
     }
     if sorts == 0 {
@@ -150,7 +154,7 @@ fn main() {
         let ratio = f.median_ns / b.median_ns;
         let verdict = if ratio > 1.0 + tolerance_pct / 100.0 {
             regressions += 1;
-            "WARN: slower than baseline"
+            "REGRESSION: slower than baseline"
         } else {
             "ok"
         };
@@ -164,18 +168,33 @@ fn main() {
         );
     }
 
+    // `ROWSORT_BENCH_WARN_ONLY=1` restores the old advisory behavior.
+    let warn_only = std::env::var("ROWSORT_BENCH_WARN_ONLY")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
     if compared == 0 {
         println!("bench_gate: no overlapping bench ids; nothing compared");
     } else if regressions > 0 {
-        println!(
-            "bench_gate: {regressions}/{compared} benches exceeded tolerance \
-             (warn-only, not failing the build)"
-        );
+        if warn_only {
+            println!(
+                "bench_gate: {regressions}/{compared} benches exceeded tolerance \
+                 (ROWSORT_BENCH_WARN_ONLY set — not failing the build)"
+            );
+        } else {
+            println!(
+                "bench_gate: {regressions}/{compared} benches exceeded tolerance — \
+                 failing (set ROWSORT_BENCH_WARN_ONLY=1 to demote to a warning)"
+            );
+        }
     } else {
         println!("bench_gate: all {compared} benches within tolerance");
     }
 
     if let Some(path) = trace_path {
         trace_attribution(&path);
+    }
+
+    if compared > 0 && regressions > 0 && !warn_only {
+        std::process::exit(1);
     }
 }

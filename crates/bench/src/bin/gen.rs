@@ -104,9 +104,7 @@ fn main() {
             let cols: usize = parse(args.get(2));
             let dist = match args.get(3).map(String::as_str) {
                 Some("random") => KeyDistribution::Random,
-                Some(p) => KeyDistribution::Correlated(
-                    p.parse().unwrap_or_else(|_| usage()),
-                ),
+                Some(p) => KeyDistribution::Correlated(p.parse().unwrap_or_else(|_| usage())),
                 None => usage(),
             };
             let out: String = parse(args.get(4));

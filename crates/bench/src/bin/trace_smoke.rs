@@ -48,8 +48,11 @@ fn run_sorts() {
         };
         strings.push_row(&[v]).unwrap();
     }
-    let pipeline =
-        SortPipeline::new(strings.types(), OrderBy::ascending(1), SortOptions::default());
+    let pipeline = SortPipeline::new(
+        strings.types(),
+        OrderBy::ascending(1),
+        SortOptions::default(),
+    );
     drop(pipeline.sort(&strings));
 
     let sorter = ExternalSorter::new(
@@ -60,7 +63,11 @@ fn run_sorts() {
             ..Default::default()
         },
     );
-    drop(sorter.sort(&ints).unwrap_or_else(|e| die(&format!("external sort failed: {e}"))));
+    drop(
+        sorter
+            .sort(&ints)
+            .unwrap_or_else(|e| die(&format!("external sort failed: {e}"))),
+    );
 }
 
 fn main() {
@@ -80,7 +87,10 @@ fn main() {
         .unwrap_or_else(|e| die(&format!("cannot read trace file {path}: {e}")));
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     if lines.len() != 3 {
-        die(&format!("expected 3 trace lines (3 sorts ran), got {}", lines.len()));
+        die(&format!(
+            "expected 3 trace lines (3 sorts ran), got {}",
+            lines.len()
+        ));
     }
 
     let mut operators = Vec::new();
@@ -144,7 +154,9 @@ fn main() {
     }
 
     if !operators.contains(&"pipeline".to_owned()) || !operators.contains(&"external".to_owned()) {
-        die(&format!("expected both operators in the trace, got {operators:?}"));
+        die(&format!(
+            "expected both operators in the trace, got {operators:?}"
+        ));
     }
     println!(
         "trace_smoke: {} trace lines validated against the schema ({})",

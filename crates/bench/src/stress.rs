@@ -220,6 +220,11 @@ pub fn run_iteration(seed: u64) -> IterationReport {
     let (chunk, order) = random_relation(&mut rng);
     let rows = chunk.len();
     let budget = rng.range_inclusive(16usize, 600);
+    // Half the iterations spill and merge with offset-value codes, half
+    // without — the OVC column must survive fault injection exactly like
+    // the rest of the record (checksum-verified, truncation → Corrupt,
+    // never wrong rows).
+    let ovc = rng.chance(0.5);
 
     // Rough sizing for fault placement: the schedule only needs its
     // offsets to land inside the file/byte ranges the sort will produce.
@@ -237,6 +242,7 @@ pub fn run_iteration(seed: u64) -> IterationReport {
             spill_dir: None,
             max_write_retries: 3,
             retry_backoff: Duration::from_micros(5),
+            ovc,
         },
         Arc::new(fs.clone()),
     );
@@ -387,10 +393,7 @@ mod tests {
         let json = report.to_json(&config).render();
         let parsed = Json::parse(&json).unwrap();
         assert_eq!(parsed.get("iters").and_then(Json::as_f64), Some(12.0));
-        assert_eq!(
-            parsed.get("seed").and_then(Json::as_str),
-            Some("0xR0WS0RT")
-        );
+        assert_eq!(parsed.get("seed").and_then(Json::as_str), Some("0xR0WS0RT"));
     }
 
     #[test]

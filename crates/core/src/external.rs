@@ -35,11 +35,13 @@
 use crate::comparator::FusedRowComparator;
 use crate::keys::KeyBlock;
 use crate::metrics::{emit_trace, Counter, CounterRegistry, Metrics, Phase, SortProfile};
+use crate::ovc;
 use crate::spill::{SpillError, SpillIo, SpillOp, StdFs};
-use rowsort_algos::kway::LoserTree;
+use rowsort_algos::kway::{LoserTree, OvcLoserTree, OvcMatch};
 use rowsort_row::{RowBlock, RowLayout};
 use rowsort_testkit::hash::XxHash64;
 use rowsort_vector::{DataChunk, LogicalType, OrderBy};
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
@@ -56,6 +58,21 @@ const SPILL_CHECKSUM_SEED: u64 = 0x524F_5753_4F52_5421;
 /// checksum gets a chance to reject the file.
 const MAX_SEG_BYTES: usize = 1 << 28;
 
+/// Magic prefix of every run file ("RowSort RuN"). The 8-byte header —
+/// magic, format version, feature flags — is hashed into the trailer like
+/// every record byte, so a tampered header is caught even when its fields
+/// happen to parse.
+const SPILL_MAGIC: [u8; 4] = *b"RSRN";
+
+/// Run-file format version. Version 2 added the header itself and the
+/// optional per-record offset-value code; version-1 files (headerless)
+/// are rejected as corrupt rather than mis-parsed.
+const SPILL_VERSION: u16 = 2;
+
+/// Header flag bit 0: each record carries an 8-byte offset-value code
+/// (LE `u64`) between its key and its payload row.
+const SPILL_FLAG_OVC: u16 = 1;
+
 /// Tuning for the external sorter.
 #[derive(Debug, Clone)]
 pub struct ExternalSortOptions {
@@ -70,6 +87,10 @@ pub struct ExternalSortOptions {
     pub max_write_retries: usize,
     /// Sleep before the first retry; doubles on each subsequent one.
     pub retry_backoff: Duration,
+    /// Spill an offset-value code per record and merge through the
+    /// OVC-aware loser tree (DESIGN.md §10). Defaults to
+    /// [`crate::pipeline::default_ovc`] (`ROWSORT_OVC=0` disables).
+    pub ovc: bool,
 }
 
 impl Default for ExternalSortOptions {
@@ -79,6 +100,7 @@ impl Default for ExternalSortOptions {
             spill_dir: None,
             max_write_retries: 3,
             retry_backoff: Duration::from_micros(250),
+            ovc: crate::pipeline::default_ovc(),
         }
     }
 }
@@ -162,14 +184,13 @@ impl Run {
         }
     }
 
-    fn open(&self, kw: usize, width: usize) -> Result<RunCursor<'_>, SpillError> {
+    fn open(&self, kw: usize, width: usize, expect_ovc: bool) -> Result<RunCursor<'_>, SpillError> {
         match self {
             Run::Spilled(r) => {
-                let reader = r
-                    .io
-                    .open(&r.path)
-                    .map_err(|e| SpillError::io(SpillOp::Read, &r.path, &e))?;
-                RunCursor::new(reader, r.path.clone(), r.rows, kw, width)
+                let reader =
+                    r.io.open(&r.path)
+                        .map_err(|e| SpillError::io(SpillOp::Read, &r.path, &e))?;
+                RunCursor::new(reader, r.path.clone(), r.rows, kw, width, expect_ovc)
             }
             Run::Memory { bytes, rows } => RunCursor::new(
                 Box::new(&bytes[..]),
@@ -177,6 +198,7 @@ impl Run {
                 *rows,
                 kw,
                 width,
+                expect_ovc,
             ),
         }
     }
@@ -193,6 +215,13 @@ struct RunCursor<'a> {
     remaining: usize,
     hasher: XxHash64,
     key: Vec<u8>,
+    /// Offset-value code of the current record, relative to the record
+    /// before it in this run (the first record is coded against −∞).
+    /// Only meaningful when the run carries the OVC column.
+    code: u64,
+    has_ovc: bool,
+    /// Key word count, for structural validation of decoded codes.
+    arity: usize,
     row: Vec<u8>,
     heap: Vec<u8>,
 }
@@ -204,6 +233,7 @@ impl<'a> RunCursor<'a> {
         rows: usize,
         kw: usize,
         width: usize,
+        expect_ovc: bool,
     ) -> Result<RunCursor<'a>, SpillError> {
         let mut c = RunCursor {
             reader,
@@ -211,11 +241,58 @@ impl<'a> RunCursor<'a> {
             remaining: rows,
             hasher: XxHash64::with_seed(SPILL_CHECKSUM_SEED),
             key: vec![0; kw],
+            code: 0,
+            has_ovc: false,
+            arity: ovc::word_count(kw),
             row: vec![0; width],
             heap: Vec::new(),
         };
+        c.read_header(expect_ovc)?;
         c.advance()?;
         Ok(c)
+    }
+
+    /// Parse and validate the 8-byte run-file header. Structural checks
+    /// (magic, version, flag bits) run before any record is trusted; the
+    /// header bytes also feed the checksum, so even a header rewritten to
+    /// parse cleanly fails trailer verification.
+    fn read_header(&mut self, expect_ovc: bool) -> Result<(), SpillError> {
+        let mut magic = [0u8; 4];
+        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut magic)?;
+        if magic != SPILL_MAGIC {
+            return Err(SpillError::corrupt(
+                &self.path,
+                format!("bad run-file magic {magic:02x?}"),
+            ));
+        }
+        let mut word = [0u8; 2];
+        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut word)?;
+        let version = u16::from_le_bytes(word);
+        if version != SPILL_VERSION {
+            return Err(SpillError::corrupt(
+                &self.path,
+                format!("unsupported run-file version {version} (expected {SPILL_VERSION})"),
+            ));
+        }
+        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut word)?;
+        let flags = u16::from_le_bytes(word);
+        if flags & !SPILL_FLAG_OVC != 0 {
+            return Err(SpillError::corrupt(
+                &self.path,
+                format!("unknown run-file flags {flags:#06x}"),
+            ));
+        }
+        self.has_ovc = flags & SPILL_FLAG_OVC != 0;
+        if self.has_ovc != expect_ovc {
+            return Err(SpillError::corrupt(
+                &self.path,
+                format!(
+                    "run-file OVC flag is {} but the merge expected {}",
+                    self.has_ovc, expect_ovc
+                ),
+            ));
+        }
+        Ok(())
     }
 
     fn exhausted(&self) -> bool {
@@ -252,10 +329,46 @@ impl<'a> RunCursor<'a> {
             return self.verify_trailer();
         }
         self.remaining -= 1;
-        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut self.key)?;
-        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut self.row)?;
+        Self::fill(
+            &mut *self.reader,
+            &mut self.hasher,
+            &self.path,
+            &mut self.key,
+        )?;
+        if self.has_ovc {
+            let mut code_buf = [0u8; 8];
+            Self::fill(
+                &mut *self.reader,
+                &mut self.hasher,
+                &self.path,
+                &mut code_buf,
+            )?;
+            let code = u64::from_le_bytes(code_buf);
+            // Structural bound, like the segment-length check: a decoded
+            // offset past the key's word count can never be produced by
+            // the encoder, so reject it before the merge consumes it
+            // (the checksum would also catch it, but only at run end).
+            if !ovc::code_plausible(code, self.arity) {
+                return Err(SpillError::corrupt(
+                    &self.path,
+                    format!("implausible offset-value code {code:#018x}"),
+                ));
+            }
+            self.code = code;
+        }
+        Self::fill(
+            &mut *self.reader,
+            &mut self.hasher,
+            &self.path,
+            &mut self.row,
+        )?;
         let mut len_buf = [0u8; 4];
-        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut len_buf)?;
+        Self::fill(
+            &mut *self.reader,
+            &mut self.hasher,
+            &self.path,
+            &mut len_buf,
+        )?;
         let seg_len = u32::from_le_bytes(len_buf) as usize;
         if seg_len > MAX_SEG_BYTES {
             // A flipped bit in the length word must not become a huge
@@ -266,7 +379,12 @@ impl<'a> RunCursor<'a> {
             ));
         }
         self.heap.resize(seg_len, 0);
-        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut self.heap)?;
+        Self::fill(
+            &mut *self.reader,
+            &mut self.hasher,
+            &self.path,
+            &mut self.heap,
+        )?;
         Ok(())
     }
 
@@ -477,18 +595,44 @@ impl ExternalSorter {
         Ok(out)
     }
 
+    /// Whether run files carry the offset-value code column: requested by
+    /// options and meaningful (a zero-width key has nothing to code).
+    fn use_ovc(&self, kw: usize) -> bool {
+        self.options.ovc && kw > 0
+    }
+
     /// Encode one sorted run as self-contained records plus the xxHash64
     /// trailer. The encoding is identical whether the run lands on disk
     /// or stays in memory.
+    ///
+    /// With OVC enabled each record carries its offset-value code relative
+    /// to the record before it — computed here for free, while the keys
+    /// are already hot from the run sort, so the spill merge starts with
+    /// codes instead of deriving them.
     fn encode_run(&self, keys: &KeyBlock, payload: &RowBlock, varlen_cols: &[usize]) -> Vec<u8> {
         let width = self.layout.width();
         let kw = keys.key_width();
-        let mut out: Vec<u8> = Vec::with_capacity(keys.len() * (kw + width + 4) + 8);
+        let use_ovc = self.use_ovc(kw);
+        let arity = ovc::word_count(kw);
+        let per_row = kw + width + 4 + if use_ovc { 8 } else { 0 };
+        let mut out: Vec<u8> = Vec::with_capacity(8 + keys.len() * per_row + 8);
+        out.extend_from_slice(&SPILL_MAGIC);
+        out.extend_from_slice(&SPILL_VERSION.to_le_bytes());
+        let flags = if use_ovc { SPILL_FLAG_OVC } else { 0 };
+        out.extend_from_slice(&flags.to_le_bytes());
         let mut row_buf = vec![0u8; width];
         let mut seg: Vec<u8> = Vec::new();
         for i in 0..keys.len() {
             let rid = keys.row_id(i) as usize;
             out.extend_from_slice(keys.key(i));
+            if use_ovc {
+                let code = if i == 0 {
+                    ovc::initial_code(keys.key(0), arity)
+                } else {
+                    ovc::code_rel(keys.key(i), keys.key(i - 1), arity)
+                };
+                out.extend_from_slice(&code.to_le_bytes());
+            }
             row_buf.copy_from_slice(payload.row(rid));
             // Rewrite heap offsets to be relative to this record's segment.
             seg.clear();
@@ -587,6 +731,41 @@ impl ExternalSorter {
         }
     }
 
+    /// Copy the winner cursor's current record into the output block,
+    /// re-basing its heap offsets into the shared output heap.
+    fn emit_record(
+        &self,
+        cur: &RunCursor<'_>,
+        out_data: &mut Vec<u8>,
+        out_heap: &mut Vec<u8>,
+        varlen_cols: &[usize],
+    ) -> Result<(), SpillError> {
+        let base = out_data.len();
+        out_data.extend_from_slice(&cur.row);
+        for &c in varlen_cols {
+            let null_off = self.layout.null_offset(c);
+            if cur.row[null_off] != 0 {
+                continue;
+            }
+            let at = base + self.layout.offset(c);
+            let rel = u32::from_le_bytes(read_slot(out_data, at));
+            let len = u32::from_le_bytes(read_slot(out_data, at + 4)) as usize;
+            let (rel, end) = (rel as usize, rel as usize + len);
+            if end > cur.heap.len() {
+                // Only reachable with corrupted offsets the checksum has
+                // not yet had a chance to reject.
+                return Err(SpillError::corrupt(
+                    &cur.path,
+                    "string segment reference out of bounds",
+                ));
+            }
+            let new_off = out_heap.len() as u32;
+            out_heap.extend_from_slice(&cur.heap[rel..end]);
+            out_data[at..at + 4].copy_from_slice(&new_off.to_le_bytes());
+        }
+        Ok(())
+    }
+
     fn merge_runs(
         &self,
         runs: &[Run],
@@ -595,27 +774,94 @@ impl ExternalSorter {
         varlen_cols: &[usize],
     ) -> Result<DataChunk, SpillError> {
         let k = runs.len();
+        let use_ovc = self.use_ovc(kw);
         let mut cursors: Vec<RunCursor<'_>> = runs
             .iter()
-            .map(|r| r.open(kw, width))
+            .map(|r| r.open(kw, width, use_ovc))
             .collect::<Result<Vec<_>, _>>()?;
         let total: usize = runs.iter().map(|r| r.rows()).sum();
         let tie_cmp = FusedRowComparator::new(&self.layout, &self.order);
         let tie_possible = !varlen_cols.is_empty();
 
-        let cmp = |a: &RunCursor<'_>, b: &RunCursor<'_>| -> Ordering {
-            match a.key.cmp(&b.key) {
-                Ordering::Equal if tie_possible => {
-                    tie_cmp.compare(&a.row, &a.heap, &b.row, &b.heap)
-                }
-                ord => ord,
-            }
-        };
+        // Comparator-work counters, accumulated locally (`Cell` because
+        // the tree closures are re-created per replay) and flushed to the
+        // registry once after the merge.
+        let cmps = Cell::new(0u64);
+        let ovc_resolved = Cell::new(0u64);
+        let key_bytes = Cell::new(0u64);
 
         // Assemble the output block row by row, re-basing heap offsets.
         let mut out_data: Vec<u8> = Vec::with_capacity(total * width);
         let mut out_heap: Vec<u8> = Vec::new();
-        {
+        if use_ovc {
+            let arity = ovc::word_count(kw);
+            // One loser-tree match under OVC: codes decide outright when
+            // they differ; suffix bytes past the shared prefix are only
+            // touched on a code tie; the row tiebreak runs only on full
+            // key equality, and a full tie goes to the lower run index —
+            // exactly [`LoserTree`]'s stability rule, so OVC on/off merge
+            // the same rows in the same order.
+            let play =
+                |cursors: &[RunCursor<'_>], a: usize, b: usize, ca: u64, cb: u64| -> OvcMatch {
+                    let (ha, hb) = (&cursors[a], &cursors[b]);
+                    let r = ovc::compare_update(&ha.key, ca, &hb.key, cb, arity);
+                    cmps.set(cmps.get() + 1);
+                    ovc_resolved.set(ovc_resolved.get() + u64::from(r.resolved));
+                    key_bytes.set(key_bytes.get() + r.key_bytes);
+                    let ord = match r.ord {
+                        Ordering::Equal if tie_possible => {
+                            tie_cmp.compare(&ha.row, &ha.heap, &hb.row, &hb.heap)
+                        }
+                        ord => ord,
+                    };
+                    let a_beats_b = match ord {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => a < b,
+                    };
+                    OvcMatch {
+                        a_beats_b,
+                        loser_code: r.loser_code,
+                    }
+                };
+            let cursors_ref = &cursors;
+            let mut tree = OvcLoserTree::new(
+                k,
+                |i| cursors_ref[i].code,
+                |i| cursors_ref[i].exhausted(),
+                |a, b, ca, cb| play(cursors_ref, a, b, ca, cb),
+            );
+            for _ in 0..total {
+                let w = tree.winner();
+                self.emit_record(&cursors[w], &mut out_data, &mut out_heap, varlen_cols)?;
+                cursors[w].advance()?;
+                let cursors_ref = &cursors;
+                // The new head's run-stored code is relative to the row
+                // just emitted — the same base every resident loser on
+                // this leaf's root path was re-coded against.
+                let leaf_code = if cursors_ref[w].exhausted() {
+                    u64::MAX
+                } else {
+                    cursors_ref[w].code
+                };
+                tree.replay(
+                    w,
+                    leaf_code,
+                    &mut |i| cursors_ref[i].exhausted(),
+                    &mut |a, b, ca, cb| play(cursors_ref, a, b, ca, cb),
+                );
+            }
+        } else {
+            let cmp = |a: &RunCursor<'_>, b: &RunCursor<'_>| -> Ordering {
+                cmps.set(cmps.get() + 1);
+                key_bytes.set(key_bytes.get() + 2 * kw as u64);
+                match a.key.cmp(&b.key) {
+                    Ordering::Equal if tie_possible => {
+                        tie_cmp.compare(&a.row, &a.heap, &b.row, &b.heap)
+                    }
+                    ord => ord,
+                }
+            };
             let cursors_ref = &cursors;
             let mut tree = LoserTree::new(
                 k,
@@ -624,48 +870,28 @@ impl ExternalSorter {
             );
             for _ in 0..total {
                 let w = tree.winner();
-                {
-                    let cur = &cursors[w];
-                    let base = out_data.len();
-                    out_data.extend_from_slice(&cur.row);
-                    for &c in varlen_cols {
-                        let null_off = self.layout.null_offset(c);
-                        if cur.row[null_off] != 0 {
-                            continue;
-                        }
-                        let at = base + self.layout.offset(c);
-                        let rel = u32::from_le_bytes(read_slot(&out_data, at));
-                        let len = u32::from_le_bytes(read_slot(&out_data, at + 4)) as usize;
-                        let (rel, end) = (rel as usize, rel as usize + len);
-                        if end > cur.heap.len() {
-                            // Only reachable with corrupted offsets the
-                            // checksum has not yet had a chance to reject.
-                            return Err(SpillError::corrupt(
-                                &cursors[w].path,
-                                "string segment reference out of bounds",
-                            ));
-                        }
-                        let new_off = out_heap.len() as u32;
-                        out_heap.extend_from_slice(&cur.heap[rel..end]);
-                        out_data[at..at + 4].copy_from_slice(&new_off.to_le_bytes());
-                    }
-                }
+                self.emit_record(&cursors[w], &mut out_data, &mut out_heap, varlen_cols)?;
                 cursors[w].advance()?;
                 let cursors_ref = &cursors;
                 tree.replay(w, &mut |i| cursors_ref[i].exhausted(), &mut |a, b| {
                     cmp(&cursors_ref[a], &cursors_ref[b]) == Ordering::Less
                 });
             }
-            // Every cursor has consumed its record count; drive the final
-            // advance on any cursor the winner loop left un-finalized so
-            // all trailers are verified before the output escapes.
-            for cur in cursors.iter_mut() {
-                if !cur.exhausted() {
-                    cur.advance()?;
-                }
+        }
+        // Every cursor has consumed its record count; drive the final
+        // advance on any cursor the winner loop left un-finalized so
+        // all trailers are verified before the output escapes.
+        for cur in cursors.iter_mut() {
+            if !cur.exhausted() {
+                cur.advance()?;
             }
         }
         drop(cursors);
+        self.metrics.add(Counter::MergeCmps, cmps.get());
+        self.metrics
+            .add(Counter::MergeCmpsOvcResolved, ovc_resolved.get());
+        self.metrics
+            .add(Counter::MergeKeyBytesTouched, key_bytes.get());
 
         let block = RowBlock::from_raw_parts(Arc::clone(&self.layout), out_data, out_heap);
         Ok(block.to_chunk())
@@ -842,8 +1068,7 @@ mod tests {
         while start < chunk.len() {
             let end = (start + budget).min(chunk.len());
             let morsel = chunk.slice(start, end);
-            let mut payload =
-                RowBlock::with_capacity(Arc::clone(&sorter.layout), morsel.len());
+            let mut payload = RowBlock::with_capacity(Arc::clone(&sorter.layout), morsel.len());
             payload.append_chunk(&morsel);
             let mut keys = KeyBlock::new(&sorter.types, &sorter.order, |c| stats[c]);
             keys.append_chunk(&morsel);
@@ -922,7 +1147,10 @@ mod tests {
         let sorter = ExternalSorter::new(
             chunk.types(),
             order,
-            ExternalSortOptions::default(),
+            ExternalSortOptions {
+                ovc: true,
+                ..Default::default()
+            },
         );
         let width = sorter.layout.width();
         let varlen = sorter.varlen_cols();
@@ -966,12 +1194,26 @@ mod tests {
             }
         }
 
-        let mut cur = run.open(keys.key_width(), width).unwrap();
+        let kw = keys.key_width();
+        let arity = ovc::word_count(kw);
+        let mut cur = run.open(kw, width, sorter.use_ovc(kw)).unwrap();
         let mut prev_key: Vec<u8> = Vec::new();
         for i in 0..run.rows() {
             assert!(!cur.exhausted(), "record {i} missing");
             assert_eq!(cur.key.as_slice(), keys.key(i), "key {i} differs");
-            assert!(prev_key.as_slice() <= cur.key.as_slice(), "run not sorted at {i}");
+            assert!(
+                prev_key.as_slice() <= cur.key.as_slice(),
+                "run not sorted at {i}"
+            );
+            // The spilled OVC column round-trips: record i's code is the
+            // code of key i relative to key i-1 (row 0 against −∞).
+            let want_code = if i == 0 {
+                ovc::initial_code(keys.key(0), arity)
+            } else {
+                ovc::code_rel(keys.key(i), keys.key(i - 1), arity)
+            };
+            assert_eq!(cur.code, want_code, "record {i} OVC code differs");
+            assert!(ovc::code_plausible(cur.code, arity), "record {i} code");
             let rid = keys.row_id(i) as usize;
             let orig = payload.row(rid);
             for b in 0..width {
@@ -984,10 +1226,8 @@ mod tests {
                     continue;
                 }
                 let at = sorter.layout.offset(c);
-                let off =
-                    u32::from_le_bytes(cur.row[at..at + 4].try_into().unwrap()) as usize;
-                let len =
-                    u32::from_le_bytes(cur.row[at + 4..at + 8].try_into().unwrap()) as usize;
+                let off = u32::from_le_bytes(cur.row[at..at + 4].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(cur.row[at + 4..at + 8].try_into().unwrap()) as usize;
                 assert!(off + len <= cur.heap.len(), "segment out of bounds at {i}");
                 assert_eq!(
                     &cur.heap[off..off + len],
@@ -1026,7 +1266,7 @@ mod tests {
         let width = sorter.layout.width();
         for (ri, run) in runs.iter().enumerate() {
             assert!(run.rows() <= budget, "run {ri} exceeds the row budget");
-            let mut cur = run.open(kw, width).unwrap();
+            let mut cur = run.open(kw, width, sorter.use_ovc(kw)).unwrap();
             let mut prev: Vec<u8> = Vec::new();
             for i in 0..run.rows() {
                 assert!(!cur.exhausted(), "run {ri} record {i} missing");
@@ -1071,9 +1311,8 @@ mod tests {
 
     #[test]
     fn external_sort_records_profile_and_spill_counters() {
-        let chunk =
-            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(4_000, 14, 512))])
-                .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(4_000, 14, 512))])
+            .unwrap();
         let sorter = ExternalSorter::new(
             chunk.types(),
             OrderBy::ascending(1),
@@ -1175,9 +1414,8 @@ mod tests {
     /// corruption error — and no spill file survives the failed sort.
     #[test]
     fn truncated_run_file_is_detected() {
-        let chunk =
-            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(2_000, 21, 300))])
-                .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(2_000, 21, 300))])
+            .unwrap();
         let order = OrderBy::ascending(1);
         let (sorter, fs) = faulty_sorter(
             &chunk,
@@ -1203,9 +1441,8 @@ mod tests {
     /// trailer itself — surface as typed corruption, never as wrong rows.
     #[test]
     fn bit_flipped_run_file_is_detected() {
-        let chunk =
-            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(2_000, 22, 300))])
-                .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(2_000, 22, 300))])
+            .unwrap();
         let order = OrderBy::ascending(1);
         let reference = in_memory_reference(&chunk, &order);
         // Sweep flip positions across the record stream (byte 3 of a key,
@@ -1253,9 +1490,8 @@ mod tests {
     /// sort succeeds, the retries are counted, nothing leaks.
     #[test]
     fn transient_write_errors_are_retried() {
-        let chunk =
-            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 23, 100))])
-                .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 23, 100))])
+            .unwrap();
         let order = OrderBy::ascending(1);
         // Two consecutive creation ordinals fail: the first run's write and
         // its first retry. The second retry (ordinal 2) succeeds.
@@ -1283,9 +1519,8 @@ mod tests {
     /// typed I/O error naming the operation, with nothing leaked.
     #[test]
     fn hard_write_error_fails_typed() {
-        let chunk =
-            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 24, 100))])
-                .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 24, 100))])
+            .unwrap();
         let order = OrderBy::ascending(1);
         let (sorter, fs) = faulty_sorter(
             &chunk,
@@ -1314,9 +1549,8 @@ mod tests {
     /// in-memory oracle, and the fallback is visible in the metrics.
     #[test]
     fn enospc_degrades_to_in_memory_runs() {
-        let chunk =
-            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(4_000, 25, 500))])
-                .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(4_000, 25, 500))])
+            .unwrap();
         let order = OrderBy::ascending(1);
         // Capacity fits roughly two of the eight ~500-row runs.
         let (sorter, fs) = faulty_sorter(
@@ -1331,7 +1565,10 @@ mod tests {
         let out = sorter.sort(&chunk).expect("degradation absorbs ENOSPC");
         assert_same_multiset_sorted(&out, &in_memory_reference(&chunk, &order), &order);
         let m = sorter.metrics();
-        assert!(m.counter(Counter::SpillMemFallbackRuns) > 0, "fallback used");
+        assert!(
+            m.counter(Counter::SpillMemFallbackRuns) > 0,
+            "fallback used"
+        );
         assert!(fs.stats().enospc_errors > 0, "capacity actually hit");
         drop(sorter);
         assert!(fs.live_files().is_empty(), "leaked: {:?}", fs.live_files());
@@ -1342,9 +1579,8 @@ mod tests {
     /// `RunCursor` open losing context.
     #[test]
     fn vanished_run_file_error_names_the_path() {
-        let chunk =
-            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 26, 100))])
-                .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 26, 100))])
+            .unwrap();
         let order = OrderBy::ascending(1);
         let (sorter, fs) = faulty_sorter(
             &chunk,
@@ -1374,9 +1610,8 @@ mod tests {
     /// the leak is observable as `spill_cleanup_failed == live files`.
     #[test]
     fn cleanup_failures_are_counted() {
-        let chunk =
-            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 27, 100))])
-                .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(1_000, 27, 100))])
+            .unwrap();
         let order = OrderBy::ascending(1);
         let (sorter, fs) = faulty_sorter(
             &chunk,
@@ -1387,7 +1622,9 @@ mod tests {
                 disk_capacity: None,
             },
         );
-        let out = sorter.sort(&chunk).expect("delete fault does not break the sort");
+        let out = sorter
+            .sort(&chunk)
+            .expect("delete fault does not break the sort");
         assert_same_multiset_sorted(&out, &in_memory_reference(&chunk, &order), &order);
         let leaked = sorter.metrics().counter(Counter::SpillCleanupFailed);
         assert_eq!(leaked, 1, "one deletion failed");
@@ -1397,5 +1634,200 @@ mod tests {
             leaked,
             "every leak is accounted for"
         );
+    }
+
+    // ---- offset-value coded spill merges (DESIGN.md §10) ----------------
+
+    fn sort_with_ovc(chunk: &DataChunk, order: &OrderBy, budget: usize, ovc: bool) -> DataChunk {
+        ExternalSorter::new(
+            chunk.types(),
+            order.clone(),
+            ExternalSortOptions {
+                memory_limit_rows: budget,
+                ovc,
+                ..Default::default()
+            },
+        )
+        .sort(chunk)
+        .expect("external sort succeeds")
+    }
+
+    /// The OVC merge must be a pure optimization: with the same run-index
+    /// stability rule on full ties, OVC on and off produce bit-identical
+    /// output — for duplicate-heavy keys, VARCHAR ties, and NULLs alike.
+    #[test]
+    fn ovc_on_off_external_outputs_identical() {
+        let chunk = stringy_chunk(3_000, 31);
+        let order = OrderBy::new(vec![
+            OrderByColumn {
+                column: 2,
+                spec: SortSpec::new(
+                    rowsort_vector::SortOrder::Ascending,
+                    rowsort_vector::NullOrder::NullsLast,
+                ),
+            },
+            OrderByColumn {
+                column: 1,
+                spec: SortSpec::new(
+                    rowsort_vector::SortOrder::Descending,
+                    rowsort_vector::NullOrder::NullsFirst,
+                ),
+            },
+        ]);
+        for budget in [311, 1_000, 4_000] {
+            let plain = sort_with_ovc(&chunk, &order, budget, false);
+            let coded = sort_with_ovc(&chunk, &order, budget, true);
+            assert_eq!(coded.to_rows(), plain.to_rows(), "budget {budget}");
+        }
+    }
+
+    /// With long-shared-prefix keys most merge comparisons resolve on the
+    /// code compare alone, and the counters show it: a high resolved rate
+    /// and far fewer key bytes touched than two full keys per compare.
+    #[test]
+    fn ovc_merge_resolves_most_comparisons_on_codes() {
+        let mut chunk = DataChunk::new(&[LogicalType::Varchar, LogicalType::UInt32]);
+        let r = pseudo_random(4_000, 32, 1_000_000);
+        for (i, &v) in r.iter().enumerate() {
+            chunk
+                .push_row(&[
+                    Value::from(format!("warehouse_eu_{v:07}")),
+                    Value::UInt32(i as u32),
+                ])
+                .unwrap();
+        }
+        let order = OrderBy::ascending(1);
+        let sorter = ExternalSorter::new(
+            chunk.types(),
+            order,
+            ExternalSortOptions {
+                memory_limit_rows: 500,
+                ovc: true,
+                ..Default::default()
+            },
+        );
+        let _ = sorter.sort(&chunk).unwrap();
+        let m = sorter.last_profile().metrics;
+        let cmps = m.counter(Counter::MergeCmps);
+        let resolved = m.counter(Counter::MergeCmpsOvcResolved);
+        assert!(cmps > 0, "merge ran");
+        assert!(resolved <= cmps);
+        assert!(
+            resolved * 2 > cmps,
+            "codes should resolve most comparisons: {resolved}/{cmps}"
+        );
+    }
+
+    /// A run file whose header advertises the wrong OVC flag for the merge
+    /// reading it is structurally corrupt — surfaced before any record is
+    /// trusted.
+    #[test]
+    fn ovc_header_flag_mismatch_is_corrupt() {
+        let chunk = stringy_chunk(400, 33);
+        let sorter = ExternalSorter::new(
+            chunk.types(),
+            OrderBy::ascending(2),
+            ExternalSortOptions {
+                ovc: true,
+                ..Default::default()
+            },
+        );
+        let (runs, kw) = build_spilled_runs(&sorter, &chunk, 400);
+        let width = sorter.layout.width();
+        let err = runs[0]
+            .open(kw, width, false)
+            .err()
+            .expect("flag mismatch must surface");
+        assert!(matches!(err, SpillError::Corrupt { .. }), "got {err:?}");
+    }
+
+    /// A code whose decoded offset exceeds the key's word count can never
+    /// be produced by the encoder; the cursor rejects it structurally on
+    /// the record that carries it, without waiting for the trailer.
+    #[test]
+    fn implausible_ovc_code_is_rejected_per_record() {
+        let chunk = stringy_chunk(64, 34);
+        let order = OrderBy::ascending(2);
+        let sorter = ExternalSorter::new(
+            chunk.types(),
+            order,
+            ExternalSortOptions {
+                ovc: true,
+                ..Default::default()
+            },
+        );
+        let stats: Vec<usize> = (0..sorter.types.len())
+            .map(|c| {
+                chunk
+                    .column(c)
+                    .as_strings()
+                    .map(|s| s.max_len())
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut payload = RowBlock::with_capacity(Arc::clone(&sorter.layout), chunk.len());
+        payload.append_chunk(&chunk);
+        let mut keys = KeyBlock::new(&sorter.types, &sorter.order, |c| stats[c]);
+        keys.append_chunk(&chunk);
+        keys.sort(|_, _| Ordering::Equal);
+        let varlen = sorter.varlen_cols();
+        let mut bytes = sorter.encode_run(&keys, &payload, &varlen);
+        let kw = keys.key_width();
+        // Overwrite record 0's code (right after the 8-byte header and the
+        // key) with an offset no encoder can emit.
+        let at = 8 + kw;
+        bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let run = Run::Memory {
+            bytes,
+            rows: chunk.len(),
+        };
+        let err = run
+            .open(kw, sorter.layout.width(), true)
+            .err()
+            .expect("implausible code must surface");
+        assert!(matches!(err, SpillError::Corrupt { .. }), "got {err:?}");
+    }
+
+    /// Version-1 (headerless) files and unknown header flags are rejected
+    /// as corrupt rather than mis-parsed as records.
+    #[test]
+    fn bad_header_is_corrupt() {
+        let chunk = stringy_chunk(32, 35);
+        let sorter = ExternalSorter::new(
+            chunk.types(),
+            OrderBy::ascending(2),
+            ExternalSortOptions {
+                ovc: true,
+                ..Default::default()
+            },
+        );
+        let (runs, kw) = build_spilled_runs(&sorter, &chunk, 32);
+        let width = sorter.layout.width();
+        let Run::Spilled(spilled) = &runs[0] else {
+            panic!("expected a spilled run");
+        };
+        let mut reader = spilled.io.open(&spilled.path).unwrap();
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes).unwrap();
+        for mutate in [
+            // Wrong magic.
+            &(|b: &mut Vec<u8>| b[0] = b'X') as &dyn Fn(&mut Vec<u8>),
+            // Future version.
+            &|b: &mut Vec<u8>| b[4] = 99,
+            // Unknown flag bit.
+            &|b: &mut Vec<u8>| b[6] |= 0x80,
+        ] {
+            let mut broken = bytes.clone();
+            mutate(&mut broken);
+            let run = Run::Memory {
+                bytes: broken,
+                rows: runs[0].rows(),
+            };
+            let err = run
+                .open(kw, width, true)
+                .err()
+                .expect("bad header must surface");
+            assert!(matches!(err, SpillError::Corrupt { .. }), "got {err:?}");
+        }
     }
 }

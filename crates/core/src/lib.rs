@@ -20,6 +20,9 @@
 //!   test backend) and the typed [`SpillError`](spill::SpillError)
 //!   taxonomy (DESIGN.md §8),
 //! * [`model`] — the §II run-generation vs merge comparison-count model,
+//! * [`ovc`] — offset-value coding over normalized keys: most merge
+//!   comparisons resolve on one `u64` compare, codes maintained as a
+//!   by-product of each comparison (DESIGN.md §10),
 //! * [`pool`] — the size-classed buffer pool that makes steady-state
 //!   sorts allocation-free (DESIGN.md §6),
 //! * [`metrics`] — the lock-free counter registry, phase timers, and
@@ -36,6 +39,7 @@ pub mod external;
 pub mod keys;
 pub mod metrics;
 pub mod model;
+pub mod ovc;
 pub mod pipeline;
 pub mod pool;
 pub mod spill;
@@ -46,7 +50,7 @@ pub mod workers;
 pub use external::{ExternalSortOptions, ExternalSorter};
 pub use keys::{KeyBlock, KeySortAlgo};
 pub use metrics::{Counter, CounterRegistry, Metrics, Phase, SortProfile};
-pub use pipeline::{default_threads, SortOptions, SortPipeline, SortedRows};
+pub use pipeline::{default_ovc, default_threads, SortOptions, SortPipeline, SortedRows};
 pub use pool::BufferPool;
 pub use spill::{SpillError, SpillIo, SpillOp, StdFs};
 pub use systems::{sort_with_system, sort_with_system_profiled, SystemProfile};

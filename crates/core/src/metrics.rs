@@ -119,11 +119,21 @@ pub enum Counter {
     /// Run files rejected by read-back verification (checksum mismatch,
     /// truncation, or a structurally impossible record).
     SpillChecksumFailed,
+    /// Key comparisons performed by merge loops (2-way cascade rounds
+    /// and the external loser-tree merge; partition search excluded).
+    MergeCmps,
+    /// Of those, comparisons resolved by the offset-value code alone —
+    /// a single `u64` compare, no key bytes read (DESIGN.md §10).
+    MergeCmpsOvcResolved,
+    /// Key bytes actually read by merge comparisons: full key width per
+    /// `memcmp`-style compare without OVC, only the post-tie suffix scan
+    /// with OVC.
+    MergeKeyBytesTouched,
 }
 
 impl Counter {
     /// Number of counters (array dimension of the registry).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 22;
 
     /// All counters, in declaration order (= registry index order).
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -146,6 +156,9 @@ impl Counter {
         Counter::SpillCleanupFailed,
         Counter::SpillMemFallbackRuns,
         Counter::SpillChecksumFailed,
+        Counter::MergeCmps,
+        Counter::MergeCmpsOvcResolved,
+        Counter::MergeKeyBytesTouched,
     ];
 
     /// The snake_case name used in trace JSON and text dumps.
@@ -170,6 +183,9 @@ impl Counter {
             Counter::SpillCleanupFailed => "spill_cleanup_failed",
             Counter::SpillMemFallbackRuns => "spill_mem_fallback_runs",
             Counter::SpillChecksumFailed => "spill_checksum_failed",
+            Counter::MergeCmps => "merge_cmps",
+            Counter::MergeCmpsOvcResolved => "merge_cmps_ovc_resolved",
+            Counter::MergeKeyBytesTouched => "merge_key_bytes_touched",
         }
     }
 }
@@ -390,7 +406,12 @@ impl SortProfile {
             .collect();
         let counters: Vec<(String, Json)> = Counter::ALL
             .iter()
-            .map(|&c| (c.name().to_owned(), Json::Num(self.metrics.counter(c) as f64)))
+            .map(|&c| {
+                (
+                    c.name().to_owned(),
+                    Json::Num(self.metrics.counter(c) as f64),
+                )
+            })
             .collect();
         Json::obj(vec![
             ("event", Json::str("sort")),
@@ -557,7 +578,10 @@ mod tests {
         let counters = parsed.get("counters").unwrap();
         for counter in Counter::ALL {
             assert!(
-                counters.get(counter.name()).and_then(Json::as_f64).is_some(),
+                counters
+                    .get(counter.name())
+                    .and_then(Json::as_f64)
+                    .is_some(),
                 "missing counter {}",
                 counter.name()
             );

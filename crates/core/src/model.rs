@@ -97,8 +97,7 @@ mod tests {
         let predicted_b = merge_comparisons(n as u64, k as u64);
         // Merge sort does at most n·log n and typically within ~15% of it.
         assert!(
-            (run_gen_cmps as f64) < 1.05 * predicted_a
-                && (run_gen_cmps as f64) > 0.7 * predicted_a,
+            (run_gen_cmps as f64) < 1.05 * predicted_a && (run_gen_cmps as f64) > 0.7 * predicted_a,
             "run generation measured {run_gen_cmps}, predicted {predicted_a}"
         );
         // The loser tree plays log2(k) matches per element, but each match
@@ -107,8 +106,7 @@ mod tests {
         // *invocations* land between 1x and 2x the model's logical
         // comparison count — ~1.5x on random data.
         assert!(
-            (merge_cmps as f64) < 2.0 * predicted_b
-                && (merge_cmps as f64) > 0.9 * predicted_b,
+            (merge_cmps as f64) < 2.0 * predicted_b && (merge_cmps as f64) > 0.9 * predicted_b,
             "merge measured {merge_cmps}, predicted {predicted_b}"
         );
         // And the headline: run generation dominates — by >2x in logical

@@ -10,8 +10,10 @@
 //! Run generation dominates the comparison count (§II: with k runs of n/k
 //! rows, `n·log(n) − n·log(k)` of the `n·log(n)` comparisons happen during
 //! run generation), so each worker sorts its own runs locally; the merge
-//! phase compares whole normalized keys with `memcmp` and keeps every
-//! thread busy by splitting each 2-way merge along Merge Path diagonals.
+//! phase keeps every thread busy by splitting each 2-way merge along
+//! Merge Path diagonals, and (with [`SortOptions::ovc`], the default)
+//! carries offset-value codes so most merge comparisons resolve on one
+//! `u64` compare instead of a whole-key `memcmp` (DESIGN.md §10).
 //!
 //! In steady state the pipeline is **allocation-free and
 //! thread-spawn-free** (DESIGN.md §6): every transient buffer — key runs,
@@ -33,6 +35,7 @@ use crate::keys::{word, KeyBlock, KeySortAlgo};
 use crate::metrics::{emit_trace, Counter, CounterRegistry, Metrics, Phase, SortProfile};
 use crate::pool::BufferPool;
 use crate::workers::{SendPtr, WorkerPool};
+use rowsort_algos::kway::{OvcLoserTree, OvcMatch};
 use rowsort_algos::merge_path::merge_path_partition_by;
 use rowsort_algos::radix::radix_scratch_len;
 use rowsort_row::{RowBlock, RowLayout};
@@ -58,6 +61,17 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Whether merges use offset-value coding when [`SortOptions`] does not
+/// pin it: on unless the `ROWSORT_OVC` environment variable disables it
+/// (`0`, `false`, or `off`) — the escape hatch for A/B runs and for
+/// ruling OVC out when debugging a merge (DESIGN.md §10).
+pub fn default_ovc() -> bool {
+    match std::env::var("ROWSORT_OVC") {
+        Ok(value) => !matches!(value.trim(), "0" | "false" | "off"),
+        Err(_) => true,
+    }
+}
+
 /// Tuning knobs for the pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct SortOptions {
@@ -66,6 +80,11 @@ pub struct SortOptions {
     /// Rows per thread-local sorted run (DuckDB sorts once a thread's
     /// collected data reaches a threshold; 128 Ki rows here).
     pub run_rows: usize,
+    /// Carry offset-value codes through the merge cascade so most merge
+    /// comparisons resolve on one `u64` compare (DESIGN.md §10). Output
+    /// is bit-identical either way; this only changes how comparisons
+    /// are computed.
+    pub ovc: bool,
 }
 
 impl Default for SortOptions {
@@ -73,6 +92,7 @@ impl Default for SortOptions {
         SortOptions {
             threads: default_threads(),
             run_rows: 1 << 17,
+            ovc: default_ovc(),
         }
     }
 }
@@ -83,6 +103,7 @@ impl SortOptions {
         SortOptions {
             threads: 1,
             run_rows,
+            ..SortOptions::default()
         }
     }
 }
@@ -94,6 +115,10 @@ struct SortedRun {
     /// Bytes per key entry, carried from the [`KeyBlock`] layout that
     /// produced the run (every run of a sort shares it).
     key_width: usize,
+    /// Per-row offset-value codes (8 LE bytes per row): row 0 relative
+    /// to −∞, row `i` relative to row `i − 1`. Empty when OVC is off or
+    /// keys are zero-width (DESIGN.md §10.2).
+    ovc: Vec<u8>,
     payload: RowBlock,
 }
 
@@ -111,10 +136,35 @@ struct MergeJob {
     b: usize,
     out_keys: SendPtr<u8>,
     out_rows: SendPtr<u8>,
+    /// Output OVC column base (dangling when OVC is off).
+    out_ovc: SendPtr<u8>,
     total: usize,
     /// Added to the heap offsets of rows taken from run `b` (the output
     /// heap is `a.heap ++ b.heap`).
     heap_shift: u32,
+}
+
+/// Merge state shared by every task of a cascade: key width, row width,
+/// and tie/OVC configuration are properties of the *sort*, so they are
+/// derived once per [`SortPipeline::merge_runs`] instead of being
+/// re-computed inside every Merge Path task's comparison setup.
+#[derive(Clone, Copy)]
+struct MergeCtx {
+    /// Bytes per normalized key (identical across all runs of a sort).
+    kw: usize,
+    /// Bytes per payload row.
+    width: usize,
+    /// Truncated VARCHAR prefixes can tie: byte-equal keys still need
+    /// the full-tuple comparator.
+    tie_possible: bool,
+    /// This cascade carries offset-value codes.
+    use_ovc: bool,
+    /// Write the merged output's code column. True on every round whose
+    /// output feeds another merge; the final round's codes have no
+    /// reader, so it skips the column entirely (no buffer, no stores).
+    emit_codes: bool,
+    /// Words per key for OVC (0 when `use_ovc` is false).
+    arity: usize,
 }
 
 /// Reusable per-sort working state, retained inside the pipeline so a
@@ -134,6 +184,12 @@ struct Scratch {
     runs: Vec<SortedRun>,
     next_round: Vec<SortedRun>,
     jobs: Vec<MergeJob>,
+    /// Coded k-way merge state (single-threaded OVC sorts, DESIGN.md
+    /// §10.2): the loser tree plus per-run cursor/heap-base scratch, all
+    /// reused so the steady state allocates nothing.
+    kway_tree: Option<OvcLoserTree>,
+    kway_idx: Vec<std::cell::Cell<usize>>,
+    kway_heap_base: Vec<u32>,
     /// Pooled key blocks (kept whole to also reuse their layout planning).
     key_blocks: Mutex<Vec<KeyBlock>>,
 }
@@ -370,8 +426,9 @@ impl SortPipeline {
 
     /// The persistent phase crew (spawned on first use).
     fn worker_pool(&self) -> &WorkerPool {
-        self.workers
-            .get_or_init(|| WorkerPool::with_metrics(self.options.threads, Arc::clone(&self.metrics)))
+        self.workers.get_or_init(|| {
+            WorkerPool::with_metrics(self.options.threads, Arc::clone(&self.metrics))
+        })
     }
 
     /// Phase 1: morsel-parallel run generation. Each completed run is
@@ -399,7 +456,16 @@ impl SortPipeline {
                 break;
             }
             let lo = m * run_rows;
-            let run = self.make_run(input, lo, (lo + run_rows).min(n), stats, key_blocks);
+            // A lone run goes straight to output without a merge, so its
+            // code column would have no reader — skip computing it.
+            let run = self.make_run(
+                input,
+                lo,
+                (lo + run_rows).min(n),
+                stats,
+                key_blocks,
+                morsels > 1,
+            );
             *run_slots[m].lock().unwrap_or_else(|e| e.into_inner()) = Some(run);
         };
         if self.options.threads.min(morsels) <= 1 {
@@ -430,6 +496,7 @@ impl SortPipeline {
         hi: usize,
         stats: &[usize],
         key_blocks: &Mutex<Vec<KeyBlock>>,
+        with_codes: bool,
     ) -> SortedRun {
         let rows = hi - lo;
         let width = self.layout.width();
@@ -474,6 +541,17 @@ impl SortPipeline {
 
         let mut run_keys = self.pool.get_bytes(rows * keys.key_width());
         keys.keys_only_into(&mut run_keys);
+        // OVC column, computed while the freshly sorted keys are hot:
+        // one prefix scan per row here saves a full-key compare per merge
+        // comparison later (DESIGN.md §10.2).
+        let run_ovc = if with_codes && self.options.ovc && keys.key_width() > 0 {
+            let mut ovc = self.pool.get_bytes(rows * 8);
+            ovc.resize(rows * 8, 0);
+            crate::ovc::fill_run_codes(&run_keys, keys.key_width(), &mut ovc);
+            ovc
+        } else {
+            Vec::new()
+        };
         let mut payload = RowBlock::from_raw_parts(
             Arc::clone(&self.layout),
             self.pool.get_bytes(rows * width),
@@ -499,6 +577,7 @@ impl SortPipeline {
         SortedRun {
             keys: run_keys,
             key_width,
+            ovc: run_ovc,
             payload,
         }
     }
@@ -512,16 +591,51 @@ impl SortPipeline {
             ref mut runs,
             ref mut next_round,
             ref mut jobs,
+            ref mut kway_tree,
+            ref mut kway_idx,
+            ref mut kway_heap_base,
             ..
         } = *scratch;
         assert!(!runs.is_empty());
         let width = self.layout.width();
+        let kw0 = runs.first().map_or(0, |r| r.key_width);
+        // Hoisted merge state: every task of every round shares the key
+        // width, row width, and tie/OVC setup, so derive them once here
+        // instead of per merge_task call.
+        let base_ctx = MergeCtx {
+            kw: kw0,
+            width,
+            tie_possible: kw0 > 0 && self.tie_possible(),
+            use_ovc: self.options.ovc && kw0 > 0,
+            emit_codes: true,
+            arity: crate::ovc::word_count(kw0),
+        };
+
+        // Single-threaded coded sorts take one k-way tree-of-losers pass
+        // instead of the cascade: the cascade re-moves every row per
+        // round to keep Merge Path partitions parallelizable, which one
+        // worker cannot exploit, while offset-value codes collapse the
+        // k-way comparator cost that made binary merges attractive in
+        // the first place — so rows move once and ⌈log₂ k⌉ coded
+        // compares replace ⌈log₂ k⌉ full-key compares (DESIGN.md §10.2).
+        if base_ctx.use_ovc && self.options.threads == 1 && runs.len() > 2 {
+            return self.merge_kway_ovc(
+                runs,
+                kway_tree.get_or_insert_with(OvcLoserTree::empty),
+                kway_idx,
+                kway_heap_base,
+                base_ctx,
+            );
+        }
 
         while runs.len() > 1 {
-            let kw = match runs.first() {
-                Some(r) => r.key_width,
-                None => break,
+            // The last round's output is the sort's result: its code
+            // column would never be read, so don't produce it.
+            let ctx = MergeCtx {
+                emit_codes: runs.len() > 2,
+                ..base_ctx
             };
+            let kw = ctx.kw;
             let pairs = runs.len() / 2;
             next_round.clear();
             jobs.clear();
@@ -542,9 +656,20 @@ impl SortPipeline {
                 heap.extend_from_slice(a.payload.heap());
                 heap.extend_from_slice(b.payload.heap());
                 let heap_shift = a.payload.heap().len() as u32;
+                // The output's OVC column is produced by the merge itself:
+                // each emitted row's current code is already relative to
+                // the row emitted before it (DESIGN.md §10.2).
+                let ovc = if ctx.use_ovc && ctx.emit_codes {
+                    let mut ovc = self.pool.get_bytes(total * 8);
+                    ovc.resize(total * 8, 0);
+                    ovc
+                } else {
+                    Vec::new()
+                };
                 let mut out = SortedRun {
                     keys,
                     key_width: kw,
+                    ovc,
                     payload: RowBlock::from_raw_parts(Arc::clone(&self.layout), data, heap),
                 };
                 jobs.push(MergeJob {
@@ -552,6 +677,7 @@ impl SortPipeline {
                     b: 2 * p + 1,
                     out_keys: SendPtr::new(out.keys.as_mut_ptr()),
                     out_rows: SendPtr::new(out.payload.data_mut().as_mut_ptr()),
+                    out_ovc: SendPtr::new(out.ovc.as_mut_ptr()),
                     total,
                     heap_shift,
                 });
@@ -570,12 +696,38 @@ impl SortPipeline {
                 if t >= tasks {
                     break;
                 }
-                self.merge_task(runs_ref, &jobs_ref[t / parts], t % parts, parts);
+                self.merge_task(runs_ref, &jobs_ref[t / parts], t % parts, parts, ctx);
             };
             if self.options.threads == 1 || tasks == 1 {
                 body(0);
             } else {
                 self.worker_pool().broadcast(&body);
+            }
+            if ctx.use_ovc && ctx.emit_codes && parts > 1 {
+                // Partition seams: a task other than the first sees no
+                // predecessor row, so it seeds codes relative to −∞ and
+                // its first output code is coded against the wrong base.
+                // Re-derive those few codes (one per interior seam)
+                // against the true predecessor now that both sides of
+                // every seam are written.
+                for (job, out) in jobs.iter().zip(next_round.iter_mut()) {
+                    for part in 1..parts {
+                        let d0 = job.total * part / parts;
+                        if d0 == 0 || d0 >= job.total {
+                            continue;
+                        }
+                        let (Some(prev), Some(cur)) = (
+                            out.keys.get((d0 - 1) * kw..d0 * kw),
+                            out.keys.get(d0 * kw..(d0 + 1) * kw),
+                        ) else {
+                            continue;
+                        };
+                        let code = crate::ovc::code_rel(cur, prev, ctx.arity);
+                        if let Some(slot) = out.ovc.get_mut(d0 * 8..(d0 + 1) * 8) {
+                            slot.copy_from_slice(&code.to_le_bytes());
+                        }
+                    }
+                }
             }
             self.metrics.add(Counter::MergeRounds, 1);
             self.metrics.add(Counter::MergeTasks, tasks as u64);
@@ -583,7 +735,11 @@ impl SortPipeline {
             self.metrics.add(Counter::BytesMoved, round_bytes as u64);
 
             // Recycle this round's inputs; any odd run carries over last.
-            let odd = if runs.len() % 2 == 1 { runs.pop() } else { None };
+            let odd = if runs.len() % 2 == 1 {
+                runs.pop()
+            } else {
+                None
+            };
             for run in runs.drain(..) {
                 self.recycle_run(run);
             }
@@ -597,17 +753,179 @@ impl SortPipeline {
         runs.pop().expect("cascade leaves exactly one run")
     }
 
+    /// Merge all runs in one coded tree-of-losers pass (DESIGN.md §10.2).
+    ///
+    /// The cascade's structure — ⌈log₂ k⌉ rounds that each re-copy every
+    /// key and row — exists to give Merge Path partitions to parallel
+    /// workers. A single-threaded sort gets nothing back for that
+    /// movement, and with offset-value codes a k-way comparator costs
+    /// ~one `u64` compare per tree level, so this path moves each row
+    /// exactly once and replaces the cascade's repeated full-key work
+    /// with ⌈log₂ k⌉ coded matches per emitted row.
+    ///
+    /// Output order is bit-identical to the cascade's: both are stable
+    /// merges by run index (the cascade lets the left/earlier run win
+    /// ties at every round; here a full tie goes to the lower leaf), and
+    /// the output heap is the same run-order concatenation.
+    fn merge_kway_ovc(
+        &self,
+        runs: &mut Vec<SortedRun>,
+        tree: &mut OvcLoserTree,
+        idx: &mut Vec<std::cell::Cell<usize>>,
+        heap_base: &mut Vec<u32>,
+        ctx: MergeCtx,
+    ) -> SortedRun {
+        let MergeCtx {
+            kw,
+            width,
+            tie_possible,
+            arity,
+            ..
+        } = ctx;
+        let k = runs.len();
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+
+        let mut keys = self.pool.get_bytes(total * kw);
+        keys.resize(total * kw, 0);
+        let mut data = self.pool.get_bytes(total * width);
+        data.resize(total * width, 0);
+        // Output heap = run heaps concatenated in run order (matching the
+        // cascade's a.heap ++ b.heap at every level); rows from run `w`
+        // get their heap offsets shifted by that run's base.
+        let heap_bytes: usize = runs.iter().map(|r| r.payload.heap().len()).sum();
+        let mut heap = self.pool.get_bytes(heap_bytes);
+        heap_base.clear();
+        for run in runs.iter() {
+            heap_base.push(heap.len() as u32);
+            heap.extend_from_slice(run.payload.heap());
+        }
+
+        // Per-run cursors live in `Cell`s so the tree's play closure can
+        // read head positions while the emit loop advances them — no
+        // aliasing `&mut` into shared state.
+        idx.clear();
+        idx.resize(k, std::cell::Cell::new(0));
+
+        // Comparator-work counters, accumulated locally (`Cell` because
+        // the tree closures borrow them shared) and flushed once.
+        let cmps = std::cell::Cell::new(0u64);
+        let resolved = std::cell::Cell::new(0u64);
+        let key_bytes = std::cell::Cell::new(0u64);
+
+        let runs_ref: &[SortedRun] = runs;
+        let idx_ref: &[std::cell::Cell<usize>] = idx;
+        // One match under OVC: codes decide outright when they differ;
+        // suffix bytes are only touched on a code tie; the row tiebreak
+        // runs only on full key equality, and a full tie goes to the
+        // lower run index (the cascade's stability rule).
+        let mut play = |a: usize, b: usize, ca: u64, cb: u64| -> OvcMatch {
+            let (ia, ib) = (idx_ref[a].get(), idx_ref[b].get());
+            let ka = &runs_ref[a].keys[ia * kw..(ia + 1) * kw];
+            let kb = &runs_ref[b].keys[ib * kw..(ib + 1) * kw];
+            let r = crate::ovc::compare_update(ka, ca, kb, cb, arity);
+            cmps.set(cmps.get() + 1);
+            resolved.set(resolved.get() + u64::from(r.resolved));
+            key_bytes.set(key_bytes.get() + r.key_bytes);
+            let ord = match r.ord {
+                Ordering::Equal if tie_possible => self.tie_cmp.compare(
+                    runs_ref[a].payload.row(ia),
+                    runs_ref[a].payload.heap(),
+                    runs_ref[b].payload.row(ib),
+                    runs_ref[b].payload.heap(),
+                ),
+                ord => ord,
+            };
+            let a_beats_b = match ord {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => a < b,
+            };
+            OvcMatch {
+                a_beats_b,
+                loser_code: r.loser_code,
+            }
+        };
+        let mut is_ex = |i: usize| idx_ref[i].get() >= runs_ref[i].len();
+        // Run-stored codes for row 0 are relative to −∞ — the common base
+        // the tournament needs.
+        tree.rebuild(
+            k,
+            |i| crate::ovc::read_code(&runs_ref[i].ovc, 0),
+            &mut is_ex,
+            &mut play,
+        );
+
+        let mut key_out = keys.chunks_exact_mut(kw.max(1));
+        let mut row_out = data.chunks_exact_mut(width);
+        let fix_heap = !self.varlen_cols.is_empty();
+        for _ in 0..total {
+            let w = tree.winner();
+            let i = idx_ref[w].get();
+            if let Some(dst) = key_out.next() {
+                copy_small(dst, &runs_ref[w].keys[i * kw..(i + 1) * kw]);
+            }
+            // lint:allow(R002, R010): the iterator yields exactly `total`
+            // rows (`data` is sized `total * width` above).
+            let out_row = row_out.next().expect("output sized to total");
+            copy_small(out_row, runs_ref[w].payload.row(i));
+            let shift = heap_base[w];
+            if fix_heap && shift != 0 {
+                self.shift_heap_offsets(out_row, shift);
+            }
+            idx_ref[w].set(i + 1);
+            // The new head's run-stored code is relative to the row just
+            // emitted — the same base every resident loser on this leaf's
+            // root path was re-coded against.
+            let leaf_code = if idx_ref[w].get() >= runs_ref[w].len() {
+                u64::MAX
+            } else {
+                crate::ovc::read_code(&runs_ref[w].ovc, idx_ref[w].get())
+            };
+            tree.replay(w, leaf_code, &mut is_ex, &mut play);
+        }
+
+        self.metrics.add(Counter::MergeCmps, cmps.get());
+        self.metrics
+            .add(Counter::MergeCmpsOvcResolved, resolved.get());
+        self.metrics
+            .add(Counter::MergeKeyBytesTouched, key_bytes.get());
+        self.metrics.add(Counter::MergeRounds, 1);
+        self.metrics.add(Counter::MergeTasks, 1);
+        self.metrics
+            .add(Counter::BytesMoved, (total * (kw + width)) as u64);
+
+        for run in runs.drain(..) {
+            self.recycle_run(run);
+        }
+        SortedRun {
+            keys,
+            key_width: kw,
+            ovc: Vec::new(),
+            payload: RowBlock::from_raw_parts(Arc::clone(&self.layout), data, heap),
+        }
+    }
+
     /// Execute Merge Path partition `part` of `parts` for one 2-way merge:
     /// binary-search the partition bounds, then write merged keys and
     /// payload rows directly into the job's output range (pick generation
     /// fused with materialization — no intermediate pick list).
-    fn merge_task(&self, runs: &[SortedRun], job: &MergeJob, part: usize, parts: usize) {
+    fn merge_task(
+        &self,
+        runs: &[SortedRun],
+        job: &MergeJob,
+        part: usize,
+        parts: usize,
+        ctx: MergeCtx,
+    ) {
         let a = &runs[job.a];
         let b = &runs[job.b];
-        let kw = a.key_width;
-        let width = self.layout.width();
+        let MergeCtx {
+            kw,
+            width,
+            tie_possible,
+            ..
+        } = ctx;
         let (na, nb) = (a.len(), b.len());
-        let tie_possible = kw > 0 && self.tie_possible();
         let cmp = |i: usize, j: usize| -> Ordering {
             let ka = &a.keys[i * kw..(i + 1) * kw];
             let kb = &b.keys[j * kw..(j + 1) * kw];
@@ -630,9 +948,7 @@ impl SortPipeline {
         let (a0, b0) = merge_path_partition_by(na, nb, d0, |j, i| {
             cmp(i, j) == Ordering::Greater // b[j] < a[i]
         });
-        let (a1, b1) = merge_path_partition_by(na, nb, d1, |j, i| {
-            cmp(i, j) == Ordering::Greater
-        });
+        let (a1, b1) = merge_path_partition_by(na, nb, d1, |j, i| cmp(i, j) == Ordering::Greater);
 
         // SAFETY: Merge Path bounds are exact — partition `part` produces
         // output rows `d0..d1` and no other partition writes them, so the
@@ -648,17 +964,89 @@ impl SortPipeline {
             std::slice::from_raw_parts_mut(job.out_rows.get().add(d0 * width), (d1 - d0) * width)
         };
 
+        if ctx.use_ovc {
+            // On the final round no code column exists (the job pointer is
+            // dangling), so the partition gets an empty slice and stores
+            // nothing.
+            let out_ovc = if ctx.emit_codes {
+                // SAFETY: same disjointness argument on `job.out_ovc` — the
+                // code column is sized `total * 8`, rows `d0..d1` belong to
+                // this partition only, and the buffer lives in `next_round`
+                // until the phase (and its seam fixup) completes.
+                unsafe {
+                    std::slice::from_raw_parts_mut(job.out_ovc.get().add(d0 * 8), (d1 - d0) * 8)
+                }
+            } else {
+                &mut [][..]
+            };
+            self.merge_partition_ovc(
+                a,
+                b,
+                job,
+                ctx,
+                (a0, a1),
+                (b0, b1),
+                out_keys,
+                out_rows,
+                out_ovc,
+            );
+        } else {
+            self.merge_partition(a, b, job, ctx, (a0, a1), (b0, b1), out_keys, out_rows);
+        }
+    }
+
+    /// The plain (OVC-off) merge loop for one Merge Path partition: every
+    /// comparison is a fresh whole-key `cmp_keys`.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_partition(
+        &self,
+        a: &SortedRun,
+        b: &SortedRun,
+        job: &MergeJob,
+        ctx: MergeCtx,
+        (a0, a1): (usize, usize),
+        (b0, b1): (usize, usize),
+        out_keys: &mut [u8],
+        out_rows: &mut [u8],
+    ) {
+        let MergeCtx {
+            kw,
+            width,
+            tie_possible,
+            ..
+        } = ctx;
         let (a_keys, b_keys) = (&a.keys, &b.keys);
         let (a_rows, b_rows) = (a.payload.data(), b.payload.data());
         let (mut i, mut j) = (a0, b0);
+        let rows = out_rows.len() / width;
         let mut key_out = out_keys.chunks_exact_mut(kw.max(1));
         let mut row_out = out_rows.chunks_exact_mut(width);
         let fix_heap = job.heap_shift != 0 && !self.varlen_cols.is_empty();
-        for _ in 0..(d1 - d0) {
+        // Counters are batched locally and added once: a relaxed atomic
+        // add per output row would put contended cache lines in the
+        // hottest loop of the pipeline.
+        let mut cmps = 0u64;
+        for _ in 0..rows {
             // Selection and index advance are arithmetic, not control flow:
             // on random keys `take_b` is a coin flip, so a branchy merge
             // pays a misprediction per output row.
-            let take_b = i >= a1 || (j < b1 && cmp(i, j) == Ordering::Greater);
+            let in_both = i < a1 && j < b1;
+            cmps += u64::from(in_both);
+            let take_b = i >= a1
+                || (in_both && {
+                    let ka = &a_keys[i * kw..(i + 1) * kw];
+                    let kb = &b_keys[j * kw..(j + 1) * kw];
+                    let ord = match cmp_keys(ka, kb) {
+                        Ordering::Equal if tie_possible => self.tie_cmp.compare(
+                            a.payload.row(i),
+                            a.payload.heap(),
+                            b.payload.row(j),
+                            b.payload.heap(),
+                        ),
+                        ord => ord,
+                    };
+                    ord == Ordering::Greater
+                });
             let (src_keys, src_rows, r) = if take_b {
                 (b_keys, b_rows, j)
             } else {
@@ -674,24 +1062,156 @@ impl SortPipeline {
             let out_row = row_out.next().expect("output sized to partition");
             copy_small(out_row, &src_rows[r * width..(r + 1) * width]);
             if fix_heap && take_b {
-                // b-side strings now live after a's heap: shift offsets.
-                for &c in &self.varlen_cols {
-                    if out_row[self.layout.null_offset(c)] != 0 {
-                        continue;
-                    }
-                    let at = self.layout.offset(c);
-                    let mut slot = [0u8; 4];
-                    slot.copy_from_slice(&out_row[at..at + 4]);
-                    let off = u32::from_le_bytes(slot) + job.heap_shift;
-                    out_row[at..at + 4].copy_from_slice(&off.to_le_bytes());
-                }
+                self.shift_heap_offsets(out_row, job.heap_shift);
             }
+        }
+        self.metrics.add(Counter::MergeCmps, cmps);
+        self.metrics
+            .add(Counter::MergeKeyBytesTouched, cmps * 2 * kw as u64);
+    }
+
+    /// The OVC merge loop for one Merge Path partition (DESIGN.md §10.2).
+    ///
+    /// Both sides carry a code relative to the last emitted row: the
+    /// winner's successor inherits its code from the run's precomputed
+    /// column (its predecessor *is* the row just emitted), and the loser
+    /// is re-coded by the comparison itself — so in steady state no key
+    /// prefix is ever re-scanned. Each emitted row's current code is also
+    /// written to the output column, which is exactly the next round's
+    /// input column: codes propagate through the whole cascade for free.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_partition_ovc(
+        &self,
+        a: &SortedRun,
+        b: &SortedRun,
+        job: &MergeJob,
+        ctx: MergeCtx,
+        (a0, a1): (usize, usize),
+        (b0, b1): (usize, usize),
+        out_keys: &mut [u8],
+        out_rows: &mut [u8],
+        out_ovc: &mut [u8],
+    ) {
+        let MergeCtx {
+            kw,
+            width,
+            tie_possible,
+            arity,
+            ..
+        } = ctx;
+        let (a_keys, b_keys) = (&a.keys, &b.keys);
+        let (a_rows, b_rows) = (a.payload.data(), b.payload.data());
+        let (mut i, mut j) = (a0, b0);
+        let rows = out_rows.len() / width;
+        let mut key_out = out_keys.chunks_exact_mut(kw.max(1));
+        let mut row_out = out_rows.chunks_exact_mut(width);
+        let mut ovc_out = out_ovc.chunks_exact_mut(8);
+        let fix_heap = job.heap_shift != 0 && !self.varlen_cols.is_empty();
+        // Partition heads are coded relative to −∞ (they have no common
+        // emitted predecessor yet); interior partitions' first output
+        // code is later corrected by the seam fixup in `merge_runs`.
+        let mut code_a = if i < a1 {
+            crate::ovc::initial_code(&a_keys[i * kw..(i + 1) * kw], arity)
+        } else {
+            0
+        };
+        let mut code_b = if j < b1 {
+            crate::ovc::initial_code(&b_keys[j * kw..(j + 1) * kw], arity)
+        } else {
+            0
+        };
+        let (mut cmps, mut resolved, mut bytes) = (0u64, 0u64, 0u64);
+        for _ in 0..rows {
+            let take_b = if i >= a1 {
+                true
+            } else if j >= b1 {
+                false
+            } else {
+                cmps += 1;
+                let ka = &a_keys[i * kw..(i + 1) * kw];
+                let kb = &b_keys[j * kw..(j + 1) * kw];
+                let r = crate::ovc::compare_update(ka, code_a, kb, code_b, arity);
+                resolved += u64::from(r.resolved);
+                bytes += r.key_bytes;
+                let ord = match r.ord {
+                    Ordering::Equal if tie_possible => self.tie_cmp.compare(
+                        a.payload.row(i),
+                        a.payload.heap(),
+                        b.payload.row(j),
+                        b.payload.heap(),
+                    ),
+                    ord => ord,
+                };
+                let take_b = ord == Ordering::Greater;
+                // The loser's code is now relative to the winner — the
+                // row about to be emitted — keeping the same-base
+                // invariant for the next comparison. Value selects, not
+                // branches: `take_b` is a coin flip on real data.
+                code_a = if take_b { r.loser_code } else { code_a };
+                code_b = if take_b { code_b } else { r.loser_code };
+                take_b
+            };
+            let (src_keys, src_rows, r) = if take_b {
+                (b_keys, b_rows, j)
+            } else {
+                (a_keys, a_rows, i)
+            };
+            if let Some(dst) = ovc_out.next() {
+                let code = if take_b { code_b } else { code_a };
+                dst.copy_from_slice(&code.to_le_bytes());
+            }
+            j += take_b as usize;
+            i += !take_b as usize;
+            // The winner's successor's stored run code is relative to its
+            // in-run predecessor — the row just emitted — so it is valid
+            // as-is; no scan needed. Both columns are read unconditionally
+            // (`read_code` is total, returning 0 past the end, and a
+            // stale/garbage code on an exhausted side is never compared
+            // again) so the update is a select instead of a mispredicted
+            // branch.
+            let next_a = crate::ovc::read_code(&a.ovc, i);
+            let next_b = crate::ovc::read_code(&b.ovc, j);
+            code_a = if take_b { code_a } else { next_a };
+            code_b = if take_b { next_b } else { code_b };
+            if let Some(dst) = key_out.next() {
+                copy_small(dst, &src_keys[r * kw..(r + 1) * kw]);
+            }
+            // lint:allow(R002, R010): the iterator yields d1-d0 rows by
+            // construction; see the SAFETY disjointness argument above.
+            let out_row = row_out.next().expect("output sized to partition");
+            copy_small(out_row, &src_rows[r * width..(r + 1) * width]);
+            if fix_heap && take_b {
+                self.shift_heap_offsets(out_row, job.heap_shift);
+            }
+        }
+        self.metrics.add(Counter::MergeCmps, cmps);
+        self.metrics.add(Counter::MergeCmpsOvcResolved, resolved);
+        self.metrics.add(Counter::MergeKeyBytesTouched, bytes);
+    }
+
+    /// Rebase a merged row's VARCHAR heap offsets after its strings moved
+    /// to `heap_shift` bytes later in the concatenated output heap.
+    #[inline]
+    fn shift_heap_offsets(&self, out_row: &mut [u8], heap_shift: u32) {
+        // b-side strings now live after a's heap: shift offsets.
+        for &c in &self.varlen_cols {
+            if out_row[self.layout.null_offset(c)] != 0 {
+                continue;
+            }
+            let at = self.layout.offset(c);
+            let mut slot = [0u8; 4];
+            slot.copy_from_slice(&out_row[at..at + 4]);
+            let off = u32::from_le_bytes(slot) + heap_shift;
+            out_row[at..at + 4].copy_from_slice(&off.to_le_bytes());
         }
     }
 
     /// Return a run's buffers to the pool.
     fn recycle_run(&self, run: SortedRun) {
         self.pool.put_bytes(run.keys);
+        if run.ovc.capacity() > 0 {
+            self.pool.put_bytes(run.ovc);
+        }
         let (data, heap) = run.payload.into_raw_parts();
         self.pool.put_bytes(data);
         self.pool.put_bytes(heap);
@@ -843,6 +1363,7 @@ mod tests {
             SortOptions {
                 threads: 1,
                 run_rows: 1500,
+                ..SortOptions::default()
             },
         )
         .sort(&chunk);
@@ -852,6 +1373,7 @@ mod tests {
             SortOptions {
                 threads: 4,
                 run_rows: 1500,
+                ..SortOptions::default()
             },
         )
         .sort(&chunk);
@@ -878,6 +1400,7 @@ mod tests {
             SortOptions {
                 threads: 1,
                 run_rows: 512,
+                ..SortOptions::default()
             },
         )
         .sort(&chunk);
@@ -888,6 +1411,7 @@ mod tests {
                 SortOptions {
                     threads,
                     run_rows: 512,
+                    ..SortOptions::default()
                 },
             )
             .sort(&chunk);
@@ -901,10 +1425,9 @@ mod tests {
 
     #[test]
     fn repeated_sorts_hit_the_pool() {
-        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(
-            30_000, 33, 1 << 30,
-        ))])
-        .unwrap();
+        let chunk =
+            DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(30_000, 33, 1 << 30))])
+                .unwrap();
         let order = OrderBy::ascending(1);
         let pipeline = SortPipeline::new(
             chunk.types(),
@@ -912,6 +1435,7 @@ mod tests {
             SortOptions {
                 threads: 1,
                 run_rows: 4_000,
+                ..SortOptions::default()
             },
         );
         let first = pipeline.sort(&chunk);
@@ -930,8 +1454,8 @@ mod tests {
     #[test]
     fn varchar_stat_change_invalidates_pooled_key_blocks() {
         let order = OrderBy::ascending(1);
-        let short = DataChunk::from_columns(vec![Vector::from_strings(["b", "a", "c", "d"])])
-            .unwrap();
+        let short =
+            DataChunk::from_columns(vec![Vector::from_strings(["b", "a", "c", "d"])]).unwrap();
         let long = DataChunk::from_columns(vec![Vector::from_strings([
             "prefix_very_long_AAAA",
             "prefix_very_long_AAAB",
@@ -1016,6 +1540,7 @@ mod tests {
             SortOptions {
                 threads: 3,
                 run_rows: 257,
+                ..SortOptions::default()
             },
         );
         let got = pipeline.sort(&chunk);
@@ -1090,6 +1615,7 @@ mod tests {
             SortOptions {
                 threads: 0,
                 run_rows: 0,
+                ..SortOptions::default()
             },
         );
         let got = pipeline.sort(&chunk);
@@ -1110,12 +1636,8 @@ mod tests {
     fn sort_populates_profile_and_metrics() {
         use crate::metrics::{Counter, Phase};
         let n = 5_000usize;
-        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(
-            n,
-            51,
-            1 << 20,
-        ))])
-        .unwrap();
+        let chunk = DataChunk::from_columns(vec![Vector::from_u32s(pseudo_random(n, 51, 1 << 20))])
+            .unwrap();
         let order = OrderBy::ascending(1);
         let pipeline = SortPipeline::new(
             chunk.types(),
@@ -1123,6 +1645,7 @@ mod tests {
             SortOptions {
                 threads: 1,
                 run_rows: 700, // 8 runs → 3 merge rounds
+                ..SortOptions::default()
             },
         );
         let got = pipeline.sort(&chunk);
@@ -1138,8 +1661,29 @@ mod tests {
         assert_eq!(m.counter(Counter::RunsGenerated), 8);
         assert_eq!(m.counter(Counter::RadixSorts), 8, "u32 keys take radix");
         assert!(m.counter(Counter::RadixPasses) >= 8);
-        assert_eq!(m.counter(Counter::MergeRounds), 3);
-        assert!(m.counter(Counter::MergeTasks) >= 3);
+        // Single-threaded coded sorts merge all 8 runs in one k-way
+        // tree-of-losers round; with OVC off the cascade takes log₂ 8.
+        let rounds = if SortOptions::default().ovc { 1 } else { 3 };
+        assert_eq!(m.counter(Counter::MergeRounds), rounds);
+        assert!(m.counter(Counter::MergeTasks) >= rounds);
+        assert!(
+            m.counter(Counter::MergeCmps) > 0,
+            "merge loop counts compares"
+        );
+        assert!(
+            m.counter(Counter::MergeCmpsOvcResolved) <= m.counter(Counter::MergeCmps),
+            "OVC-resolved compares are a subset of all compares"
+        );
+        if SortOptions::default().ovc {
+            // Distinct-heavy u32 keys: the vast majority of merge
+            // comparisons must resolve on the code alone.
+            assert!(
+                m.counter(Counter::MergeCmpsOvcResolved) * 2 > m.counter(Counter::MergeCmps),
+                "OVC resolved {} of {} merge compares",
+                m.counter(Counter::MergeCmpsOvcResolved),
+                m.counter(Counter::MergeCmps)
+            );
+        }
         assert!(m.counter(Counter::BytesMoved) > 0);
         assert!(m.counter(Counter::PoolMisses) > 0, "cold sort allocates");
         assert!(m.phase(Phase::RunGeneration) > 0);
@@ -1163,6 +1707,46 @@ mod tests {
     }
 
     #[test]
+    fn ovc_output_bit_identical_to_plain_merge() {
+        // OVC changes how merge comparisons are computed, never their
+        // outcome: whole output (tie order included) must match with it
+        // on and off, across thread counts and both key shapes.
+        let n = 7_000;
+        let keys = pseudo_random(n, 91, 300); // heavy ties
+        let strings: Vec<String> = keys
+            .iter()
+            .map(|k| format!("shared_prefix_{:06}", k % 40))
+            .collect();
+        let payload: Vec<u32> = (0..n as u32).collect();
+        let chunk = DataChunk::from_columns(vec![
+            Vector::from_u32s(keys),
+            Vector::from_strings(strings.iter().map(|s| s.as_str())),
+            Vector::from_u32s(payload),
+        ])
+        .unwrap();
+        let order = OrderBy::new(vec![OrderByColumn::asc(1), OrderByColumn::asc(0)]);
+        for threads in [1, 3] {
+            let base = SortOptions {
+                threads,
+                run_rows: 600, // 12 runs → 4 merge rounds
+                ovc: false,
+            };
+            let plain = SortPipeline::new(chunk.types(), order.clone(), base).sort(&chunk);
+            let coded = SortPipeline::new(
+                chunk.types(),
+                order.clone(),
+                SortOptions { ovc: true, ..base },
+            )
+            .sort(&chunk);
+            assert_eq!(
+                plain.to_rows(),
+                coded.to_rows(),
+                "threads={threads}: OVC merge diverged from plain merge"
+            );
+        }
+    }
+
+    #[test]
     fn strings_survive_multi_round_merges() {
         // VARCHAR payload across ≥ 2 merge rounds: heap concatenation and
         // b-side offset shifting must compose across rounds.
@@ -1181,6 +1765,7 @@ mod tests {
             SortOptions {
                 threads: 2,
                 run_rows: 300, // 14 runs → 4 merge rounds
+                ..SortOptions::default()
             },
         );
         let got = pipeline.sort(&chunk);

@@ -211,7 +211,11 @@ mod tests {
     fn tiny_buffers_are_dropped() {
         let pool = BufferPool::new();
         pool.put_bytes(Vec::with_capacity(8));
-        assert_eq!(pool.get_bytes(8).capacity(), 64, "not recycled; class minimum");
+        assert_eq!(
+            pool.get_bytes(8).capacity(),
+            64,
+            "not recycled; class minimum"
+        );
         assert_eq!(pool.hits(), 0);
     }
 
@@ -224,7 +228,11 @@ mod tests {
         for _ in 0..SLOTS_PER_CLASS + 10 {
             let _ = pool.get_bytes(256);
         }
-        assert_eq!(pool.hits(), SLOTS_PER_CLASS, "only the retained slots recycle");
+        assert_eq!(
+            pool.hits(),
+            SLOTS_PER_CLASS,
+            "only the retained slots recycle"
+        );
     }
 
     #[test]

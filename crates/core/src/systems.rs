@@ -17,7 +17,6 @@
 
 use crate::comparator::FusedRowComparator;
 use crate::pipeline::{SortOptions, SortPipeline};
-use std::sync::Mutex;
 use rowsort_algos::kway::LoserTree;
 use rowsort_algos::pdqsort::pdqsort;
 use rowsort_algos::radix::lsd_radix_sort_rows;
@@ -27,6 +26,7 @@ use rowsort_vector::{DataChunk, LogicalType, OrderBy, Validity, Vector, VectorDa
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Which system's sort-operator configuration to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,12 +100,14 @@ pub fn sort_with_system_profiled(
         }
         SystemProfile::ColumnarJit => (columnar_jit_sort(input, order, threads), None),
         SystemProfile::ColumnarSingle => (columnar_single_sort(input, order), None),
-        SystemProfile::CompiledRows => {
-            (compiled_rows_sort(input, order, threads, MergeKind::KWay), None)
-        }
-        SystemProfile::CompiledRowsV2 => {
-            (compiled_rows_sort(input, order, threads, MergeKind::Cascade2Way), None)
-        }
+        SystemProfile::CompiledRows => (
+            compiled_rows_sort(input, order, threads, MergeKind::KWay),
+            None,
+        ),
+        SystemProfile::CompiledRowsV2 => (
+            compiled_rows_sort(input, order, threads, MergeKind::Cascade2Way),
+            None,
+        ),
     }
 }
 

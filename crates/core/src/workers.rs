@@ -162,11 +162,7 @@ impl WorkerPool {
             return;
         }
         {
-            let mut state = self
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             // SAFETY: erasing the lifetime of the closure `f` to publish
             // it. The guard below — dropped only after `active` returns
             // to 0 — keeps this stack frame (and thus `f`) alive until
@@ -183,7 +179,9 @@ impl WorkerPool {
             state.panicked = 0;
             self.shared.work_cv.notify_all();
         }
-        let guard = PhaseGuard { shared: &self.shared };
+        let guard = PhaseGuard {
+            shared: &self.shared,
+        };
         // The caller is worker 0; if this panics, `guard` still waits for
         // the spawned workers before the unwind leaves this frame.
         f(0);
@@ -199,11 +197,7 @@ struct PhaseGuard<'a> {
 
 impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
-        let mut state = self
-            .shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         while state.active > 0 {
             state = self
                 .shared
@@ -225,11 +219,7 @@ impl Drop for PhaseGuard<'_> {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             state.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -284,7 +274,12 @@ mod tests {
     #[test]
     fn broadcast_runs_on_every_worker() {
         let pool = WorkerPool::new(4);
-        let mut hits = vec![AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)];
+        let mut hits = vec![
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
         pool.broadcast(&|w| {
             hits[w].fetch_add(1, Ordering::Relaxed);
         });

@@ -68,7 +68,10 @@ fn external_output_identical_to_pipeline_across_budgets_and_specs() {
                     ..Default::default()
                 },
             );
-            let got = sorter.sort(&chunk).expect("external sort succeeds").to_rows();
+            let got = sorter
+                .sort(&chunk)
+                .expect("external sort succeeds")
+                .to_rows();
             assert_eq!(
                 got, expected,
                 "budget {budget}, {order_dir:?} {nulls:?}: external differs from pipeline"

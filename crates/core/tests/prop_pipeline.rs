@@ -129,7 +129,7 @@ prop! {
         let pipeline = SortPipeline::new(
             case.chunk.types(),
             case.order.clone(),
-            SortOptions { threads, run_rows },
+            SortOptions { threads, run_rows, ..SortOptions::default() },
         );
         let got = pipeline.sort(&case.chunk);
         check_sorted_permutation(&got, &case)?;
@@ -146,7 +146,7 @@ prop! {
     // pipeline (second sort reuses pooled buffers) yields the same row
     // bytes as a fresh pipeline's first sort.
     fn pooled_buffers_do_not_change_output(case in case_gen(), run_rows in 1usize..64, threads in 1usize..4) {
-        let options = SortOptions { threads, run_rows };
+        let options = SortOptions { threads, run_rows, ..SortOptions::default() };
         let warmed = SortPipeline::new(case.chunk.types(), case.order.clone(), options);
         drop(warmed.sort_rows(&case.chunk)); // populate the pool
         let pooled = warmed.sort_rows(&case.chunk);
@@ -170,14 +170,14 @@ prop! {
         let reference_pipeline = SortPipeline::new(
             case.chunk.types(),
             case.order.clone(),
-            SortOptions { threads: 1, run_rows },
+            SortOptions { threads: 1, run_rows, ..SortOptions::default() },
         );
         let reference = reference_pipeline.sort_rows(&case.chunk);
         for threads in [2usize, 4] {
             let pipeline = SortPipeline::new(
                 case.chunk.types(),
                 case.order.clone(),
-                SortOptions { threads, run_rows },
+                SortOptions { threads, run_rows, ..SortOptions::default() },
             );
             let got = pipeline.sort_rows(&case.chunk);
             match (got.payload(), reference.payload()) {

@@ -30,6 +30,11 @@ fn steady_state_sort_does_not_allocate() {
         SortOptions {
             threads: 1,
             run_rows: 1 << 15,
+            // Pinned on (not inherited from ROWSORT_OVC): the offset-value
+            // code columns must come from the pool like every other sort
+            // buffer, adding zero steady-state allocations.
+            ovc: true,
+            ..SortOptions::default()
         },
     );
 
@@ -51,7 +56,10 @@ fn steady_state_sort_does_not_allocate() {
         "steady-state sort hit the system allocator {allocs} time(s) \
          (pool hits={hits} misses={misses})"
     );
-    assert!(hits > 0, "pool was never used (hits={hits} misses={misses})");
+    assert!(
+        hits > 0,
+        "pool was never used (hits={hits} misses={misses})"
+    );
 
     // The observability layer recorded the measured sort — counters,
     // phase timers, and the per-sort profile all updated — while the

@@ -447,8 +447,8 @@ fn pick_name<'a>(rng: &mut Rng, names: &'a [&'a str]) -> &'a str {
 
 /// Warehouse location nouns used to synthesize `w_warehouse_name`.
 const WAREHOUSE_WORDS: &[&str] = &[
-    "North", "South", "East", "West", "Central", "Harbor", "Valley", "Ridge", "Lake",
-    "Summit", "Prairie", "Canyon", "Grove", "Mesa", "Delta", "Union",
+    "North", "South", "East", "West", "Central", "Harbor", "Valley", "Ridge", "Lake", "Summit",
+    "Prairie", "Canyon", "Grove", "Mesa", "Delta", "Union",
 ];
 
 /// Generate a `warehouse`-like dimension table at scale factor `sf`
@@ -650,10 +650,17 @@ mod tests {
     fn warehouse_dimension() {
         let w10 = warehouse(10.0, 1);
         let w300 = warehouse(300.0, 1);
-        assert!(w300.data.len() > w10.data.len(), "more warehouses at higher SF");
+        assert!(
+            w300.data.len() > w10.data.len(),
+            "more warehouses at higher SF"
+        );
         let sk = w10.data.column(0);
         for i in 0..sk.len() {
-            assert_eq!(sk.get(i), Value::Int32(i as i32 + 1), "sks are dense from 1");
+            assert_eq!(
+                sk.get(i),
+                Value::Int32(i as i32 + 1),
+                "sks are dense from 1"
+            );
         }
         assert_eq!(w10.column_index("w_warehouse_name"), Some(1));
     }

@@ -13,7 +13,7 @@ use crate::plan::{LogicalPlan, ResolvedPredicate};
 use crate::sql::CmpOp;
 use crate::{EngineError, Result};
 use rowsort_core::external::{ExternalSortOptions, ExternalSorter};
-use rowsort_core::metrics::Phase;
+use rowsort_core::metrics::{Counter, Phase};
 use rowsort_core::systems::{sort_with_system_profiled, SystemProfile};
 use rowsort_vector::{DataChunk, OrderBy, Value, Vector};
 use std::cmp::Ordering;
@@ -170,6 +170,14 @@ fn sort_detail(profile: &rowsort_core::SortProfile) -> String {
         if ns > 0 {
             let _ = write!(s, " {}={:.3}ms", ph.name(), ns as f64 / 1e6);
         }
+    }
+    // Offset-value coding effectiveness (DESIGN.md §10): the share of
+    // merge comparisons the code compare resolved without touching key
+    // suffix bytes. Only shown when the sort actually merged.
+    let cmps = profile.metrics.counter(Counter::MergeCmps);
+    if cmps > 0 {
+        let resolved = profile.metrics.counter(Counter::MergeCmpsOvcResolved);
+        let _ = write!(s, " ovc_hit={:.1}%", resolved as f64 * 100.0 / cmps as f64);
     }
     s
 }
@@ -532,7 +540,10 @@ fn top_n(
     }
     compact(&mut buf);
     let mut out = DataChunk::new(types);
-    for row in buf.iter().skip(usize::try_from(offset).unwrap_or(usize::MAX)) {
+    for row in buf
+        .iter()
+        .skip(usize::try_from(offset).unwrap_or(usize::MAX))
+    {
         out.push_row(row)
             .map_err(|e| EngineError::Internal(e.to_string()))?;
     }
@@ -835,11 +846,16 @@ mod tests {
     #[test]
     fn explain_returns_plan_without_executing() {
         let e = engine();
-        let r = e.query("EXPLAIN SELECT id FROM t ORDER BY id LIMIT 2").unwrap();
+        let r = e
+            .query("EXPLAIN SELECT id FROM t ORDER BY id LIMIT 2")
+            .unwrap();
         let text = varchar_lines(&r);
         assert!(text.contains("TopN"), "{text}");
         assert!(text.contains("Scan t"), "{text}");
-        assert!(!text.contains("rows="), "EXPLAIN has no runtime stats: {text}");
+        assert!(
+            !text.contains("rows="),
+            "EXPLAIN has no runtime stats: {text}"
+        );
     }
 
     #[test]
@@ -869,7 +885,10 @@ mod tests {
         // report the single aggregate output row.
         let text = varchar_lines(&e.query(&format!("EXPLAIN ANALYZE {sql}")).unwrap());
         assert!(text.contains("CountStar  [rows=1"), "{text}");
-        assert!(text.contains("Limit limit=None offset=1  [rows=4"), "{text}");
+        assert!(
+            text.contains("Limit limit=None offset=1  [rows=4"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -896,7 +915,9 @@ mod tests {
 
         // OFFSET past the end yields nothing; LIMIT 0 yields nothing.
         assert_eq!(
-            e.query(&format!("SELECT x FROM big OFFSET {n}")).unwrap().len(),
+            e.query(&format!("SELECT x FROM big OFFSET {n}"))
+                .unwrap()
+                .len(),
             0
         );
         assert_eq!(
@@ -925,8 +946,7 @@ mod tests {
 
     #[test]
     fn top_n_huge_limit_offset_saturates() {
-        let chunks =
-            vec![DataChunk::from_columns(vec![Vector::from_i32s(vec![3, 1, 2])]).unwrap()];
+        let chunks = vec![DataChunk::from_columns(vec![Vector::from_i32s(vec![3, 1, 2])]).unwrap()];
         let types = [rowsort_vector::LogicalType::Int32];
         let order = OrderBy::new(vec![rowsort_vector::OrderByColumn::asc(0)]);
         // limit + offset would overflow u64 without saturation.
@@ -982,7 +1002,8 @@ mod tests {
         assert_eq!(e.query(sql).unwrap().to_rows(), expected);
 
         // Joins and window functions route through the same sort path.
-        let sql = "SELECT id, row_number() OVER (ORDER BY id DESC) FROM big ORDER BY row_number LIMIT 3";
+        let sql =
+            "SELECT id, row_number() OVER (ORDER BY id DESC) FROM big ORDER BY row_number LIMIT 3";
         let expected = big_engine().query(sql).unwrap().to_rows();
         assert_eq!(e.query(sql).unwrap().to_rows(), expected);
     }
@@ -994,9 +1015,7 @@ mod tests {
             memory_limit_rows: 256,
             spill_dir: Some(PathBuf::from("/nonexistent-rowsort-spill-dir/sub")),
         });
-        let err = e
-            .query("SELECT id FROM big ORDER BY name")
-            .unwrap_err();
+        let err = e.query("SELECT id FROM big ORDER BY name").unwrap_err();
         match err {
             EngineError::Spill(rowsort_core::SpillError::Io { op, ref path, .. }) => {
                 assert_eq!(op, rowsort_core::SpillOp::Create);
@@ -1008,9 +1027,10 @@ mod tests {
             other => panic!("expected Spill(Io{{Create}}), got {other:?}"),
         }
         // The engine stays usable after the failed sort.
-        assert_eq!(e.query("SELECT count(*) FROM big").unwrap().row(0), vec![
-            Value::Int64(4_000)
-        ]);
+        assert_eq!(
+            e.query("SELECT count(*) FROM big").unwrap().row(0),
+            vec![Value::Int64(4_000)]
+        );
     }
 
     #[test]

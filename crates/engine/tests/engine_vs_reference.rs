@@ -2,10 +2,10 @@
 //! executor, over generated TPC-DS-like data and randomized queries.
 
 use rowsort_core::systems::SystemProfile;
-use rowsort_testkit::prop::{full_bool, option_of, vec_of};
-use rowsort_testkit::prop;
 use rowsort_engine::reference::execute_reference;
 use rowsort_engine::{plan, sql, Engine, Table};
+use rowsort_testkit::prop;
+use rowsort_testkit::prop::{full_bool, option_of, vec_of};
 use rowsort_vector::Value;
 use std::cmp::Ordering;
 

@@ -349,11 +349,7 @@ pub fn for_each_fn<'a>(file: &'a File, f: &mut impl FnMut(&'a FnItem, bool)) {
                     if let Some(body) = &func.body {
                         for stmt in &body.stmts {
                             if let Stmt::Item(nested) = stmt {
-                                rec(
-                                    std::slice::from_ref(nested),
-                                    in_test || func.is_test,
-                                    f,
-                                );
+                                rec(std::slice::from_ref(nested), in_test || func.is_test, f);
                             }
                         }
                     }

@@ -256,10 +256,9 @@ impl Parser {
         if self.peek() == Some('-') {
             self.pos += 1;
         }
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
-        {
+        while self.peek().is_some_and(|c| {
+            c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-'
+        }) {
             self.pos += 1;
         }
         let text: String = self.chars[start..self.pos].iter().collect();
@@ -285,7 +284,10 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let findings = vec![finding("R002", "crates/x.rs", 10), finding("R003", "a/b.rs", 7)];
+        let findings = vec![
+            finding("R002", "crates/x.rs", 10),
+            finding("R003", "a/b.rs", 7),
+        ];
         let text = render(&findings);
         let parsed = parse(&text).unwrap();
         assert_eq!(parsed.len(), 2);

@@ -129,10 +129,7 @@ impl Graph {
         for (i, n) in nodes.iter().enumerate() {
             by_qual.entry(n.qual.clone()).or_default().push(i);
             match n.qual.rsplit_once("::") {
-                Some((_, name)) => methods_by_name
-                    .entry(name.to_string())
-                    .or_default()
-                    .push(i),
+                Some((_, name)) => methods_by_name.entry(name.to_string()).or_default().push(i),
                 None => free_by_name.entry(n.qual.clone()).or_default().push(i),
             }
         }
@@ -177,11 +174,7 @@ impl Graph {
                         .unwrap_or_default()
                 }
             }
-            Target::Method(name) => self
-                .methods_by_name
-                .get(name)
-                .cloned()
-                .unwrap_or_default(),
+            Target::Method(name) => self.methods_by_name.get(name).cloned().unwrap_or_default(),
         }
     }
 

@@ -211,18 +211,39 @@ mod tests {
 
     #[test]
     fn literal_and_star() {
-        assert!(glob_match("crates/algos/src/radix.rs", "crates/algos/src/radix.rs"));
-        assert!(glob_match("crates/bench/src/bin/*.rs", "crates/bench/src/bin/gen.rs"));
-        assert!(!glob_match("crates/bench/src/bin/*.rs", "crates/bench/src/lib.rs"));
+        assert!(glob_match(
+            "crates/algos/src/radix.rs",
+            "crates/algos/src/radix.rs"
+        ));
+        assert!(glob_match(
+            "crates/bench/src/bin/*.rs",
+            "crates/bench/src/bin/gen.rs"
+        ));
+        assert!(!glob_match(
+            "crates/bench/src/bin/*.rs",
+            "crates/bench/src/lib.rs"
+        ));
     }
 
     #[test]
     fn double_star() {
-        assert!(glob_match("crates/normkey/src/**", "crates/normkey/src/encoding.rs"));
-        assert!(glob_match("crates/normkey/src/**", "crates/normkey/src/deep/nest.rs"));
+        assert!(glob_match(
+            "crates/normkey/src/**",
+            "crates/normkey/src/encoding.rs"
+        ));
+        assert!(glob_match(
+            "crates/normkey/src/**",
+            "crates/normkey/src/deep/nest.rs"
+        ));
         assert!(glob_match("target/**", "target/release/foo"));
-        assert!(!glob_match("crates/normkey/src/**", "crates/row/src/block.rs"));
-        assert!(glob_match("**/fixtures/**", "crates/lint/tests/fixtures/r001_bad.rs"));
+        assert!(!glob_match(
+            "crates/normkey/src/**",
+            "crates/row/src/block.rs"
+        ));
+        assert!(glob_match(
+            "**/fixtures/**",
+            "crates/lint/tests/fixtures/r001_bad.rs"
+        ));
     }
 
     #[test]

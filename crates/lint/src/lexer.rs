@@ -512,9 +512,7 @@ mod tests {
         assert!(toks
             .iter()
             .any(|(k, t)| *k == TokKind::Str && t.starts_with("b\"")));
-        assert!(toks
-            .iter()
-            .any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
     }
 
     #[test]
@@ -536,10 +534,7 @@ mod tests {
         // `"#` inside a `##`-delimited raw string must not terminate it,
         // and the token after must land at the exact column.
         let toks = spans("r##\"a\"# b\"## y");
-        assert_eq!(
-            toks[0],
-            (TokKind::RawStr, "r##\"a\"# b\"##".into(), 1, 1)
-        );
+        assert_eq!(toks[0], (TokKind::RawStr, "r##\"a\"# b\"##".into(), 1, 1));
         assert_eq!(toks[1], (TokKind::Ident, "y".into(), 1, 14));
     }
 

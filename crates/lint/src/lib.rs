@@ -89,8 +89,7 @@ pub fn run_workspace(
     // the final sort, but deterministic unit order keeps runs stable.
     let mut units: Vec<(String, Vec<(String, String)>)> = Vec::new();
     for rel in &files {
-        let src = fs::read_to_string(root.join(rel))
-            .map_err(|e| format!("read {rel}: {e}"))?;
+        let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
         report.files_scanned += 1;
         findings.extend(analyze_source(rel, &src, cfg));
         if rel.ends_with(".rs") {
@@ -104,7 +103,8 @@ pub fn run_workspace(
     for (_, unit_files) in &units {
         findings.extend(rules::analyze_unit(unit_files, cfg));
     }
-    findings.sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
     for f in findings {
         if cfg.severity_of(&f.rule) == config::Severity::Warn {
             report.warn_severity.push(f);
@@ -176,8 +176,12 @@ fn rel_unix(root: &Path, path: &Path) -> String {
 /// error: scoped rules without scopes silently check nothing.
 pub fn load_config(root: &Path) -> Result<Config, String> {
     let path = root.join("lint.toml");
-    let src = fs::read_to_string(&path)
-        .map_err(|e| format!("read {}: {e} (lint.toml is required at the workspace root)", path.display()))?;
+    let src = fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "read {}: {e} (lint.toml is required at the workspace root)",
+            path.display()
+        )
+    })?;
     Ok(Config::parse(&src))
 }
 

@@ -18,7 +18,7 @@
 //!   whose file no longer exists (reported as stale otherwise).
 //! - `--explain RXXX` prints the long-form rationale for one rule.
 
-use lint::{baseline, load_baseline, load_config, run_workspace, rules, Finding, Report};
+use lint::{baseline, load_baseline, load_config, rules, run_workspace, Finding, Report};
 use rowsort_testkit::json::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -49,12 +49,13 @@ fn parse_args() -> Result<Args, String> {
             "--baseline-diff" => args.baseline_diff = true,
             "--prune-baseline" => args.prune_baseline = true,
             "--explain" => {
-                args.explain = Some(it.next().ok_or("--explain requires a rule id (e.g. R010)")?);
+                args.explain = Some(
+                    it.next()
+                        .ok_or("--explain requires a rule id (e.g. R010)")?,
+                );
             }
             "--root" => {
-                args.root = PathBuf::from(
-                    it.next().ok_or("--root requires a directory argument")?,
-                );
+                args.root = PathBuf::from(it.next().ok_or("--root requires a directory argument")?);
             }
             "--help" | "-h" => {
                 return Err(
@@ -128,10 +129,7 @@ fn print_human(report: &Report, baseline_diff: bool) {
     }
     let counts = per_rule_counts(report);
     if !counts.is_empty() {
-        let rendered: Vec<String> = counts
-            .iter()
-            .map(|(r, n)| format!("{r}: {n}"))
-            .collect();
+        let rendered: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
         println!("per-rule counts: {}", rendered.join(", "));
     }
     println!(
@@ -213,12 +211,7 @@ fn main() -> ExitCode {
         entries.extend(report.errors.iter().map(|f| finding_json(f, "deny")));
         if !args.baseline_diff {
             entries.extend(report.warnings.iter().map(|f| finding_json(f, "baselined")));
-            entries.extend(
-                report
-                    .warn_severity
-                    .iter()
-                    .map(|f| finding_json(f, "warn")),
-            );
+            entries.extend(report.warn_severity.iter().map(|f| finding_json(f, "warn")));
         }
         let counts = per_rule_counts(&report);
         let doc = Json::obj(vec![

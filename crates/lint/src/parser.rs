@@ -22,11 +22,7 @@ use crate::lexer::{Tok, TokKind};
 /// nearby comments); the parser itself skips them.
 pub fn parse(toks: &[Tok]) -> File {
     let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
-    let mut p = Parser {
-        toks,
-        sig,
-        pos: 0,
-    };
+    let mut p = Parser { toks, sig, pos: 0 };
     File {
         items: p.items(false, None),
     }
@@ -42,8 +38,19 @@ struct Parser<'a> {
 
 /// Keywords that begin an item when seen in statement/item position.
 const ITEM_STARTERS: &[&str] = &[
-    "fn", "mod", "impl", "trait", "struct", "enum", "union", "use", "static", "type", "macro_rules",
-    "extern", "macro",
+    "fn",
+    "mod",
+    "impl",
+    "trait",
+    "struct",
+    "enum",
+    "union",
+    "use",
+    "static",
+    "type",
+    "macro_rules",
+    "extern",
+    "macro",
 ];
 
 impl<'a> Parser<'a> {
@@ -181,7 +188,10 @@ impl<'a> Parser<'a> {
                 continue;
             }
             if t.kind == TokKind::Ident {
-                if matches!(t.text.as_str(), "dyn" | "impl" | "mut" | "const" | "unsafe" | "extern" | "fn") {
+                if matches!(
+                    t.text.as_str(),
+                    "dyn" | "impl" | "mut" | "const" | "unsafe" | "extern" | "fn"
+                ) {
                     self.pos += 1;
                     continue;
                 }
@@ -373,7 +383,9 @@ impl<'a> Parser<'a> {
                         self.pos += 1;
                         continue;
                     }
-                    if h.kind == TokKind::Ident && !matches!(h.text.as_str(), "dyn" | "where" | "mut" | "const") {
+                    if h.kind == TokKind::Ident
+                        && !matches!(h.text.as_str(), "dyn" | "where" | "mut" | "const")
+                    {
                         let name = h.text.clone();
                         self.pos += 1;
                         self.skip_generics();
@@ -639,13 +651,17 @@ impl<'a> Parser<'a> {
                     !(w == "extern" && !self.tok(1).is_some_and(|n| n.kind == TokKind::Str))
                 }
                 "pub" => true,
-                "unsafe" => self
-                    .tok(1)
-                    .is_some_and(|n| n.is_ident("fn") || n.is_ident("impl") || n.is_ident("trait") || n.is_ident("extern")),
-                "const" => self
-                    .tok(1)
-                    .is_some_and(|n| n.kind == TokKind::Ident && n.text != "fn" || n.is_ident("fn"))
-                    && !self.tok(1).is_some_and(|n| n.is_punct('{')),
+                "unsafe" => self.tok(1).is_some_and(|n| {
+                    n.is_ident("fn")
+                        || n.is_ident("impl")
+                        || n.is_ident("trait")
+                        || n.is_ident("extern")
+                }),
+                "const" => {
+                    self.tok(1).is_some_and(|n| {
+                        n.kind == TokKind::Ident && n.text != "fn" || n.is_ident("fn")
+                    }) && !self.tok(1).is_some_and(|n| n.is_punct('{'))
+                }
                 _ => false,
             };
             if is_item {
@@ -756,10 +772,14 @@ impl<'a> Parser<'a> {
         let Some(t) = self.tok(0) else { return false };
         match t.kind {
             TokKind::Ident => !matches!(t.text.as_str(), "else" | "in" | "where"),
-            TokKind::Num | TokKind::Str | TokKind::RawStr | TokKind::Char | TokKind::Lifetime => true,
+            TokKind::Num | TokKind::Str | TokKind::RawStr | TokKind::Char | TokKind::Lifetime => {
+                true
+            }
             TokKind::Punct => {
-                matches!(t.text.chars().next(), Some('(' | '[' | '&' | '*' | '!' | '-' | '|'))
-                    || (allow_struct && t.is_punct('{'))
+                matches!(
+                    t.text.chars().next(),
+                    Some('(' | '[' | '&' | '*' | '!' | '-' | '|')
+                ) || (allow_struct && t.is_punct('{'))
             }
             _ => false,
         }
@@ -1107,7 +1127,11 @@ impl<'a> Parser<'a> {
         }
         let (line, col) = last_pos;
         // Macro invocation.
-        if self.at_punct('!') && self.tok(1).is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{')) {
+        if self.at_punct('!')
+            && self
+                .tok(1)
+                .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
+        {
             self.pos += 1;
             let name = path.rsplit("::").next().unwrap_or(&path).to_string();
             let args = self.macro_args();
@@ -1348,7 +1372,10 @@ mod tests {
         );
         let got = fns(&file);
         let names: Vec<&str> = got.iter().map(|(q, _, _)| q.as_str()).collect();
-        assert_eq!(names, vec!["free", "Foo::m", "Bar::fmt", "T::req", "T::def", "nested"]);
+        assert_eq!(
+            names,
+            vec!["free", "Foo::m", "Bar::fmt", "T::req", "T::def", "nested"]
+        );
         assert_eq!(got[2].2, "Result<(),Error>");
     }
 
@@ -1361,8 +1388,15 @@ mod tests {
         );
         let got = fns(&file);
         assert_eq!(
-            got.iter().map(|(q, t, _)| (q.as_str(), *t)).collect::<Vec<_>>(),
-            vec![("prod", false), ("helper", true), ("case", true), ("also_prod", false)]
+            got.iter()
+                .map(|(q, t, _)| (q.as_str(), *t))
+                .collect::<Vec<_>>(),
+            vec![
+                ("prod", false),
+                ("helper", true),
+                ("case", true),
+                ("also_prod", false)
+            ]
         );
     }
 
@@ -1383,7 +1417,10 @@ mod tests {
             }
         });
         for want in ["g", ".iter", ".map", "h", "assert!", "k", "Type::assoc"] {
-            assert!(calls.iter().any(|c| c == want), "missing {want} in {calls:?}");
+            assert!(
+                calls.iter().any(|c| c == want),
+                "missing {want} in {calls:?}"
+            );
         }
     }
 
@@ -1396,7 +1433,10 @@ mod tests {
         ast::for_each_fn(&file, &mut |f, _| {
             if let Some(b) = &f.body {
                 for s in &b.stmts {
-                    if let ast::Stmt::Let { underscore: true, .. } = s {
+                    if let ast::Stmt::Let {
+                        underscore: true, ..
+                    } = s
+                    {
                         unders += 1;
                     }
                 }

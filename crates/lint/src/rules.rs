@@ -148,7 +148,9 @@ fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
         }
         let attr_start = i;
         // Consume `#[ … ]` with bracket depth.
-        let Some(open) = next_sig_from(toks, i) else { break };
+        let Some(open) = next_sig_from(toks, i) else {
+            break;
+        };
         if !toks[open].is_punct('[') {
             i += 1;
             continue;
@@ -199,7 +201,10 @@ fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
                 }
                 k += 1;
             } else if t.kind == TokKind::Ident
-                && matches!(t.text.as_str(), "pub" | "crate" | "super" | "self" | "async")
+                && matches!(
+                    t.text.as_str(),
+                    "pub" | "crate" | "super" | "self" | "async"
+                )
                 || t.is_punct('(')
                 || t.is_punct(')')
             {
@@ -311,9 +316,7 @@ fn collect_suppressions(ctx: &FileCtx, findings: &mut Vec<Finding>) -> Vec<Suppr
             continue;
         }
         let tail = after[close + 1..].trim_start();
-        let has_reason = tail
-            .strip_prefix(':')
-            .is_some_and(|r| !r.trim().is_empty());
+        let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
         if !has_reason {
             findings.push(Finding::new(
                 "R000",
@@ -446,8 +449,7 @@ fn rule_r002(ctx: &FileCtx, findings: &mut Vec<Finding>) {
                     t.text
                 ),
             ));
-        } else if t.is_ident("panic")
-            && ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('!'))
+        } else if t.is_ident("panic") && ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('!'))
         {
             findings.push(Finding::new(
                 "R002",
@@ -466,9 +468,7 @@ fn rule_r002(ctx: &FileCtx, findings: &mut Vec<Finding>) {
             });
             let lit_inside = ctx.next_sig(i).is_some_and(|n| {
                 ctx.toks[n].kind == TokKind::Num
-                    && ctx
-                        .next_sig(n)
-                        .is_some_and(|m| ctx.toks[m].is_punct(']'))
+                    && ctx.next_sig(n).is_some_and(|m| ctx.toks[m].is_punct(']'))
             });
             if expr_before && lit_inside {
                 findings.push(Finding::new(
@@ -516,9 +516,7 @@ fn rule_r003(ctx: &FileCtx, findings: &mut Vec<Finding>) {
             TokKind::Ident => match t.text.as_str() {
                 "impl" => pending_impl = true,
                 "for" => {
-                    let hrtb = ctx
-                        .next_sig(i)
-                        .is_some_and(|n| ctx.toks[n].is_punct('<'));
+                    let hrtb = ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('<'));
                     if !pending_impl && !hrtb {
                         pending_loop = Some(paren_depth);
                     }
@@ -567,17 +565,16 @@ fn rule_r003(ctx: &FileCtx, findings: &mut Vec<Finding>) {
                             })
                     })
             });
-        let offending = if t.is_ident("format")
-            && ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('!'))
-        {
-            Some("format! allocates")
-        } else if assoc_new {
-            Some("Vec::new/Box::new allocates")
-        } else if method_call("to_vec") || method_call("clone") || method_call("collect") {
-            Some("per-iteration allocation")
-        } else {
-            None
-        };
+        let offending =
+            if t.is_ident("format") && ctx.next_sig(i).is_some_and(|n| ctx.toks[n].is_punct('!')) {
+                Some("format! allocates")
+            } else if assoc_new {
+                Some("Vec::new/Box::new allocates")
+            } else if method_call("to_vec") || method_call("clone") || method_call("collect") {
+                Some("per-iteration allocation")
+            } else {
+                None
+            };
         if let Some(why) = offending {
             findings.push(Finding::new(
                 "R003",
@@ -635,7 +632,7 @@ fn dep_section(section: &str) -> Option<Option<String>> {
         )
     })?;
     match segs.len() - 1 - dep_pos {
-        0 => Some(None),                         // `[dependencies]`
+        0 => Some(None),                            // `[dependencies]`
         1 => Some(Some(segs[dep_pos + 1].clone())), // `[dependencies.foo]`
         _ => None,
     }
@@ -731,7 +728,10 @@ fn audit_dep_entries(
         ));
     }
     for (k, _) in entries {
-        if matches!(k.as_str(), "version" | "git" | "registry" | "branch" | "rev" | "tag") {
+        if matches!(
+            k.as_str(),
+            "version" | "git" | "registry" | "branch" | "rev" | "tag"
+        ) {
             out.push(finding(
                 line,
                 format!(
@@ -970,9 +970,9 @@ fn rule_r012(path: &str, file: &ast::File, graph: &Graph, findings: &mut Vec<Fin
         body.walk_exprs(&mut |e| {
             if let ast::Expr::Method { name, args, .. } = e {
                 if name == "add"
-                    && args.first().is_some_and(|a| {
-                        matches!(a, ast::Expr::Path { path } if path.starts_with("Counter"))
-                    })
+                    && args.first().is_some_and(
+                        |a| matches!(a, ast::Expr::Path { path } if path.starts_with("Counter")),
+                    )
                 {
                     counts = true;
                 }
@@ -1090,7 +1090,10 @@ const PTR_METHODS: &[&str] = &[
 fn is_ptr_call(callee: &str) -> bool {
     let last = callee.rsplit("::").next().unwrap_or(callee);
     match last {
-        "from_raw_parts" | "from_raw_parts_mut" | "copy_nonoverlapping" | "write_bytes"
+        "from_raw_parts"
+        | "from_raw_parts_mut"
+        | "copy_nonoverlapping"
+        | "write_bytes"
         | "transmute" => true,
         "read" | "write" | "copy" => {
             // Only the `ptr::` forms; `io::read` etc. are safe.

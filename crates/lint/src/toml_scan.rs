@@ -210,10 +210,7 @@ pub fn inline_table_entries(value: &str) -> Vec<(String, String)> {
 
 fn push_entry(out: &mut Vec<(String, String)>, piece: &str) {
     if let Some(eq) = find_eq(piece) {
-        out.push((
-            unquote(&piece[..eq]),
-            piece[eq + 1..].trim().to_string(),
-        ));
+        out.push((unquote(&piece[..eq]), piece[eq + 1..].trim().to_string()));
     }
 }
 
@@ -224,7 +221,15 @@ mod tests {
     #[test]
     fn sections_and_keys() {
         let items = scan("top = 1\n[a]\nx = \"v\" # comment\n[a.b]\ny = 2\n");
-        assert_eq!(items[0], TomlItem { section: "".into(), key: "top".into(), value: "1".into(), line: 1 });
+        assert_eq!(
+            items[0],
+            TomlItem {
+                section: "".into(),
+                key: "top".into(),
+                value: "1".into(),
+                line: 1
+            }
+        );
         assert_eq!(items[1].section, "a");
         assert_eq!(items[1].value, "\"v\"");
         assert_eq!(items[2].section, "a.b");

@@ -164,7 +164,10 @@ fn workspace_is_lint_clean() {
         report
             .errors
             .iter()
-            .map(|f| format!("  [{}] {}:{}:{} {}", f.rule, f.path, f.line, f.col, f.message))
+            .map(|f| format!(
+                "  [{}] {}:{}:{} {}",
+                f.rule, f.path, f.line, f.col, f.message
+            ))
             .collect::<Vec<_>>()
             .join("\n")
     );
@@ -218,7 +221,10 @@ fn r010_diamond_call_graph_reports_shortest_chain_once() {
     let got = unit_findings(&[("unit/diamond.rs", src)], &cfg);
     assert_eq!(got.len(), 1, "{got:?}");
     let f = &got[0];
-    assert_eq!((f.rule.as_str(), f.path.as_str(), f.line, f.col), ("R010", "unit/diamond.rs", 5, 7));
+    assert_eq!(
+        (f.rule.as_str(), f.path.as_str(), f.line, f.col),
+        ("R010", "unit/diamond.rs", 5, 7)
+    );
     assert!(
         f.message.contains("entry -> left -> sink"),
         "chain must render the shortest path: {}",
@@ -236,7 +242,11 @@ fn r010_recursive_graph_terminates_and_reports() {
     let got = unit_findings(&[("unit/rec.rs", src)], &cfg);
     assert_eq!(got.len(), 1, "{got:?}");
     assert_eq!(got[0].line, 3);
-    assert!(got[0].message.contains("entry -> step -> boom"), "{}", got[0].message);
+    assert!(
+        got[0].message.contains("entry -> step -> boom"),
+        "{}",
+        got[0].message
+    );
 }
 
 #[test]
@@ -253,7 +263,11 @@ fn r010_trait_method_chain_crosses_files_within_a_unit() {
     assert_eq!(got.len(), 1, "{got:?}");
     let f = &got[0];
     assert_eq!((f.path.as_str(), f.line), ("unit/b.rs", 6));
-    assert!(f.message.contains("entry -> A::step -> helper"), "{}", f.message);
+    assert!(
+        f.message.contains("entry -> A::step -> helper"),
+        "{}",
+        f.message
+    );
 }
 
 #[test]
@@ -299,8 +313,8 @@ fn r013_unsafe_budget_and_safety_mentions() {
     let rules_hit: Vec<&str> = got.iter().map(|f| f.rule.as_str()).collect();
     assert!(rules_hit.contains(&"R013"), "{got:?}");
     assert!(
-        got.iter().any(|f| f.message.contains("at most 8 statements")
-            || f.message.contains("`p`")),
+        got.iter()
+            .any(|f| f.message.contains("at most 8 statements") || f.message.contains("`p`")),
         "budget or mention finding expected: {got:?}"
     );
     let ok = "fn f(p: *const u8) {\n\
@@ -354,7 +368,10 @@ fn explain_covers_every_rule_id() {
     for rule in [
         "R000", "R001", "R002", "R003", "R004", "R005", "R006", "R010", "R011", "R012", "R013",
     ] {
-        assert!(rules::explain(rule).is_some(), "missing --explain text for {rule}");
+        assert!(
+            rules::explain(rule).is_some(),
+            "missing --explain text for {rule}"
+        );
     }
     assert!(rules::explain("R999").is_none());
 }

@@ -717,7 +717,12 @@ mod tests {
     #[test]
     fn append_chunk_range_strings_and_nulls() {
         let mut chunk = DataChunk::new(&[T::Varchar]);
-        for v in [Value::from("a"), Value::Null, Value::from("c"), Value::from("d")] {
+        for v in [
+            Value::from("a"),
+            Value::Null,
+            Value::from("c"),
+            Value::from("d"),
+        ] {
             chunk.push_row(&[v]).unwrap();
         }
         let mut block = RowBlock::new(Arc::new(RowLayout::new(&chunk.types())));

@@ -124,7 +124,9 @@ impl Default for Harness {
 impl Harness {
     /// An empty harness.
     pub fn new() -> Harness {
-        Harness { results: Vec::new() }
+        Harness {
+            results: Vec::new(),
+        }
     }
 
     /// Start a named group; benchmarks in it are reported as
@@ -376,7 +378,9 @@ mod tests {
         let mut harness = Harness::new();
         {
             let mut group = harness.benchmark_group("g");
-            group.sample_size(3).measurement_time(Duration::from_millis(50));
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(50));
             group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
             group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
                 b.iter(|| n * 2)
@@ -396,7 +400,9 @@ mod tests {
         let mut harness = Harness::new();
         {
             let mut group = harness.benchmark_group("g");
-            group.sample_size(2).measurement_time(Duration::from_millis(50));
+            group
+                .sample_size(2)
+                .measurement_time(Duration::from_millis(50));
             group.bench_function("batched", |b| {
                 b.iter_batched(
                     || vec![3u32, 1, 2],

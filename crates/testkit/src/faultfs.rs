@@ -347,7 +347,8 @@ impl Write for FaultWriter {
         // Injected write error: fires once the cursor would cross the
         // spec's offset (so a run of small writes hits it exactly once).
         let hit = inner.peek_spec(self.ordinal, |s| {
-            matches!(s.kind, FaultKind::WriteError(_)) && self.written + buf.len() as u64 > s.at_byte
+            matches!(s.kind, FaultKind::WriteError(_))
+                && self.written + buf.len() as u64 > s.at_byte
         });
         if let Some((i, spec)) = hit {
             inner.fired[i] = true;
@@ -451,11 +452,17 @@ mod tests {
         write_file(&fs, "a.run", b"hello");
         write_file(&fs, "b.run", b"world!");
         assert_eq!(read_file(&fs, "a.run"), b"hello");
-        assert_eq!(fs.live_files(), vec!["a.run".to_owned(), "b.run".to_owned()]);
+        assert_eq!(
+            fs.live_files(),
+            vec!["a.run".to_owned(), "b.run".to_owned()]
+        );
         assert_eq!(fs.stored_bytes(), 11);
         fs.delete("a.run").unwrap();
         assert_eq!(fs.live_files(), vec!["b.run".to_owned()]);
-        assert_eq!(fs.delete("a.run").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(
+            fs.delete("a.run").unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
         let st = fs.stats();
         assert_eq!(st.files_created, 2);
         assert_eq!(st.files_deleted, 1);
@@ -550,7 +557,10 @@ mod tests {
         });
         write_file(&fs, "gone.run", b"data");
         assert!(fs.live_files().is_empty());
-        assert_eq!(fs.open("gone.run").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(
+            fs.open("gone.run").unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
         assert_eq!(fs.stats().deletes_on_close, 1);
         assert_eq!(fs.stored_bytes(), 0);
     }

@@ -133,7 +133,10 @@ impl XxHash64 {
         let mut rest = &self.buf[..self.buf_len];
         while rest.len() >= 8 {
             let k = Self::round(0, Self::read_u64(rest, 0));
-            h = (h ^ k).rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+            h = (h ^ k)
+                .rotate_left(27)
+                .wrapping_mul(PRIME64_1)
+                .wrapping_add(PRIME64_4);
             rest = &rest[8..];
         }
         if rest.len() >= 4 {

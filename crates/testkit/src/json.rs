@@ -330,7 +330,10 @@ mod tests {
             ("median_ns", Json::Num(123456789.0)),
             ("ratio", Json::Num(1.25)),
             ("ok", Json::Bool(true)),
-            ("samples_ns", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            (
+                "samples_ns",
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)]),
+            ),
             ("missing", Json::Null),
             ("note", Json::str("a\n\"b\"\\c")),
         ]);

@@ -111,7 +111,11 @@ fn shrink_int<T: UniformInt>(cur: T, target: T) -> Vec<T> {
         return Vec::new();
     }
     let mut out = vec![T::from_offset(t)];
-    let mid = if c > t { t + (c - t) / 2 } else { t - (t - c) / 2 };
+    let mid = if c > t {
+        t + (c - t) / 2
+    } else {
+        t - (t - c) / 2
+    };
     if mid != c && mid != t {
         out.push(T::from_offset(mid));
     }
@@ -685,7 +689,8 @@ impl Runner {
             let mut rng = Rng::seed_from_u64(splitmix64(&mut mix));
             let value = gen.generate(&mut rng);
             if let Err(message) = check(&prop, &value) {
-                let (minimal, min_message, steps) = shrink_failure(gen, &prop, value.clone(), message);
+                let (minimal, min_message, steps) =
+                    shrink_failure(gen, &prop, value.clone(), message);
                 panic!(
                     "\nproperty '{name}' failed (case {case} of {cases}, seed {seed:#x})\n\
                      minimal failing input ({steps} shrink steps): {minimal:#?}\n\
@@ -926,16 +931,15 @@ mod tests {
     fn runner_shrinks_to_minimal_counterexample() {
         // Property: all values < 10. Failure shrinks to exactly [10].
         let result = std::panic::catch_unwind(|| {
-            Runner::new("shrink_to_minimal").cases(256).run(
-                &vec_of(0u32..1000, 0..20),
-                |v| {
+            Runner::new("shrink_to_minimal")
+                .cases(256)
+                .run(&vec_of(0u32..1000, 0..20), |v| {
                     if v.iter().all(|&x| x < 10) {
                         Ok(())
                     } else {
                         Err("element >= 10".to_owned())
                     }
-                },
-            );
+                });
         });
         let message = panic_message(&*result.expect_err("property must fail"));
         assert!(
@@ -959,10 +963,12 @@ mod tests {
     #[test]
     fn plain_panics_are_caught_and_shrunk() {
         let result = std::panic::catch_unwind(|| {
-            Runner::new("panicking_prop").cases(64).run(&(0u32..100), |v| {
-                assert!(*v < 1, "too big");
-                Ok(())
-            });
+            Runner::new("panicking_prop")
+                .cases(64)
+                .run(&(0u32..100), |v| {
+                    assert!(*v < 1, "too big");
+                    Ok(())
+                });
         });
         let message = panic_message(&*result.expect_err("must fail"));
         assert!(message.contains("panic"), "{message}");
@@ -970,10 +976,7 @@ mod tests {
 
     #[test]
     fn weighted_respects_weights() {
-        let g = weighted(vec![
-            (1, Just(0u32).boxed()),
-            (9, Just(1u32).boxed()),
-        ]);
+        let g = weighted(vec![(1, Just(0u32).boxed()), (9, Just(1u32).boxed())]);
         let mut rng = Rng::seed_from_u64(3);
         let ones = (0..1000).filter(|_| g.generate(&mut rng) == 1).count();
         assert!((820..980).contains(&ones), "{ones}");

@@ -36,10 +36,7 @@ impl Rng {
 
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -222,7 +219,9 @@ impl Zipf {
     /// Draw a rank in `0..n`.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.unit_f64();
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -250,7 +249,13 @@ mod tests {
         let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
         assert_eq!(
             got,
-            vec![11520, 0, 1509978240, 1215971899390074240, 1216172134540287360]
+            vec![
+                11520,
+                0,
+                1509978240,
+                1215971899390074240,
+                1216172134540287360
+            ]
         );
     }
 

@@ -1,6 +1,5 @@
 //! The logical (SQL-level) type system.
 
-
 /// SQL-level data types supported by the workspace.
 ///
 /// The paper's micro-benchmarks use unsigned 32-bit integers, and its

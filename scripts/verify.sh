@@ -60,20 +60,22 @@ mkdir -p target/perf
 trace_jsonl="$PWD/target/perf/trace_smoke.jsonl"
 cargo run --release --offline -q -p rowsort-bench --bin trace_smoke -- "$trace_jsonl"
 
-# --- 6. Pipeline perf smoke (warn-only) ------------------------------------
+# --- 6. Pipeline perf gate ---------------------------------------------------
 # A fast pipeline bench run (250k rows, not the full Figure 12 sizes),
 # compared against the checked-in BENCH_pipeline.json baseline. The gate
-# prints a ratio per bench id and warns past tolerance, but never fails
-# the build: the boxes this runs on are noisy single-core machines. The
-# --trace flag appends a phase attribution of the traced sorts from step 5
-# so a flagged regression points at the phase that slowed down.
-echo "== pipeline perf smoke =="
+# prints a ratio per bench id and FAILS the build past a 1.25x median
+# regression on any overlapping id; export ROWSORT_BENCH_WARN_ONLY=1 to
+# demote regressions to warnings (noisy machines, intentional trade-offs
+# awaiting a baseline refresh). The --trace flag appends a phase
+# attribution of the traced sorts from step 5 so a flagged regression
+# points at the phase that slowed down.
+echo "== pipeline perf gate =="
 # Absolute path: cargo runs benches with the package dir as cwd.
 smoke_json="$PWD/target/perf/pipeline_smoke.json"
 ROWSORT_PIPE_ROWS=250000 ROWSORT_BENCH_JSON="$smoke_json" \
     cargo bench --offline -q -p rowsort-bench --bench pipeline
 cargo run --release --offline -q -p rowsort-bench --bin bench_gate -- \
-    BENCH_pipeline.json "$smoke_json" --tolerance 50 --trace "$trace_jsonl"
+    BENCH_pipeline.json "$smoke_json" --tolerance 25 --trace "$trace_jsonl"
 
 # --- 7. Spill fault-injection stress ----------------------------------------
 # 50 seeded iterations of the differential stress loop (DESIGN.md §8.5):

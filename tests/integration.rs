@@ -32,6 +32,7 @@ fn pipeline_sorts_paper_microbenchmark_data() {
             SortOptions {
                 threads: 2,
                 run_rows: 3000,
+                ..SortOptions::default()
             },
         )
         .sort(&chunk);

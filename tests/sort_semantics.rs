@@ -50,6 +50,7 @@ fn sort_with(chunk: &DataChunk, order: &OrderBy, threads: usize) -> DataChunk {
         SortOptions {
             threads,
             run_rows: 257, // small runs => the merge tree actually runs
+            ..SortOptions::default()
         },
     )
     .sort(chunk)

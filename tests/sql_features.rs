@@ -61,7 +61,11 @@ fn join_count_equals_non_null_fk_count() {
     let (Value::Int64(j), Value::Int64(n)) = (&joined.row(0)[0], &non_null.row(0)[0]) else {
         panic!("expected counts");
     };
-    assert_eq!(*j, *n - 1, "join count (minus the OFFSET row) = non-NULL FKs");
+    assert_eq!(
+        *j,
+        *n - 1,
+        "join count (minus the OFFSET row) = non-NULL FKs"
+    );
 }
 
 #[test]
