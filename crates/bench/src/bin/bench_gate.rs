@@ -30,11 +30,11 @@ struct Entry {
     median_ns: f64,
 }
 
-fn entries(report: &Json) -> Vec<Entry> {
+fn entries(report: &Json, path: &str) -> Vec<Entry> {
     let Some(items) = report.as_arr() else {
         return Vec::new();
     };
-    items
+    let out: Vec<Entry> = items
         .iter()
         .filter_map(|item| {
             Some(Entry {
@@ -42,7 +42,19 @@ fn entries(report: &Json) -> Vec<Entry> {
                 median_ns: item.get("median_ns")?.as_f64()?,
             })
         })
-        .collect()
+        .collect();
+    // A zero (or NaN/negative) median would make every ratio inf/NaN and
+    // the tolerance check silently pass — refuse to gate on such a file.
+    for e in &out {
+        if !e.median_ns.is_finite() || e.median_ns <= 0.0 {
+            die(&format!(
+                "{path}: bench '{}' has non-positive median_ns ({}) — \
+                 the file holds no usable samples; regenerate it",
+                e.id, e.median_ns
+            ));
+        }
+    }
+    out
 }
 
 fn load(path: &str) -> Json {
@@ -133,8 +145,11 @@ fn main() {
     let baseline_doc = load(baseline_path);
     // BENCH_pipeline.json nests the reference run under "after"; a bare
     // harness report array is accepted too.
-    let baseline = entries(baseline_doc.get("after").unwrap_or(&baseline_doc));
-    let fresh = entries(&load(fresh_path));
+    let baseline = entries(
+        baseline_doc.get("after").unwrap_or(&baseline_doc),
+        baseline_path,
+    );
+    let fresh = entries(&load(fresh_path), fresh_path);
     if baseline.is_empty() {
         die(&format!("no bench entries in {baseline_path}"));
     }
@@ -168,10 +183,9 @@ fn main() {
         );
     }
 
-    // `ROWSORT_BENCH_WARN_ONLY=1` restores the old advisory behavior.
-    let warn_only = std::env::var("ROWSORT_BENCH_WARN_ONLY")
-        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false);
+    // `ROWSORT_BENCH_WARN_ONLY=1` restores the old advisory behavior
+    // (shared spelling convention via testkit's env helper).
+    let warn_only = rowsort_testkit::env::env_flag("ROWSORT_BENCH_WARN_ONLY", false);
     if compared == 0 {
         println!("bench_gate: no overlapping bench ids; nothing compared");
     } else if regressions > 0 {

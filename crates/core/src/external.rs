@@ -15,7 +15,12 @@
 //!    released before the next run is built.
 //! 2. **Streaming merge**: a loser tree over buffered run readers pops one
 //!    record at a time; peak memory during the merge is one buffer per run
-//!    plus the output.
+//!    plus the output. With more than one merge thread the key space is
+//!    cut into disjoint ranges at splitter keys sampled from the runs
+//!    (DESIGN.md §11), a verifying scan locates each run's range
+//!    boundaries, and the persistent worker pool merges every range
+//!    independently into pre-sized slots of one shared output — the
+//!    concatenation is bit-identical to the single-threaded merge.
 //!
 //! Storage is reached only through the [`SpillIo`] trait (`std::fs` by
 //! default, a fault-injecting in-memory backend in tests), and the spill
@@ -36,7 +41,9 @@ use crate::comparator::FusedRowComparator;
 use crate::keys::KeyBlock;
 use crate::metrics::{emit_trace, Counter, CounterRegistry, Metrics, Phase, SortProfile};
 use crate::ovc;
-use crate::spill::{SpillError, SpillIo, SpillOp, StdFs};
+use crate::pool::BufferPool;
+use crate::spill::{ReadAhead, SpillError, SpillIo, SpillOp, StdFs};
+use crate::workers::{SendPtr, WorkerPool};
 use rowsort_algos::kway::{LoserTree, OvcLoserTree, OvcMatch};
 use rowsort_row::{RowBlock, RowLayout};
 use rowsort_testkit::hash::XxHash64;
@@ -45,8 +52,8 @@ use std::cell::Cell;
 use std::cmp::Ordering;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Seed for the per-run xxHash64 checksum ("ROWSORT!" as bytes), so spill
@@ -73,6 +80,21 @@ const SPILL_VERSION: u16 = 2;
 /// (LE `u64`) between its key and its payload row.
 const SPILL_FLAG_OVC: u16 = 1;
 
+/// Bytes of run-file header (magic ‖ version ‖ flags) before the first
+/// record — the byte offset every partition scan starts from.
+const HEADER_BYTES: u64 = 8;
+
+/// Splitter candidates sampled per run at encode time. 32 evenly spaced
+/// keys per run give the partitioner `32 × runs` sorted candidates —
+/// plenty for a near-even cut at any plausible thread count, for a few
+/// hundred bytes per run.
+const MERGE_SAMPLES_PER_RUN: usize = 32;
+
+/// Minimum rows per merge partition. Below this the per-range overhead
+/// (cursor setup, a read-ahead buffer pair per run) outweighs the
+/// parallelism, so the partition count is capped at `total / 256`.
+const MIN_ROWS_PER_PARTITION: usize = 256;
+
 /// Tuning for the external sorter.
 #[derive(Debug, Clone)]
 pub struct ExternalSortOptions {
@@ -91,6 +113,11 @@ pub struct ExternalSortOptions {
     /// OVC-aware loser tree (DESIGN.md §10). Defaults to
     /// [`crate::pipeline::default_ovc`] (`ROWSORT_OVC=0` disables).
     pub ovc: bool,
+    /// Worker threads for the spill-merge phase. With more than one, the
+    /// merge is range-partitioned across the persistent worker pool
+    /// (DESIGN.md §11); output is bit-identical at any thread count.
+    /// Defaults to [`crate::pipeline::default_threads`].
+    pub merge_threads: usize,
 }
 
 impl Default for ExternalSortOptions {
@@ -101,6 +128,7 @@ impl Default for ExternalSortOptions {
             max_write_retries: 3,
             retry_backoff: Duration::from_micros(250),
             ovc: crate::pipeline::default_ovc(),
+            merge_threads: crate::pipeline::default_threads(),
         }
     }
 }
@@ -134,6 +162,12 @@ pub struct ExternalSorter {
     io: Arc<dyn SpillIo>,
     metrics: Arc<CounterRegistry>,
     profile: Mutex<SortProfile>,
+    /// Recycles merge output buffers and read-ahead blocks, so repeated
+    /// sorts through one sorter reach a zero-allocation steady state.
+    pool: Arc<BufferPool>,
+    /// Merge workers, spawned lazily on the first partitioned merge so
+    /// single-threaded (or never-partitioned) sorters spawn no threads.
+    workers: OnceLock<WorkerPool>,
 }
 
 /// Read a 4-byte heap slot out of the row area. Infallible by type: the
@@ -168,31 +202,56 @@ impl Drop for SpilledRun {
     }
 }
 
-/// One sorted run: normally a spilled file, or — after spill space is
-/// exhausted — the same encoded bytes held in memory. Both shapes are
-/// read back through the identical [`RunCursor`] code path.
-enum Run {
+/// One sorted run plus the splitter-candidate keys sampled from it at
+/// encode time (up to [`MERGE_SAMPLES_PER_RUN`] evenly spaced keys of
+/// `key_width` bytes each). The samples cost nothing to capture while
+/// the run's keys are hot and let the partitioned merge choose range
+/// splitters without re-reading any file.
+struct Run {
+    samples: Vec<u8>,
+    store: RunStore,
+}
+
+/// Where a run's encoded bytes live: normally a spilled file, or — after
+/// spill space is exhausted — the same encoded bytes held in memory.
+/// Both shapes are read back through the identical [`RunCursor`] code
+/// path.
+enum RunStore {
     Spilled(SpilledRun),
     Memory { bytes: Vec<u8>, rows: usize },
 }
 
 impl Run {
-    fn rows(&self) -> usize {
-        match self {
-            Run::Spilled(r) => r.rows,
-            Run::Memory { rows, .. } => *rows,
+    /// An in-memory run with no samples (tests build these directly; the
+    /// sorter attaches samples in `spill_run`).
+    #[cfg(test)]
+    fn memory(bytes: Vec<u8>, rows: usize) -> Run {
+        Run {
+            samples: Vec::new(),
+            store: RunStore::Memory { bytes, rows },
         }
     }
 
+    fn rows(&self) -> usize {
+        match &self.store {
+            RunStore::Spilled(r) => r.rows,
+            RunStore::Memory { rows, .. } => *rows,
+        }
+    }
+
+    /// Open a plain verifying cursor (no read-ahead). The sorter itself
+    /// goes through `ExternalSorter::open_verifying`; tests use this to
+    /// inspect run files directly.
+    #[cfg(test)]
     fn open(&self, kw: usize, width: usize, expect_ovc: bool) -> Result<RunCursor<'_>, SpillError> {
-        match self {
-            Run::Spilled(r) => {
+        match &self.store {
+            RunStore::Spilled(r) => {
                 let reader =
                     r.io.open(&r.path)
                         .map_err(|e| SpillError::io(SpillOp::Read, &r.path, &e))?;
                 RunCursor::new(reader, r.path.clone(), r.rows, kw, width, expect_ovc)
             }
-            Run::Memory { bytes, rows } => RunCursor::new(
+            RunStore::Memory { bytes, rows } => RunCursor::new(
                 Box::new(&bytes[..]),
                 PathBuf::from("<in-memory run>"),
                 *rows,
@@ -214,6 +273,17 @@ struct RunCursor<'a> {
     path: PathBuf,
     remaining: usize,
     hasher: XxHash64,
+    /// Bytes consumed from the reader so far — the stream offset of the
+    /// next unread byte. The partition scan reads `record_off` (the
+    /// offset where the current record starts) to locate range seams.
+    consumed: u64,
+    record_off: u64,
+    /// Whether this cursor checksums what it reads and verifies the
+    /// trailer after the last record. Full-file cursors do; ranged
+    /// cursors start mid-file and stop before the trailer, so they skip
+    /// verification — the partition scan has already verified every byte
+    /// of the file (including their range) before they are created.
+    verify: bool,
     key: Vec<u8>,
     /// Offset-value code of the current record, relative to the record
     /// before it in this run (the first record is coded against −∞).
@@ -240,6 +310,9 @@ impl<'a> RunCursor<'a> {
             path,
             remaining: rows,
             hasher: XxHash64::with_seed(SPILL_CHECKSUM_SEED),
+            consumed: 0,
+            record_off: 0,
+            verify: true,
             key: vec![0; kw],
             code: 0,
             has_ovc: false,
@@ -252,13 +325,57 @@ impl<'a> RunCursor<'a> {
         Ok(c)
     }
 
+    /// A cursor over one range of a run: `reader` is positioned at the
+    /// range's first record and `rows` counts the records in the range.
+    /// No header parse, no checksum — the partition scan that computed
+    /// the range boundaries already verified the whole file. The first
+    /// record's run-stored code is relative to its predecessor (which
+    /// lives in the previous range), so it is re-coded against −∞, the
+    /// same base the loser tree's leaves start from.
+    fn new_ranged(
+        reader: Box<dyn Read + Send + 'a>,
+        path: PathBuf,
+        rows: usize,
+        kw: usize,
+        width: usize,
+        has_ovc: bool,
+    ) -> Result<RunCursor<'a>, SpillError> {
+        let mut c = RunCursor {
+            reader,
+            path,
+            remaining: rows,
+            hasher: XxHash64::with_seed(SPILL_CHECKSUM_SEED),
+            consumed: 0,
+            record_off: 0,
+            verify: false,
+            key: vec![0; kw],
+            code: 0,
+            has_ovc,
+            arity: ovc::word_count(kw),
+            row: vec![0; width],
+            heap: Vec::new(),
+        };
+        c.advance()?;
+        if c.has_ovc && !c.exhausted() {
+            c.code = ovc::initial_code(&c.key, c.arity);
+        }
+        Ok(c)
+    }
+
     /// Parse and validate the 8-byte run-file header. Structural checks
     /// (magic, version, flag bits) run before any record is trusted; the
     /// header bytes also feed the checksum, so even a header rewritten to
     /// parse cleanly fails trailer verification.
     fn read_header(&mut self, expect_ovc: bool) -> Result<(), SpillError> {
         let mut magic = [0u8; 4];
-        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut magic)?;
+        Self::fill(
+            &mut *self.reader,
+            &mut self.hasher,
+            &mut self.consumed,
+            self.verify,
+            &self.path,
+            &mut magic,
+        )?;
         if magic != SPILL_MAGIC {
             return Err(SpillError::corrupt(
                 &self.path,
@@ -266,7 +383,14 @@ impl<'a> RunCursor<'a> {
             ));
         }
         let mut word = [0u8; 2];
-        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut word)?;
+        Self::fill(
+            &mut *self.reader,
+            &mut self.hasher,
+            &mut self.consumed,
+            self.verify,
+            &self.path,
+            &mut word,
+        )?;
         let version = u16::from_le_bytes(word);
         if version != SPILL_VERSION {
             return Err(SpillError::corrupt(
@@ -274,7 +398,14 @@ impl<'a> RunCursor<'a> {
                 format!("unsupported run-file version {version} (expected {SPILL_VERSION})"),
             ));
         }
-        Self::fill(&mut *self.reader, &mut self.hasher, &self.path, &mut word)?;
+        Self::fill(
+            &mut *self.reader,
+            &mut self.hasher,
+            &mut self.consumed,
+            self.verify,
+            &self.path,
+            &mut word,
+        )?;
         let flags = u16::from_le_bytes(word);
         if flags & !SPILL_FLAG_OVC != 0 {
             return Err(SpillError::corrupt(
@@ -299,18 +430,24 @@ impl<'a> RunCursor<'a> {
         self.remaining == usize::MAX
     }
 
-    /// `read_exact` into `buf`, feeding the checksum and translating
-    /// errors: an early EOF is corruption (the file is shorter than its
-    /// record count promises), everything else is an I/O failure.
+    /// `read_exact` into `buf`, tracking the stream offset, feeding the
+    /// checksum (verifying cursors only), and translating errors: an
+    /// early EOF is corruption (the file is shorter than its record
+    /// count promises), everything else is an I/O failure.
     fn fill(
         reader: &mut dyn Read,
         hasher: &mut XxHash64,
+        consumed: &mut u64,
+        hash: bool,
         path: &Path,
         buf: &mut [u8],
     ) -> Result<(), SpillError> {
         match reader.read_exact(buf) {
             Ok(()) => {
-                hasher.write(buf);
+                if hash {
+                    hasher.write(buf);
+                }
+                *consumed += buf.len() as u64;
                 Ok(())
             }
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(SpillError::corrupt(
@@ -324,14 +461,22 @@ impl<'a> RunCursor<'a> {
     /// Read the next record into the cursor (or verify the trailer and
     /// mark exhausted).
     fn advance(&mut self) -> Result<(), SpillError> {
+        self.record_off = self.consumed;
         if self.remaining == 0 {
             self.remaining = usize::MAX;
+            if !self.verify {
+                // Ranged cursor: the range ends mid-file; the trailer (if
+                // any follows) belongs to the verifying scan, not to us.
+                return Ok(());
+            }
             return self.verify_trailer();
         }
         self.remaining -= 1;
         Self::fill(
             &mut *self.reader,
             &mut self.hasher,
+            &mut self.consumed,
+            self.verify,
             &self.path,
             &mut self.key,
         )?;
@@ -340,6 +485,8 @@ impl<'a> RunCursor<'a> {
             Self::fill(
                 &mut *self.reader,
                 &mut self.hasher,
+                &mut self.consumed,
+                self.verify,
                 &self.path,
                 &mut code_buf,
             )?;
@@ -359,6 +506,8 @@ impl<'a> RunCursor<'a> {
         Self::fill(
             &mut *self.reader,
             &mut self.hasher,
+            &mut self.consumed,
+            self.verify,
             &self.path,
             &mut self.row,
         )?;
@@ -366,6 +515,8 @@ impl<'a> RunCursor<'a> {
         Self::fill(
             &mut *self.reader,
             &mut self.hasher,
+            &mut self.consumed,
+            self.verify,
             &self.path,
             &mut len_buf,
         )?;
@@ -382,6 +533,8 @@ impl<'a> RunCursor<'a> {
         Self::fill(
             &mut *self.reader,
             &mut self.hasher,
+            &mut self.consumed,
+            self.verify,
             &self.path,
             &mut self.heap,
         )?;
@@ -445,16 +598,27 @@ impl ExternalSorter {
         // A zero budget would leave the run-generation loop unable to make
         // progress (each run would cover zero rows); degrade to one-row runs.
         options.memory_limit_rows = options.memory_limit_rows.max(1);
+        options.merge_threads = options.merge_threads.max(1);
         let layout = Arc::new(RowLayout::new(&types));
+        let metrics = Arc::new(CounterRegistry::new());
         ExternalSorter {
             types,
             order,
             options,
             layout,
             io,
-            metrics: Arc::new(CounterRegistry::new()),
+            pool: Arc::new(BufferPool::with_metrics(Arc::clone(&metrics))),
+            metrics,
             profile: Mutex::new(SortProfile::zeroed()),
+            workers: OnceLock::new(),
         }
+    }
+
+    /// The persistent merge-worker pool, spawned on first use.
+    fn workers(&self) -> &WorkerPool {
+        self.workers.get_or_init(|| {
+            WorkerPool::with_metrics(self.options.merge_threads, Arc::clone(&self.metrics))
+        })
     }
 
     /// The profile recorded by the most recent [`ExternalSorter::sort`].
@@ -678,6 +842,23 @@ impl ExternalSorter {
         }
     }
 
+    /// Evenly spaced splitter-candidate keys from a sorted run: up to
+    /// [`MERGE_SAMPLES_PER_RUN`] keys at indices `j·n/s`, captured while
+    /// the keys are hot from the run sort.
+    fn sample_keys(keys: &KeyBlock) -> Vec<u8> {
+        let kw = keys.key_width();
+        let n = keys.len();
+        if kw == 0 || n == 0 {
+            return Vec::new();
+        }
+        let s = n.min(MERGE_SAMPLES_PER_RUN);
+        let mut out = Vec::with_capacity(s * kw);
+        for j in 0..s {
+            out.extend_from_slice(keys.key(j * n / s));
+        }
+        out
+    }
+
     /// Encode one sorted run and place it: on disk under the retry /
     /// degradation policy, or in memory once spill space is gone.
     fn spill_run(
@@ -688,11 +869,15 @@ impl ExternalSorter {
         degraded: &mut bool,
     ) -> Result<Run, SpillError> {
         let bytes = self.encode_run(keys, payload, varlen_cols);
+        let samples = Self::sample_keys(keys);
         let rows = keys.len();
         self.metrics.add(Counter::BytesMoved, bytes.len() as u64);
         if *degraded {
             self.metrics.add(Counter::SpillMemFallbackRuns, 1);
-            return Ok(Run::Memory { bytes, rows });
+            return Ok(Run {
+                samples,
+                store: RunStore::Memory { bytes, rows },
+            });
         }
         let mut attempt = 0;
         let mut backoff = self.options.retry_backoff;
@@ -702,12 +887,15 @@ impl ExternalSorter {
                 Ok(()) => {
                     self.metrics.add(Counter::SpilledRuns, 1);
                     self.metrics.add(Counter::SpilledBytes, bytes.len() as u64);
-                    return Ok(Run::Spilled(SpilledRun {
-                        path,
-                        rows,
-                        io: Arc::clone(&self.io),
-                        metrics: Arc::clone(&self.metrics),
-                    }));
+                    return Ok(Run {
+                        samples,
+                        store: RunStore::Spilled(SpilledRun {
+                            path,
+                            rows,
+                            io: Arc::clone(&self.io),
+                            metrics: Arc::clone(&self.metrics),
+                        }),
+                    });
                 }
                 Err(err) => {
                     self.cleanup_partial(&path);
@@ -716,7 +904,10 @@ impl ExternalSorter {
                         // full disk — keep this and later runs in memory.
                         *degraded = true;
                         self.metrics.add(Counter::SpillMemFallbackRuns, 1);
-                        return Ok(Run::Memory { bytes, rows });
+                        return Ok(Run {
+                            samples,
+                            store: RunStore::Memory { bytes, rows },
+                        });
                     }
                     if err.is_transient() && attempt < self.options.max_write_retries {
                         attempt += 1;
@@ -766,6 +957,127 @@ impl ExternalSorter {
         Ok(())
     }
 
+    /// Open a full-file verifying cursor over `run`, with double-buffered
+    /// read-ahead for spilled runs (in-memory runs are already a slice).
+    fn open_verifying<'r>(
+        &self,
+        run: &'r Run,
+        kw: usize,
+        width: usize,
+        expect_ovc: bool,
+    ) -> Result<RunCursor<'r>, SpillError> {
+        match &run.store {
+            RunStore::Spilled(r) => {
+                let reader =
+                    r.io.open(&r.path)
+                        .map_err(|e| SpillError::io(SpillOp::Read, &r.path, &e))?;
+                let reader: Box<dyn Read + Send + 'r> =
+                    Box::new(ReadAhead::new(reader, &self.pool, &self.metrics));
+                RunCursor::new(reader, r.path.clone(), r.rows, kw, width, expect_ovc)
+            }
+            RunStore::Memory { bytes, rows } => RunCursor::new(
+                Box::new(&bytes[..]),
+                PathBuf::from("<in-memory run>"),
+                *rows,
+                kw,
+                width,
+                expect_ovc,
+            ),
+        }
+    }
+
+    /// How many key ranges to cut the merge into: the configured thread
+    /// count, capped so every range covers at least
+    /// [`MIN_ROWS_PER_PARTITION`] rows on average. Partitioning is
+    /// pointless (and forced to 1) for a single run, a zero-width key
+    /// (nothing to split on), or runs without samples.
+    fn plan_parts(&self, runs: &[Run], kw: usize, total: usize) -> usize {
+        let threads = self.options.merge_threads;
+        if threads <= 1 || kw == 0 || runs.len() < 2 {
+            return 1;
+        }
+        if runs.iter().all(|r| r.samples.is_empty()) {
+            return 1;
+        }
+        threads.min(total / MIN_ROWS_PER_PARTITION).max(1)
+    }
+
+    /// Choose `parts - 1` splitter keys: sort the concatenation of every
+    /// run's sample keys and take evenly spaced picks. Range `p` covers
+    /// keys in `[splitter[p-1], splitter[p])` under the lower-bound cut
+    /// rule, so byte-equal keys always land in the same range.
+    fn choose_splitters(runs: &[Run], kw: usize, parts: usize) -> Vec<u8> {
+        let mut samples: Vec<&[u8]> = Vec::new();
+        for run in runs {
+            samples.extend(run.samples.chunks_exact(kw));
+        }
+        samples.sort_unstable();
+        let mut out = Vec::with_capacity((parts - 1) * kw);
+        for j in 1..parts {
+            out.extend_from_slice(samples[j * samples.len() / parts]);
+        }
+        out
+    }
+
+    /// Phase A of the partitioned merge: one verifying pass over `run`
+    /// locating, for every splitter, the first record whose key is `>=`
+    /// that splitter (the streaming equivalent of a lower-bound binary
+    /// search — runs are sequential files, so the seam search rides the
+    /// verification scan the merge needs anyway). Returns `parts + 1`
+    /// cuts: record index, byte offset, and heap bytes before each range
+    /// boundary, bracketed by the run's start and end. Every byte of the
+    /// file — checksum trailer included — is verified here, so Phase B
+    /// range cursors can skip verification entirely.
+    fn scan_run(
+        &self,
+        run: &Run,
+        kw: usize,
+        width: usize,
+        use_ovc: bool,
+        splitters: &[u8],
+        parts: usize,
+    ) -> Result<RunScan, SpillError> {
+        let mut cur = self.open_verifying(run, kw, width, use_ovc)?;
+        let mut cuts: Vec<RangeCut> = Vec::with_capacity(parts + 1);
+        cuts.push(RangeCut {
+            index: 0,
+            byte_off: HEADER_BYTES,
+            heap_before: 0,
+        });
+        let mut heap_before: u64 = 0;
+        let mut index = 0usize;
+        let mut next_split = 0usize;
+        while !cur.exhausted() {
+            while next_split + 1 < parts
+                && &splitters[next_split * kw..(next_split + 1) * kw] <= cur.key.as_slice()
+            {
+                cuts.push(RangeCut {
+                    index,
+                    byte_off: cur.record_off,
+                    heap_before,
+                });
+                next_split += 1;
+            }
+            heap_before += cur.heap.len() as u64;
+            index += 1;
+            cur.advance()?;
+        }
+        // Splitters beyond every key in this run cut at the end, and the
+        // final sentinel closes the last range.
+        let end = RangeCut {
+            index,
+            byte_off: cur.record_off,
+            heap_before,
+        };
+        while cuts.len() < parts + 1 {
+            cuts.push(end);
+        }
+        Ok(RunScan { cuts })
+    }
+
+    /// Streaming k-way merge over the runs: partitioned across the worker
+    /// pool when the plan allows, single-threaded otherwise. Both paths
+    /// produce bit-identical output.
     fn merge_runs(
         &self,
         runs: &[Run],
@@ -773,13 +1085,53 @@ impl ExternalSorter {
         width: usize,
         varlen_cols: &[usize],
     ) -> Result<DataChunk, SpillError> {
+        let total: usize = runs.iter().map(|r| r.rows()).sum();
+        let parts = self.plan_parts(runs, kw, total);
+        self.metrics.add(Counter::SpillMergePartitions, parts as u64);
+        if parts <= 1 {
+            return self.merge_runs_seq(runs, kw, width, varlen_cols);
+        }
+        self.merge_runs_partitioned(runs, kw, width, varlen_cols, parts, total)
+    }
+
+    /// The single-threaded merge: one verifying pass that merges as it
+    /// reads (no seam scan, so each run file is read exactly once).
+    fn merge_runs_seq(
+        &self,
+        runs: &[Run],
+        kw: usize,
+        width: usize,
+        varlen_cols: &[usize],
+    ) -> Result<DataChunk, SpillError> {
         let k = runs.len();
+        if k == 0 {
+            // All rows fit nowhere — no runs means no rows.
+            return Ok(DataChunk::new(&self.types));
+        }
         let use_ovc = self.use_ovc(kw);
         let mut cursors: Vec<RunCursor<'_>> = runs
             .iter()
-            .map(|r| r.open(kw, width, use_ovc))
+            .map(|r| self.open_verifying(r, kw, width, use_ovc))
             .collect::<Result<Vec<_>, _>>()?;
         let total: usize = runs.iter().map(|r| r.rows()).sum();
+        if k == 1 {
+            // A single run is already sorted: drain it straight into the
+            // output instead of building a degenerate one-leaf tree.
+            let mut out_data: Vec<u8> = Vec::with_capacity(total * width);
+            let mut out_heap: Vec<u8> = Vec::new();
+            let Some(cur) = cursors.first_mut() else {
+                return Ok(DataChunk::new(&self.types)); // unreachable: k == 1
+            };
+            for _ in 0..total {
+                self.emit_record(cur, &mut out_data, &mut out_heap, varlen_cols)?;
+                cur.advance()?;
+            }
+            if !cur.exhausted() {
+                cur.advance()?;
+            }
+            let block = RowBlock::from_raw_parts(Arc::clone(&self.layout), out_data, out_heap);
+            return Ok(block.to_chunk());
+        }
         let tie_cmp = FusedRowComparator::new(&self.layout, &self.order);
         let tie_possible = !varlen_cols.is_empty();
 
@@ -896,6 +1248,408 @@ impl ExternalSorter {
         let block = RowBlock::from_raw_parts(Arc::clone(&self.layout), out_data, out_heap);
         Ok(block.to_chunk())
     }
+
+    /// The range-partitioned merge (DESIGN.md §11).
+    ///
+    /// Phase A scans every run once (in parallel, verifying checksums)
+    /// to locate each splitter's seam — record index, byte offset, heap
+    /// bytes — per run. The cuts give every range's exact row and heap
+    /// size, so one output row area and one output heap are pre-sized
+    /// and each worker writes its range's disjoint slice directly: the
+    /// concatenation needs no fix-up pass and is bit-identical to the
+    /// sequential merge.
+    ///
+    /// Phase B merges each range through its own loser tree over ranged
+    /// cursors seeked to the seam offsets ([`SpillIo::open_at`]), with
+    /// double-buffered read-ahead on spilled runs.
+    ///
+    /// Errors from either phase are reported deterministically: the
+    /// failure of the lowest run index (Phase A) or range index (Phase
+    /// B) wins, independent of worker scheduling.
+    fn merge_runs_partitioned(
+        &self,
+        runs: &[Run],
+        kw: usize,
+        width: usize,
+        varlen_cols: &[usize],
+        parts: usize,
+        total: usize,
+    ) -> Result<DataChunk, SpillError> {
+        let use_ovc = self.use_ovc(kw);
+        let splitters = Self::choose_splitters(runs, kw, parts);
+        let workers = self.workers();
+
+        // Phase A: verifying seam scan, parallel over runs.
+        let scan_slots: Vec<Mutex<Option<Result<RunScan, SpillError>>>> =
+            runs.iter().map(|_| Mutex::new(None)).collect();
+        let next_run = AtomicUsize::new(0);
+        workers.broadcast(&|_w| loop {
+            let r = next_run.fetch_add(1, AtomicOrdering::Relaxed);
+            if r >= runs.len() {
+                break;
+            }
+            let res = self.scan_run(&runs[r], kw, width, use_ovc, &splitters, parts);
+            *scan_slots[r].lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+        });
+        let mut scans: Vec<RunScan> = Vec::with_capacity(runs.len());
+        for slot in scan_slots {
+            // The broadcast fills every slot before returning; an empty
+            // one means the pool lost a job, which must surface as a
+            // typed error, not a panic on a worker thread.
+            let res = match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(res) => res,
+                None => {
+                    return Err(SpillError::io(
+                        SpillOp::Read,
+                        Path::new("<merge>"),
+                        &io::Error::other("a seam scan job was never run"),
+                    ))
+                }
+            };
+            scans.push(res?);
+        }
+
+        // Range bases: rows/heap bytes in all ranges before range `p`.
+        let row_base: Vec<usize> = (0..=parts)
+            .map(|p| scans.iter().map(|s| s.cuts[p].index).sum())
+            .collect();
+        let heap_base: Vec<u64> = (0..=parts)
+            .map(|p| scans.iter().map(|s| s.cuts[p].heap_before).sum())
+            .collect();
+        debug_assert_eq!(row_base[parts], total);
+        let total_heap = heap_base[parts] as usize;
+
+        // One shared output, sized exactly from the scan; each range owns
+        // a disjoint slice of both areas.
+        let mut out_data = self.pool.get_bytes(total * width);
+        out_data.resize(total * width, 0);
+        let mut out_heap = self.pool.get_bytes(total_heap);
+        out_heap.resize(total_heap, 0);
+
+        // Phase B: ranged merges, parallel over ranges.
+        let data_ptr = SendPtr::new(out_data.as_mut_ptr());
+        let heap_ptr = SendPtr::new(out_heap.as_mut_ptr());
+        let merge_slots: Vec<Mutex<Option<Result<RangeMergeStats, SpillError>>>> =
+            (0..parts).map(|_| Mutex::new(None)).collect();
+        let next_part = AtomicUsize::new(0);
+        let scans_ref = &scans;
+        let row_base_ref = &row_base;
+        let heap_base_ref = &heap_base;
+        workers.broadcast(&|_w| loop {
+            let p = next_part.fetch_add(1, AtomicOrdering::Relaxed);
+            if p >= parts {
+                break;
+            }
+            let rows_in = row_base_ref[p + 1] - row_base_ref[p];
+            let heap_in = (heap_base_ref[p + 1] - heap_base_ref[p]) as usize;
+            // SAFETY: `data_ptr` points at `out_data`, which `row_base`'s
+            // prefix sums partition into `[0, total * width)` — range `p`
+            // owns exactly `[row_base[p] * width, row_base[p+1] * width)`,
+            // disjoint from every other range's slice, in bounds, and
+            // alive until the broadcast barrier below returns.
+            let data = unsafe {
+                std::slice::from_raw_parts_mut(
+                    data_ptr.get().add(row_base_ref[p] * width),
+                    rows_in * width,
+                )
+            };
+            // SAFETY: `heap_ptr` points at `out_heap`, partitioned by the
+            // `heap_base_ref` prefix sums the same way — range `p` owns
+            // the disjoint in-bounds span of `heap_in` bytes starting at
+            // `heap_base_ref[p]`, in a buffer alive until the broadcast
+            // barrier returns.
+            let heap = unsafe {
+                std::slice::from_raw_parts_mut(
+                    heap_ptr.get().add(heap_base_ref[p] as usize),
+                    heap_in,
+                )
+            };
+            let res = self.merge_range(
+                runs,
+                scans_ref,
+                p,
+                kw,
+                width,
+                varlen_cols,
+                use_ovc,
+                rows_in,
+                data,
+                heap,
+                heap_base_ref[p],
+            );
+            *merge_slots[p].lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+        });
+        let mut stats = RangeMergeStats::default();
+        for slot in merge_slots {
+            let res = match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(res) => res,
+                None => {
+                    return Err(SpillError::io(
+                        SpillOp::Read,
+                        Path::new("<merge>"),
+                        &io::Error::other("a range merge job was never run"),
+                    ))
+                }
+            };
+            let s = res?;
+            stats.cmps += s.cmps;
+            stats.ovc_resolved += s.ovc_resolved;
+            stats.key_bytes += s.key_bytes;
+        }
+        self.metrics.add(Counter::MergeCmps, stats.cmps);
+        self.metrics
+            .add(Counter::MergeCmpsOvcResolved, stats.ovc_resolved);
+        self.metrics
+            .add(Counter::MergeKeyBytesTouched, stats.key_bytes);
+
+        let block = RowBlock::from_raw_parts(Arc::clone(&self.layout), out_data, out_heap);
+        let chunk = block.to_chunk();
+        let (data, heap) = block.into_raw_parts();
+        self.pool.put_bytes(data);
+        self.pool.put_bytes(heap);
+        Ok(chunk)
+    }
+
+    /// Merge one key range across all runs into its output slices.
+    /// Cursors are opened at the seam byte offsets the scan computed;
+    /// runs with no rows in the range are skipped (the survivors keep
+    /// their relative order, so the tree's lower-index tie-break agrees
+    /// with the global stability rule — byte-equal keys never straddle a
+    /// range boundary).
+    #[allow(clippy::too_many_arguments)]
+    fn merge_range(
+        &self,
+        runs: &[Run],
+        scans: &[RunScan],
+        part: usize,
+        kw: usize,
+        width: usize,
+        varlen_cols: &[usize],
+        use_ovc: bool,
+        rows_in: usize,
+        data: &mut [u8],
+        heap: &mut [u8],
+        heap_base: u64,
+    ) -> Result<RangeMergeStats, SpillError> {
+        let mut stats = RangeMergeStats::default();
+        if rows_in == 0 {
+            return Ok(stats);
+        }
+        let mut cursors: Vec<RunCursor<'_>> = Vec::with_capacity(runs.len());
+        for (run, scan) in runs.iter().zip(scans) {
+            let cut = &scan.cuts[part];
+            let rows = scan.cuts[part + 1].index - cut.index;
+            if rows == 0 {
+                continue;
+            }
+            let cursor = match &run.store {
+                RunStore::Spilled(r) => {
+                    let reader = r
+                        .io
+                        .open_at(&r.path, cut.byte_off)
+                        .map_err(|e| SpillError::io(SpillOp::Read, &r.path, &e))?;
+                    self.metrics.add(Counter::SpillSeamSkipBytes, cut.byte_off);
+                    let reader: Box<dyn Read + Send + '_> =
+                        Box::new(ReadAhead::new(reader, &self.pool, &self.metrics));
+                    RunCursor::new_ranged(reader, r.path.clone(), rows, kw, width, use_ovc)?
+                }
+                RunStore::Memory { bytes, .. } => RunCursor::new_ranged(
+                    Box::new(&bytes[cut.byte_off as usize..]),
+                    PathBuf::from("<in-memory run>"),
+                    rows,
+                    kw,
+                    width,
+                    use_ovc,
+                )?,
+            };
+            cursors.push(cursor);
+        }
+        let k = cursors.len();
+        let mut heap_pos = 0usize;
+        if k == 1 {
+            // One run covers the whole range: a straight copy.
+            let Some(cur) = cursors.first_mut() else {
+                return Ok(stats); // unreachable: k == 1
+            };
+            for i in 0..rows_in {
+                self.emit_record_at(
+                    cur,
+                    &mut data[i * width..(i + 1) * width],
+                    heap,
+                    &mut heap_pos,
+                    heap_base,
+                    varlen_cols,
+                )?;
+                cur.advance()?;
+            }
+            return Ok(stats);
+        }
+        let tie_cmp = FusedRowComparator::new(&self.layout, &self.order);
+        let tie_possible = !varlen_cols.is_empty();
+        let cmps = Cell::new(0u64);
+        let ovc_resolved = Cell::new(0u64);
+        let key_bytes = Cell::new(0u64);
+        if use_ovc {
+            let arity = ovc::word_count(kw);
+            let play =
+                |cursors: &[RunCursor<'_>], a: usize, b: usize, ca: u64, cb: u64| -> OvcMatch {
+                    let (ha, hb) = (&cursors[a], &cursors[b]);
+                    let r = ovc::compare_update(&ha.key, ca, &hb.key, cb, arity);
+                    cmps.set(cmps.get() + 1);
+                    ovc_resolved.set(ovc_resolved.get() + u64::from(r.resolved));
+                    key_bytes.set(key_bytes.get() + r.key_bytes);
+                    let ord = match r.ord {
+                        Ordering::Equal if tie_possible => {
+                            tie_cmp.compare(&ha.row, &ha.heap, &hb.row, &hb.heap)
+                        }
+                        ord => ord,
+                    };
+                    let a_beats_b = match ord {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => a < b,
+                    };
+                    OvcMatch {
+                        a_beats_b,
+                        loser_code: r.loser_code,
+                    }
+                };
+            let cursors_ref = &cursors;
+            let mut tree = OvcLoserTree::new(
+                k,
+                |i| cursors_ref[i].code,
+                |i| cursors_ref[i].exhausted(),
+                |a, b, ca, cb| play(cursors_ref, a, b, ca, cb),
+            );
+            for i in 0..rows_in {
+                let w = tree.winner();
+                self.emit_record_at(
+                    &cursors[w],
+                    &mut data[i * width..(i + 1) * width],
+                    heap,
+                    &mut heap_pos,
+                    heap_base,
+                    varlen_cols,
+                )?;
+                cursors[w].advance()?;
+                let cursors_ref = &cursors;
+                let leaf_code = if cursors_ref[w].exhausted() {
+                    u64::MAX
+                } else {
+                    cursors_ref[w].code
+                };
+                tree.replay(
+                    w,
+                    leaf_code,
+                    &mut |i| cursors_ref[i].exhausted(),
+                    &mut |a, b, ca, cb| play(cursors_ref, a, b, ca, cb),
+                );
+            }
+        } else {
+            let cmp = |a: &RunCursor<'_>, b: &RunCursor<'_>| -> Ordering {
+                cmps.set(cmps.get() + 1);
+                key_bytes.set(key_bytes.get() + 2 * kw as u64);
+                match a.key.cmp(&b.key) {
+                    Ordering::Equal if tie_possible => {
+                        tie_cmp.compare(&a.row, &a.heap, &b.row, &b.heap)
+                    }
+                    ord => ord,
+                }
+            };
+            let cursors_ref = &cursors;
+            let mut tree = LoserTree::new(
+                k,
+                |i| cursors_ref[i].exhausted(),
+                |a, b| cmp(&cursors_ref[a], &cursors_ref[b]) == Ordering::Less,
+            );
+            for i in 0..rows_in {
+                let w = tree.winner();
+                self.emit_record_at(
+                    &cursors[w],
+                    &mut data[i * width..(i + 1) * width],
+                    heap,
+                    &mut heap_pos,
+                    heap_base,
+                    varlen_cols,
+                )?;
+                cursors[w].advance()?;
+                let cursors_ref = &cursors;
+                tree.replay(w, &mut |i| cursors_ref[i].exhausted(), &mut |a, b| {
+                    cmp(&cursors_ref[a], &cursors_ref[b]) == Ordering::Less
+                });
+            }
+        }
+        stats.cmps = cmps.get();
+        stats.ovc_resolved = ovc_resolved.get();
+        stats.key_bytes = key_bytes.get();
+        Ok(stats)
+    }
+
+    /// As [`ExternalSorter::emit_record`], but into pre-sized slices of
+    /// the shared partitioned output: `slot` is this record's row slot,
+    /// `heap` the range's heap slice, `heap_pos` the write position
+    /// within it, and `heap_base` the slice's absolute offset in the
+    /// full output heap — rewritten string offsets are absolute, exactly
+    /// as the sequential merge writes them.
+    fn emit_record_at(
+        &self,
+        cur: &RunCursor<'_>,
+        slot: &mut [u8],
+        heap: &mut [u8],
+        heap_pos: &mut usize,
+        heap_base: u64,
+        varlen_cols: &[usize],
+    ) -> Result<(), SpillError> {
+        slot.copy_from_slice(&cur.row);
+        for &c in varlen_cols {
+            let null_off = self.layout.null_offset(c);
+            if slot[null_off] != 0 {
+                continue;
+            }
+            let at = self.layout.offset(c);
+            let rel = u32::from_le_bytes(read_slot(slot, at)) as usize;
+            let len = u32::from_le_bytes(read_slot(slot, at + 4)) as usize;
+            let end = rel + len;
+            if end > cur.heap.len() || *heap_pos + len > heap.len() {
+                // Unreachable for data the scan verified; kept as the
+                // same structural backstop the sequential merge has.
+                return Err(SpillError::corrupt(
+                    &cur.path,
+                    "string segment reference out of bounds",
+                ));
+            }
+            let new_off = heap_base + *heap_pos as u64;
+            heap[*heap_pos..*heap_pos + len].copy_from_slice(&cur.heap[rel..end]);
+            *heap_pos += len;
+            slot[at..at + 4].copy_from_slice(&(new_off as u32).to_le_bytes());
+        }
+        Ok(())
+    }
+}
+
+/// One range boundary within one run, as located by the Phase A scan.
+#[derive(Clone, Copy)]
+struct RangeCut {
+    /// Records of the run before this boundary.
+    index: usize,
+    /// Byte offset of the boundary record's start (file end for the
+    /// final sentinel).
+    byte_off: u64,
+    /// String-segment bytes of the run before this boundary.
+    heap_before: u64,
+}
+
+/// Per-run partition plan: `parts + 1` cuts bracketing every range.
+struct RunScan {
+    cuts: Vec<RangeCut>,
+}
+
+/// Comparator-work counters accumulated by one range merge.
+#[derive(Default)]
+struct RangeMergeStats {
+    cmps: u64,
+    ovc_resolved: u64,
+    key_bytes: u64,
 }
 
 #[cfg(test)]
@@ -1378,6 +2132,145 @@ mod tests {
         }
     }
 
+    // ---- partitioned-merge coverage ------------------------------------
+
+    /// The range-partitioned merge is bit-identical to the single-threaded
+    /// merge at every thread count, with and without offset-value codes —
+    /// same rows, same order, same tie resolution across seam boundaries.
+    #[test]
+    fn partitioned_merge_is_bit_identical_across_thread_counts() {
+        let chunk = stringy_chunk(3_000, 5);
+        let order = OrderBy::new(vec![
+            OrderByColumn {
+                column: 1,
+                spec: SortSpec::new(
+                    rowsort_vector::SortOrder::Ascending,
+                    rowsort_vector::NullOrder::NullsLast,
+                ),
+            },
+            OrderByColumn {
+                column: 0,
+                spec: SortSpec::new(
+                    rowsort_vector::SortOrder::Descending,
+                    rowsort_vector::NullOrder::NullsFirst,
+                ),
+            },
+        ]);
+        for ovc in [false, true] {
+            let sort_with = |threads: usize| {
+                let sorter = ExternalSorter::new(
+                    chunk.types(),
+                    order.clone(),
+                    ExternalSortOptions {
+                        memory_limit_rows: 200,
+                        ovc,
+                        merge_threads: threads,
+                        ..Default::default()
+                    },
+                );
+                let out = sorter.sort(&chunk).unwrap().to_rows();
+                (out, sorter.metrics())
+            };
+            let (reference, _) = sort_with(1);
+            for threads in [2, 4, 8] {
+                let (got, m) = sort_with(threads);
+                assert_eq!(got, reference, "ovc={ovc} threads={threads}");
+                assert!(
+                    m.counter(Counter::SpillMergePartitions) >= 2,
+                    "ovc={ovc} threads={threads}: merge did not partition \
+                     ({} partitions)",
+                    m.counter(Counter::SpillMergePartitions)
+                );
+                assert!(
+                    m.counter(Counter::SpillReadaheadHits) > 0,
+                    "ovc={ovc} threads={threads}: read-ahead never hit"
+                );
+            }
+        }
+    }
+
+    /// Degenerate merges take the fast paths: zero runs yield an empty
+    /// chunk and one run streams through without a loser tree — neither
+    /// builds a degenerate tree or tries to partition, at any thread count.
+    #[test]
+    fn zero_and_single_run_merges_take_fast_paths() {
+        let chunk = stringy_chunk(400, 17);
+        // Truncatable VARCHAR last among the keys: a truncated prefix
+        // followed by another key column mis-compares (known encoding
+        // gap, see ROADMAP.md) and would fail the sortedness check below
+        // for reasons unrelated to the merge fast paths under test.
+        let order = OrderBy::new(vec![OrderByColumn::asc(1), OrderByColumn::asc(0)]);
+        let sorter = ExternalSorter::new(
+            chunk.types(),
+            order.clone(),
+            ExternalSortOptions {
+                merge_threads: 4,
+                ..Default::default()
+            },
+        );
+        let width = sorter.layout.width();
+        let varlen = sorter.varlen_cols();
+        let (runs, kw) = build_spilled_runs(&sorter, &chunk, 400);
+        assert_eq!(runs.len(), 1, "one budget-sized morsel, one run");
+
+        let empty = sorter.merge_runs(&[], kw, width, &varlen).unwrap();
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.types(), chunk.types());
+
+        let merged = sorter.merge_runs(&runs, kw, width, &varlen).unwrap();
+        assert_eq!(merged.len(), 400);
+        let got = merged.to_rows();
+        let canon = |rows: &[Vec<Value>]| {
+            let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&got), canon(&chunk.to_rows()), "rows lost or invented");
+        for (i, w) in got.windows(2).enumerate() {
+            assert_ne!(
+                order.compare_rows(&w[0], &w[1]),
+                std::cmp::Ordering::Greater,
+                "single-run merge not sorted at {i}: {:?} > {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Neither merge can split across threads: one partition counted
+        // per merge call, two calls above.
+        assert_eq!(sorter.metrics().counter(Counter::SpillMergePartitions), 2);
+    }
+
+    /// All-NULL sort keys collapse every splitter to the same byte string;
+    /// the partition planner must degrade gracefully (one range gets all
+    /// rows) and stay bit-identical to the single-threaded merge.
+    #[test]
+    fn all_null_keys_merge_identically_across_thread_counts() {
+        let mut chunk = DataChunk::new(&[LogicalType::Varchar, LogicalType::Int32]);
+        for i in 0..3_000i32 {
+            chunk.push_row(&[Value::Null, Value::Int32(i)]).unwrap();
+        }
+        let order = OrderBy::ascending(1);
+        let sort_with = |threads: usize| {
+            ExternalSorter::new(
+                chunk.types(),
+                order.clone(),
+                ExternalSortOptions {
+                    memory_limit_rows: 250,
+                    merge_threads: threads,
+                    ..Default::default()
+                },
+            )
+            .sort(&chunk)
+            .unwrap()
+            .to_rows()
+        };
+        let reference = sort_with(1);
+        assert_eq!(reference.len(), 3_000);
+        for threads in [2, 4, 8] {
+            assert_eq!(sort_with(threads), reference, "threads={threads}");
+        }
+    }
+
     // ---- fault-injection coverage (the hardened paths) -----------------
 
     /// A sorter spilling into a fresh fault-injecting filesystem.
@@ -1777,10 +2670,7 @@ mod tests {
         // key) with an offset no encoder can emit.
         let at = 8 + kw;
         bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
-        let run = Run::Memory {
-            bytes,
-            rows: chunk.len(),
-        };
+        let run = Run::memory(bytes, chunk.len());
         let err = run
             .open(kw, sorter.layout.width(), true)
             .err()
@@ -1803,7 +2693,7 @@ mod tests {
         );
         let (runs, kw) = build_spilled_runs(&sorter, &chunk, 32);
         let width = sorter.layout.width();
-        let Run::Spilled(spilled) = &runs[0] else {
+        let RunStore::Spilled(spilled) = &runs[0].store else {
             panic!("expected a spilled run");
         };
         let mut reader = spilled.io.open(&spilled.path).unwrap();
@@ -1819,10 +2709,7 @@ mod tests {
         ] {
             let mut broken = bytes.clone();
             mutate(&mut broken);
-            let run = Run::Memory {
-                bytes: broken,
-                rows: runs[0].rows(),
-            };
+            let run = Run::memory(broken, runs[0].rows());
             let err = run
                 .open(kw, width, true)
                 .err()

@@ -129,11 +129,20 @@ pub enum Counter {
     /// `memcmp`-style compare without OVC, only the post-tie suffix scan
     /// with OVC.
     MergeKeyBytesTouched,
+    /// Key ranges the partitioned spill merge cut the run files into
+    /// (1 per sort when the merge ran single-threaded).
+    SpillMergePartitions,
+    /// Spill-merge record reads served from an already-buffered
+    /// read-ahead block (no backend I/O call).
+    SpillReadaheadHits,
+    /// Run-file bytes skipped (seeked over) to position range cursors at
+    /// their seam offsets — the I/O cost of the range boundaries.
+    SpillSeamSkipBytes,
 }
 
 impl Counter {
     /// Number of counters (array dimension of the registry).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 25;
 
     /// All counters, in declaration order (= registry index order).
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -159,6 +168,9 @@ impl Counter {
         Counter::MergeCmps,
         Counter::MergeCmpsOvcResolved,
         Counter::MergeKeyBytesTouched,
+        Counter::SpillMergePartitions,
+        Counter::SpillReadaheadHits,
+        Counter::SpillSeamSkipBytes,
     ];
 
     /// The snake_case name used in trace JSON and text dumps.
@@ -186,6 +198,9 @@ impl Counter {
             Counter::MergeCmps => "merge_cmps",
             Counter::MergeCmpsOvcResolved => "merge_cmps_ovc_resolved",
             Counter::MergeKeyBytesTouched => "merge_key_bytes_touched",
+            Counter::SpillMergePartitions => "spill_merge_partitions",
+            Counter::SpillReadaheadHits => "spill_readahead_hits",
+            Counter::SpillSeamSkipBytes => "spill_seam_skip_bytes",
         }
     }
 }
@@ -447,17 +462,13 @@ impl Default for SortProfile {
     }
 }
 
-/// Whether `ROWSORT_TRACE` asked for per-sort JSON trace lines. Read
-/// once per process (first call allocates for the env lookup; warm-up
-/// sorts absorb that before any zero-alloc measurement).
+/// Whether `ROWSORT_TRACE` asked for per-sort JSON trace lines, under
+/// the shared [`rowsort_testkit::env`] flag convention (off by default).
+/// Read once per process (first call allocates for the env lookup;
+/// warm-up sorts absorb that before any zero-alloc measurement).
 pub fn trace_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        matches!(
-            std::env::var("ROWSORT_TRACE").ok().as_deref(),
-            Some("1") | Some("true")
-        )
-    })
+    *ENABLED.get_or_init(|| rowsort_testkit::env::env_flag("ROWSORT_TRACE", false))
 }
 
 /// Emit one trace line for a finished sort, if tracing is on: appended

@@ -51,10 +51,8 @@ use std::time::Instant;
 /// otherwise [`std::thread::available_parallelism`] — so the engine's
 /// ORDER BY is parallel out of the box instead of silently single-threaded.
 pub fn default_threads() -> usize {
-    if let Ok(value) = std::env::var("ROWSORT_THREADS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    if let Some(n) = rowsort_testkit::env::env_count("ROWSORT_THREADS") {
+        return n.max(1);
     }
     std::thread::available_parallelism()
         .map(usize::from)
@@ -63,13 +61,13 @@ pub fn default_threads() -> usize {
 
 /// Whether merges use offset-value coding when [`SortOptions`] does not
 /// pin it: on unless the `ROWSORT_OVC` environment variable disables it
-/// (`0`, `false`, or `off`) — the escape hatch for A/B runs and for
-/// ruling OVC out when debugging a merge (DESIGN.md §10).
+/// (any of `0`/`false`/`off`/`no`, trimmed and case-insensitive — the
+/// shared [`rowsort_testkit::env`] convention) — the escape hatch for
+/// A/B runs and for ruling OVC out when debugging a merge (DESIGN.md
+/// §10). Unrecognized spellings keep the default rather than silently
+/// flipping the knob.
 pub fn default_ovc() -> bool {
-    match std::env::var("ROWSORT_OVC") {
-        Ok(value) => !matches!(value.trim(), "0" | "false" | "off"),
-        Err(_) => true,
-    }
+    rowsort_testkit::env::env_flag("ROWSORT_OVC", true)
 }
 
 /// Tuning knobs for the pipeline.

@@ -179,6 +179,17 @@ fn sort_detail(profile: &rowsort_core::SortProfile) -> String {
         let resolved = profile.metrics.counter(Counter::MergeCmpsOvcResolved);
         let _ = write!(s, " ovc_hit={:.1}%", resolved as f64 * 100.0 / cmps as f64);
     }
+    // Range-partitioned merge shape: how many disjoint key ranges the
+    // spilled-run merge ran in parallel, and how often the double-buffered
+    // read-ahead served run bytes without blocking on the filesystem.
+    let parts = profile.metrics.counter(Counter::SpillMergePartitions);
+    if parts > 1 {
+        let _ = write!(s, " spill_parts={parts}");
+    }
+    let hits = profile.metrics.counter(Counter::SpillReadaheadHits);
+    if hits > 0 {
+        let _ = write!(s, " readahead_hits={hits}");
+    }
     s
 }
 
@@ -204,6 +215,9 @@ fn sort_relation(
                 ExternalSortOptions {
                     memory_limit_rows: spill.memory_limit_rows,
                     spill_dir: spill.spill_dir.clone(),
+                    // The session's thread setting drives the spilled-run
+                    // merge too, not just the in-memory sort systems.
+                    merge_threads: options.threads.max(1),
                     ..ExternalSortOptions::default()
                 },
             );

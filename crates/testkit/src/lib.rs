@@ -21,6 +21,9 @@
 //! * [`hash`] — a hand-rolled streaming xxHash64 ([`hash::XxHash64`]),
 //!   pinned to the reference test vectors; the checksum behind spill-file
 //!   integrity verification.
+//! * [`env`] — the one parsing convention for `ROWSORT_*` environment
+//!   knobs (boolean spellings, numeric counts), shared by core, the
+//!   benches, and the tools so no knob drifts its own dialect again.
 //! * [`faultfs`] — a deterministic fault-injecting in-memory filesystem
 //!   ([`faultfs::FaultFs`]) that replays seeded [`faultfs::FaultSchedule`]s
 //!   (write errors, ENOSPC, short reads, bit flips, delete faults) against
@@ -43,6 +46,7 @@
 
 pub mod alloc;
 pub mod bench;
+pub mod env;
 pub mod faultfs;
 pub mod hash;
 pub mod json;

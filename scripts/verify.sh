@@ -72,10 +72,44 @@ cargo run --release --offline -q -p rowsort-bench --bin trace_smoke -- "$trace_j
 echo "== pipeline perf gate =="
 # Absolute path: cargo runs benches with the package dir as cwd.
 smoke_json="$PWD/target/perf/pipeline_smoke.json"
+rm -f "$smoke_json"
 ROWSORT_PIPE_ROWS=250000 ROWSORT_BENCH_JSON="$smoke_json" \
     cargo bench --offline -q -p rowsort-bench --bench pipeline
+# Fail loudly if the harness silently wrote nothing (a stale file from a
+# prior run would otherwise gate this build against the wrong medians —
+# hence the rm above — and bench_gate would obscure an empty file behind
+# a parse error).
+if [ ! -s "$smoke_json" ]; then
+    echo "verify: pipeline bench wrote no report to $smoke_json" >&2
+    exit 1
+fi
+if [ ! -s BENCH_pipeline.json ]; then
+    echo "verify: baseline BENCH_pipeline.json is missing or empty" >&2
+    exit 1
+fi
 cargo run --release --offline -q -p rowsort-bench --bin bench_gate -- \
     BENCH_pipeline.json "$smoke_json" --tolerance 25 --trace "$trace_jsonl"
+
+# --- 6b. Spill-merge perf gate -----------------------------------------------
+# The partitioned spilled-run merge against its single-threaded twin
+# (100k rows, 16 runs), gated against BENCH_spill_merge.json the same
+# way. The baseline was captured on a single-core host; the gate is a
+# relative regression check per bench id, not a parallel-speedup claim.
+echo "== spill-merge perf gate =="
+spill_json="$PWD/target/perf/spill_merge_smoke.json"
+rm -f "$spill_json"
+ROWSORT_SPILL_ROWS=100000 ROWSORT_BENCH_JSON="$spill_json" \
+    cargo bench --offline -q -p rowsort-bench --bench spill_merge
+if [ ! -s "$spill_json" ]; then
+    echo "verify: spill_merge bench wrote no report to $spill_json" >&2
+    exit 1
+fi
+if [ ! -s BENCH_spill_merge.json ]; then
+    echo "verify: baseline BENCH_spill_merge.json is missing or empty" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p rowsort-bench --bin bench_gate -- \
+    BENCH_spill_merge.json "$spill_json" --tolerance 25
 
 # --- 7. Spill fault-injection stress ----------------------------------------
 # 50 seeded iterations of the differential stress loop (DESIGN.md §8.5):
