@@ -287,6 +287,7 @@ where
 
         let count = (end_l - start_l).min(end_r - start_r);
         for i in 0..count {
+            debug_assert!(start_l < end_l && start_r < end_r);
             let a = l + offsets_l[start_l + i] as usize;
             let b = r - 1 - offsets_r[start_r + i] as usize;
             v.swap(a, b);

@@ -279,6 +279,7 @@ fn scatter_pass(
     // Flush the partially filled buckets.
     for (b, &f) in fill.iter().enumerate() {
         if f > 0 {
+            debug_assert!(f < WC_BUCKET_ROWS);
             let at = offsets[b];
             dst[at * width..(at + f) * width].copy_from_slice(&wc[b * slot..b * slot + f * width]);
         }

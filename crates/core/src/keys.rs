@@ -153,10 +153,15 @@ impl KeyBlock {
         let base = self.len;
         let n = hi - lo;
         self.data.resize((base + n) * stride, 0);
-        for (k, &col_idx) in self.key_columns.iter().enumerate() {
+        // The layout may hold fewer columns than the ORDER BY: it stops
+        // at the first truncatable VARCHAR (later columns' bytes could
+        // wrongly decide a comparison before that column's truncation
+        // tie is detected); dropped columns are ordered by the caller's
+        // full-tuple tie comparator instead.
+        for (k, col) in self.layout.columns().iter().enumerate() {
             encode_column_range_into(
-                chunk.column(col_idx),
-                &self.layout.columns()[k],
+                chunk.column(self.key_columns[k]),
+                col,
                 &mut self.data,
                 stride,
                 self.layout.offset(k),

@@ -72,6 +72,11 @@ pub struct FnItem {
     /// Return type as normalized text (`Result<(),SpillError>`), empty for
     /// unit. Whitespace-free so callers match with `contains`.
     pub ret: String,
+    /// Parameter names in declaration order (`self` included when
+    /// present). Patterns that bind no single name (`(a, b): (u32, u32)`)
+    /// contribute an empty string placeholder so positions stay aligned
+    /// for caller-argument mapping.
+    pub params: Vec<String>,
     /// Body, `None` for trait-required methods and extern decls.
     pub body: Option<Block>,
 }
@@ -98,6 +103,10 @@ pub enum Stmt {
     Let {
         /// The pattern is the wildcard `_`.
         underscore: bool,
+        /// The bound name when the pattern is a single identifier
+        /// (`let x = …`, `let mut x = …`, `let ref x = …`); `None` for
+        /// `_`, tuple/struct patterns, and anything else destructuring.
+        name: Option<String>,
         /// Initializer, if any.
         init: Option<Expr>,
         /// 1-based line of the `let`.
@@ -194,9 +203,17 @@ pub enum Expr {
         /// Operand.
         expr: Box<Expr>,
     },
-    /// An operator chain `a + b < c` — operands in source order, the
-    /// operators themselves are not recorded.
-    Bin(Vec<Expr>),
+    /// An operator chain `a + b < c` — operands in source order with the
+    /// operator spelled between `args[i]` and `args[i+1]` at `ops[i]`.
+    /// Operators are recorded as their full compound spelling (`"<="`,
+    /// `"+="`, `".."`); parse recovery can leave `ops` shorter than
+    /// `args.len() - 1`, so index it defensively.
+    Bin {
+        /// Operator spellings, in source order.
+        ops: Vec<String>,
+        /// Operands, in source order.
+        args: Vec<Expr>,
+    },
     /// A plain `{ … }` block expression.
     Block(Block),
     /// An `unsafe { … }` block.
@@ -229,12 +246,37 @@ pub enum Expr {
     Match(Vec<Expr>),
     /// `|args| body` / `move || body`.
     Closure {
+        /// Parameter names in declaration order; patterns that bind no
+        /// single name contribute an empty-string placeholder.
+        params: Vec<String>,
         /// Closure body.
         body: Box<Expr>,
     },
+    /// `return`/`break`/`continue`, with the carried value if any. These
+    /// are control-flow edges, not values — the CFG lowering depends on
+    /// telling them apart from ordinary expressions.
+    Jump {
+        /// Which jump.
+        kind: JumpKind,
+        /// The returned/broken value (`return x`, `break x`).
+        value: Option<Box<Expr>>,
+        /// 1-based line of the keyword.
+        line: u32,
+    },
     /// Everything else, sub-expressions preserved (tuples, arrays,
-    /// ranges, struct literals, `return`/`break` operands, …).
+    /// ranges, struct literals, `yield` operands, …).
     Other(Vec<Expr>),
+}
+
+/// Discriminates [`Expr::Jump`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JumpKind {
+    /// `return`.
+    Return,
+    /// `break` (labels are not modeled; `break` targets the innermost loop).
+    Break,
+    /// `continue`.
+    Continue,
 }
 
 impl Expr {
@@ -261,9 +303,14 @@ impl Expr {
                 index.walk(f);
             }
             Expr::Unary { expr, .. } => expr.walk(f),
-            Expr::Bin(items) | Expr::Match(items) | Expr::Other(items) => {
+            Expr::Bin { args: items, .. } | Expr::Match(items) | Expr::Other(items) => {
                 for e in items {
                     e.walk(f);
+                }
+            }
+            Expr::Jump { value, .. } => {
+                if let Some(v) = value {
+                    v.walk(f);
                 }
             }
             Expr::Block(b) | Expr::Unsafe { block: b, .. } => b.walk_exprs(f),
@@ -280,7 +327,7 @@ impl Expr {
                     e.walk(f);
                 }
             }
-            Expr::Closure { body } => body.walk(f),
+            Expr::Closure { body, .. } => body.walk(f),
             Expr::Path { .. } | Expr::Lit { .. } => {}
         }
     }

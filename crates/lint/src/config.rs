@@ -31,6 +31,15 @@
 //! [unsafe-budget]        # R013
 //! max-statements = 8
 //!
+//! [taint-sources]        # R021: calls producing untrusted bytes
+//! calls = [".read", ".read_exact", "Self::fill"]
+//!
+//! [taint-sanitizers]     # R021: calls that launder a tainted value
+//! calls = []
+//!
+//! [taint-sinks]          # R021: extra allocation-size sinks
+//! calls = []
+//!
 //! [severity]             # per-rule override, "deny" (default) or "warn"
 //! R011 = "warn"
 //! ```
@@ -71,6 +80,12 @@ pub struct Config {
     pub spill_cleanup_allow: Vec<String>,
     /// R013: maximum statements per `unsafe` block.
     pub unsafe_max_stmts: usize,
+    /// R021: calls producing untrusted bytes (`.method` or `Path::fn`).
+    pub taint_sources: Vec<String>,
+    /// R021: calls that launder a tainted value.
+    pub taint_sanitizers: Vec<String>,
+    /// R021: extra allocation-size sinks beyond the built-ins.
+    pub taint_sinks: Vec<String>,
     /// Per-rule severity overrides (`R011` → `warn`).
     pub severity: Vec<(String, String)>,
 }
@@ -88,6 +103,9 @@ impl Default for Config {
             atomic_relaxed_allow: Vec::new(),
             spill_cleanup_allow: Vec::new(),
             unsafe_max_stmts: 8,
+            taint_sources: Vec::new(),
+            taint_sanitizers: Vec::new(),
+            taint_sinks: Vec::new(),
             severity: Vec::new(),
         }
     }
@@ -121,6 +139,14 @@ impl Config {
                                 .map(|(p, q)| (p.to_string(), q.to_string()))
                         })
                         .collect();
+                }
+                (section @ ("taint-sources" | "taint-sanitizers" | "taint-sinks"), "calls") => {
+                    let calls = toml_scan::array_strings(&item.value);
+                    match section {
+                        "taint-sources" => cfg.taint_sources = calls,
+                        "taint-sanitizers" => cfg.taint_sanitizers = calls,
+                        _ => cfg.taint_sinks = calls,
+                    }
                 }
                 ("unsafe-budget", "max-statements") => {
                     if let Ok(n) = item.value.trim().parse::<usize>() {

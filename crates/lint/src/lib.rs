@@ -29,7 +29,10 @@ pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod parser;
+pub mod cfg;
+pub mod dataflow;
 pub mod rules;
+pub mod taint;
 mod toml_scan;
 
 pub use config::Config;
@@ -37,15 +40,66 @@ pub use rules::Finding;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Wall-clock timing for a workspace run, surfaced by `--timing`.
+///
+/// Rule timings accumulate per rule group across every file and crate
+/// unit; parse timings are one entry per `.rs` file (lex + AST parse in
+/// the deep-analysis pass). Collection is always on — two `Instant`
+/// reads per rule invocation cost nothing next to the analysis itself —
+/// and the CLI decides whether to render it.
+#[derive(Debug, Default)]
+pub struct Timing {
+    /// `(rule id, accumulated elapsed ms)`, insertion-ordered.
+    pub rules_ms: Vec<(String, f64)>,
+    /// `(repo-relative path, lex+parse elapsed ms)`.
+    pub parse_ms: Vec<(String, f64)>,
+}
+
+impl Timing {
+    /// Accumulate `ms` into the bucket for `rule`.
+    pub fn add_rule(&mut self, rule: &str, ms: f64) {
+        match self.rules_ms.iter_mut().find(|(r, _)| r == rule) {
+            Some((_, total)) => *total += ms,
+            None => self.rules_ms.push((rule.to_string(), ms)),
+        }
+    }
+
+    /// Record the lex+parse time for one file.
+    pub fn add_parse(&mut self, path: &str, ms: f64) {
+        self.parse_ms.push((path.to_string(), ms));
+    }
+}
+
+/// Milliseconds elapsed since `t0`, for [`Timing`] buckets.
+pub fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1000.0
+}
 
 /// Analyze one file's source text. Dispatches on file name: `Cargo.toml`
 /// gets the manifest audit (R005), `.rs` gets the token rules.
 /// `rel_path` must be workspace-relative with `/` separators.
 pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    analyze_source_timed(rel_path, src, cfg, None)
+}
+
+/// [`analyze_source`] with optional per-rule timing capture.
+pub fn analyze_source_timed(
+    rel_path: &str,
+    src: &str,
+    cfg: &Config,
+    timing: Option<&mut Timing>,
+) -> Vec<Finding> {
     if rel_path == "Cargo.toml" || rel_path.ends_with("/Cargo.toml") {
-        rules::check_manifest(rel_path, src)
+        let t0 = Instant::now();
+        let findings = rules::check_manifest(rel_path, src);
+        if let Some(t) = timing {
+            t.add_rule("R005", ms_since(t0));
+        }
+        findings
     } else if rel_path.ends_with(".rs") {
-        rules::analyze_rust(rel_path, src, cfg)
+        rules::analyze_rust_timed(rel_path, src, cfg, timing)
     } else {
         Vec::new()
     }
@@ -67,6 +121,8 @@ pub struct Report {
     pub stale_baseline: Vec<baseline::BaselineEntry>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Per-rule and per-file wall-clock timings (`--timing`).
+    pub timing: Timing,
 }
 
 /// Walk the workspace rooted at `root`, run both analysis passes
@@ -91,7 +147,7 @@ pub fn run_workspace(
     for rel in &files {
         let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
         report.files_scanned += 1;
-        findings.extend(analyze_source(rel, &src, cfg));
+        findings.extend(analyze_source_timed(rel, &src, cfg, Some(&mut report.timing)));
         if rel.ends_with(".rs") {
             let unit = crate_unit(rel);
             match units.iter_mut().find(|(u, _)| *u == unit) {
@@ -101,7 +157,11 @@ pub fn run_workspace(
         }
     }
     for (_, unit_files) in &units {
-        findings.extend(rules::analyze_unit(unit_files, cfg));
+        findings.extend(rules::analyze_unit_timed(
+            unit_files,
+            cfg,
+            Some(&mut report.timing),
+        ));
     }
     findings
         .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));

@@ -1,7 +1,7 @@
 //! `rowsort-lint` — run the workspace analyzer from the command line.
 //!
 //! ```text
-//! rowsort-lint [--root DIR] [--json] [--write-baseline]
+//! rowsort-lint [--root DIR] [--json] [--timing] [--write-baseline]
 //!              [--baseline-diff] [--prune-baseline] [--explain RXXX]
 //! ```
 //!
@@ -10,6 +10,9 @@
 //!
 //! - `--json` emits one machine-readable document on stdout (CI uploads
 //!   it as the findings artifact).
+//! - `--timing` adds per-rule elapsed-ms and per-file parse-ms to the
+//!   `--json` document (key `timing`); without `--json` it prints a
+//!   human-readable timing table after the findings.
 //! - `--write-baseline` records all current errors into
 //!   `lint-baseline.json` so a new rule can land warn-only.
 //! - `--baseline-diff` prints only findings *not* in the baseline — the
@@ -26,6 +29,7 @@ use std::process::ExitCode;
 struct Args {
     root: PathBuf,
     json: bool,
+    timing: bool,
     write_baseline: bool,
     baseline_diff: bool,
     prune_baseline: bool,
@@ -36,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         json: false,
+        timing: false,
         write_baseline: false,
         baseline_diff: false,
         prune_baseline: false,
@@ -45,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--timing" => args.timing = true,
             "--write-baseline" => args.write_baseline = true,
             "--baseline-diff" => args.baseline_diff = true,
             "--prune-baseline" => args.prune_baseline = true,
@@ -59,7 +65,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: rowsort-lint [--root DIR] [--json] [--write-baseline] \
+                    "usage: rowsort-lint [--root DIR] [--json] [--timing] [--write-baseline] \
                      [--baseline-diff] [--prune-baseline] [--explain RXXX]"
                         .into(),
                 )
@@ -79,6 +85,65 @@ fn finding_json(f: &Finding, severity: &str) -> Json {
         ("col", Json::Num(f.col as f64)),
         ("message", Json::str(f.message.clone())),
     ])
+}
+
+/// Round to 3 decimal places — microsecond resolution is plenty for a
+/// timing report and keeps the JSON stable-width.
+fn round_ms(ms: f64) -> f64 {
+    (ms * 1000.0).round() / 1000.0
+}
+
+/// The `timing` section of the `--json` document: accumulated elapsed
+/// ms per rule group, lex+parse ms per file.
+fn timing_json(t: &lint::Timing) -> Json {
+    Json::obj(vec![
+        (
+            "rules_ms",
+            Json::obj(
+                t.rules_ms
+                    .iter()
+                    .map(|(r, ms)| (r.as_str(), Json::Num(round_ms(*ms))))
+                    .collect(),
+            ),
+        ),
+        (
+            "parse_ms",
+            Json::obj(
+                t.parse_ms
+                    .iter()
+                    .map(|(p, ms)| (p.as_str(), Json::Num(round_ms(*ms))))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn print_timing(t: &lint::Timing) {
+    let mut rules: Vec<(&str, f64)> = t
+        .rules_ms
+        .iter()
+        .map(|(r, ms)| (r.as_str(), *ms))
+        .collect();
+    rules.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("timing (rules, total ms):");
+    for (rule, ms) in rules {
+        println!("  {rule:<16} {:>9.3}", ms);
+    }
+    let mut files: Vec<(&str, f64)> = t
+        .parse_ms
+        .iter()
+        .map(|(p, ms)| (p.as_str(), *ms))
+        .collect();
+    files.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    let total: f64 = files.iter().map(|(_, ms)| ms).sum();
+    println!(
+        "timing (parse, {:.3} ms over {} file(s); slowest 10):",
+        total,
+        files.len()
+    );
+    for (path, ms) in files.iter().take(10) {
+        println!("  {path:<56} {:>9.3}", ms);
+    }
 }
 
 /// `R001: 2, R013: 5`-style summary over every reported finding.
@@ -159,7 +224,9 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             None => {
-                eprintln!("rowsort-lint: unknown rule `{rule}` (rules: R000–R006, R010–R013)");
+                eprintln!(
+                    "rowsort-lint: unknown rule `{rule}` (rules: R000–R006, R010–R013, R020–R023)"
+                );
                 ExitCode::from(2)
             }
         };
@@ -214,7 +281,7 @@ fn main() -> ExitCode {
             entries.extend(report.warn_severity.iter().map(|f| finding_json(f, "warn")));
         }
         let counts = per_rule_counts(&report);
-        let doc = Json::obj(vec![
+        let mut fields = vec![
             ("files_scanned", Json::Num(report.files_scanned as f64)),
             ("findings", Json::Arr(entries)),
             (
@@ -242,10 +309,16 @@ fn main() -> ExitCode {
                         .collect(),
                 ),
             ),
-        ]);
-        println!("{}", doc.render());
+        ];
+        if args.timing {
+            fields.push(("timing", timing_json(&report.timing)));
+        }
+        println!("{}", Json::obj(fields).render());
     } else {
         print_human(&report, args.baseline_diff);
+        if args.timing {
+            print_timing(&report.timing);
+        }
     }
 
     if report.errors.is_empty() {

@@ -14,7 +14,7 @@
 //! where `unsafe` blocks begin and end (as token spans), which `let _ =`
 //! discards a value, and which index expressions use a literal subscript.
 
-use crate::ast::{Block, Container, ContainerKind, Expr, File, FnItem, Item, Stmt};
+use crate::ast::{Block, Container, ContainerKind, Expr, File, FnItem, Item, JumpKind, Stmt};
 use crate::lexer::{Tok, TokKind};
 
 /// Parse a lexed file. `toks` is the full token stream *including*
@@ -254,8 +254,18 @@ impl<'a> Parser<'a> {
     /// stop condition, with delimiters balanced. Returns true if the whole
     /// pattern was exactly the wildcard `_`.
     fn skip_pattern(&mut self, stop: &dyn Fn(&Parser) -> bool) -> bool {
+        self.skip_pattern_named(stop).0
+    }
+
+    /// Like [`skip_pattern`], but also captures the bound name when the
+    /// pattern is a single identifier binding (`x`, `mut x`, `ref x`,
+    /// `_x`). Destructuring patterns, paths, and the bare wildcard yield
+    /// `None` — the dataflow engine treats those bindings as opaque.
+    fn skip_pattern_named(&mut self, stop: &dyn Fn(&Parser) -> bool) -> (bool, Option<String>) {
         let mut seen = 0usize;
         let mut underscore = false;
+        let mut name: Option<String> = None;
+        let mut complex = false;
         loop {
             if self.at_eof() || (self.depth0() && stop(self)) {
                 break;
@@ -264,25 +274,38 @@ impl<'a> Parser<'a> {
             if t.is_punct('(') {
                 self.skip_group('(', ')');
                 seen += 2;
+                complex = true;
                 continue;
             }
             if t.is_punct('[') {
                 self.skip_group('[', ']');
                 seen += 2;
+                complex = true;
                 continue;
             }
             if t.is_punct('{') {
                 self.skip_group('{', '}');
                 seen += 2;
+                complex = true;
                 continue;
             }
             if t.is_ident("_") {
                 underscore = seen == 0;
+                complex = true;
+            } else if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "mut" | "ref" => {}
+                    _ if name.is_none() && !complex => name = Some(t.text.clone()),
+                    _ => complex = true,
+                }
+            } else {
+                // `&`, `::`, `@`, literals — not a plain binding.
+                complex = true;
             }
             seen += 1;
             self.pos += 1;
         }
-        underscore && seen == 1
+        (underscore && seen == 1, if complex { None } else { name })
     }
 
     /// True when not nested — `skip_pattern` consumes groups wholesale, so
@@ -539,9 +562,11 @@ impl<'a> Parser<'a> {
         self.eat_ident("fn");
         let name = self.ident_text().unwrap_or_default();
         self.skip_generics();
-        if self.at_punct('(') {
-            self.skip_group('(', ')');
-        }
+        let params = if self.at_punct('(') {
+            self.fn_params()
+        } else {
+            Vec::new()
+        };
         let ret = if self.at_punct2('-', '>') {
             self.pos += 2;
             self.ret_text()
@@ -581,8 +606,89 @@ impl<'a> Parser<'a> {
             col,
             is_test,
             ret,
+            params,
             body,
         }
+    }
+
+    /// Parse a `(…)` parameter list, capturing each parameter's bound
+    /// name; cursor at `(`. A parameter whose pattern is not a single
+    /// identifier (tuple/struct destructuring) contributes an empty
+    /// string so positions stay aligned for argument mapping. `self`
+    /// receivers (including `&mut self` and `self: Arc<Self>`) appear as
+    /// `"self"`.
+    fn fn_params(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.eat_punct('(');
+        loop {
+            if self.at_eof() {
+                break;
+            }
+            if self.at_punct(')') {
+                self.pos += 1;
+                break;
+            }
+            let mut name = String::new();
+            let mut complex = false;
+            let mut saw_colon = false;
+            loop {
+                if self.at_eof() {
+                    break;
+                }
+                let Some(t) = self.tok(0) else { break };
+                if t.is_punct(')') || t.is_punct(',') {
+                    break;
+                }
+                if t.is_punct('(') {
+                    self.skip_group('(', ')');
+                    complex = complex || !saw_colon;
+                    continue;
+                }
+                if t.is_punct('[') {
+                    self.skip_group('[', ']');
+                    complex = complex || !saw_colon;
+                    continue;
+                }
+                if t.is_punct('{') {
+                    self.skip_group('{', '}');
+                    complex = complex || !saw_colon;
+                    continue;
+                }
+                if t.is_punct('<') {
+                    // Generic arguments in the type (`HashMap<K, V>`):
+                    // consume wholesale so their commas don't split params.
+                    self.skip_generics();
+                    continue;
+                }
+                if t.is_punct(':') {
+                    saw_colon = true;
+                    self.pos += 1;
+                    continue;
+                }
+                if !saw_colon {
+                    if t.kind == TokKind::Ident {
+                        match t.text.as_str() {
+                            "mut" | "ref" | "dyn" | "impl" => {}
+                            "self" => name = "self".to_string(),
+                            _ if name.is_empty() && !complex => name = t.text.clone(),
+                            _ => complex = true,
+                        }
+                    } else if !(t.is_punct('&') || t.kind == TokKind::Lifetime) {
+                        complex = true;
+                    }
+                }
+                self.pos += 1;
+            }
+            out.push(if complex && name != "self" {
+                String::new()
+            } else {
+                name
+            });
+            if !self.eat_punct(',') && !self.at_punct(')') && !self.at_eof() {
+                self.pos += 1; // recovery: never loop in place
+            }
+        }
+        out
     }
 
     // -- blocks and statements ----------------------------------------------
@@ -689,7 +795,7 @@ impl<'a> Parser<'a> {
         let line = self.tok(0).map(|t| t.line).unwrap_or(0);
         self.eat_ident("let");
         // Pattern up to `=` (not `==`), `;`, or `:` type annotation.
-        let underscore = self.skip_pattern(&|p| {
+        let (underscore, name) = self.skip_pattern_named(&|p| {
             p.at_punct(';')
                 || (p.at_punct('=') && !p.tok(1).is_some_and(|n| n.is_punct('=')))
                 || p.at_punct(':')
@@ -712,6 +818,7 @@ impl<'a> Parser<'a> {
         self.eat_punct(';');
         Stmt::Let {
             underscore,
+            name,
             init,
             line,
         }
@@ -723,13 +830,18 @@ impl<'a> Parser<'a> {
     /// literals (off in `if`/`while`/`match`/`for` head positions).
     fn expr(&mut self, allow_struct: bool) -> Expr {
         let mut units = vec![self.unit(allow_struct)];
+        let mut ops: Vec<String> = Vec::new();
         loop {
             let Some(t) = self.tok(0) else { break };
             // Range `..` / `..=`.
             if self.at_punct2('.', '.') {
                 self.pos += 2;
-                self.eat_punct('=');
+                let mut op = String::from("..");
+                if self.eat_punct('=') {
+                    op.push('=');
+                }
                 if self.operand_follows(allow_struct) {
+                    ops.push(op);
                     units.push(self.unit(allow_struct));
                 }
                 continue;
@@ -739,19 +851,37 @@ impl<'a> Parser<'a> {
                 // runs of single-char tokens. Consume the first char, then
                 // any tail chars that cannot begin an operand — `&x`, `*p`,
                 // `-1`, `!b`, `|c| …` prefixes stay with the next operand.
+                let mut op = t.text.clone();
                 self.pos += 1;
                 if t.is_punct('|') {
                     // `||` logical-or: a leftover `|` would misparse as a
                     // closure head, so take both pipes here.
-                    self.eat_punct('|');
+                    if self.eat_punct('|') {
+                        op.push('|');
+                    }
                 }
-                while self.tok(0).is_some_and(|n| {
-                    n.kind == TokKind::Punct
+                if t.is_punct('&') {
+                    // `&&` logical-and: a leftover `&` would attach to the
+                    // next operand as a reference prefix, hiding the
+                    // conjunction from condition refinement. (`a & &b` is
+                    // misread as `&&` — acceptable: `&` on integers and
+                    // `&&` never mix in one precedence level anyway.)
+                    if self.eat_punct('&') {
+                        op.push('&');
+                    }
+                }
+                while let Some(n) = self.tok(0) {
+                    if n.kind == TokKind::Punct
                         && matches!(n.text.as_str(), "=" | "<" | ">" | "+" | "/" | "%" | "^")
-                }) {
-                    self.pos += 1;
+                    {
+                        op.push_str(&n.text);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
                 }
                 if self.operand_follows(allow_struct) {
+                    ops.push(op);
                     units.push(self.unit(allow_struct));
                 } else {
                     break;
@@ -763,7 +893,7 @@ impl<'a> Parser<'a> {
         if units.len() == 1 {
             units.pop().unwrap_or(Expr::Lit { int: false })
         } else {
-            Expr::Bin(units)
+            Expr::Bin { ops, args: units }
         }
     }
 
@@ -830,26 +960,66 @@ impl<'a> Parser<'a> {
         // Closures.
         if t.is_punct('|') {
             self.pos += 1;
+            let mut params = Vec::new();
             if !self.eat_punct('|') {
                 // Parameter list to the closing `|`; types may contain
-                // groups, which are consumed wholesale.
+                // groups, which are consumed wholesale. Capture each
+                // parameter's bound name (empty for destructuring
+                // patterns) so the dataflow engine can seed worker-id
+                // parameters.
+                let mut name = String::new();
+                let mut complex = false;
+                let mut saw_colon = false;
+                let mut any = false;
                 while let Some(p) = self.tok(0) {
-                    if p.is_punct('|') {
+                    if p.is_punct('|') || p.is_punct(',') {
+                        if any {
+                            params.push(if complex { String::new() } else { name.clone() });
+                        }
+                        name.clear();
+                        complex = false;
+                        saw_colon = false;
+                        any = false;
+                        let done = p.is_punct('|');
                         self.pos += 1;
-                        break;
+                        if done {
+                            break;
+                        }
+                        continue;
                     }
                     if p.is_punct('(') {
                         self.skip_group('(', ')');
+                        complex = complex || !saw_colon;
+                        any = true;
                         continue;
                     }
                     if p.is_punct('[') {
                         self.skip_group('[', ']');
+                        complex = complex || !saw_colon;
+                        any = true;
                         continue;
                     }
                     if p.is_punct('<') {
                         self.skip_generics();
                         continue;
                     }
+                    if p.is_punct(':') {
+                        saw_colon = true;
+                        self.pos += 1;
+                        continue;
+                    }
+                    if !saw_colon {
+                        if p.kind == TokKind::Ident {
+                            match p.text.as_str() {
+                                "mut" | "ref" => {}
+                                _ if name.is_empty() && !complex => name = p.text.clone(),
+                                _ => complex = true,
+                            }
+                        } else if !(p.is_punct('&') || p.kind == TokKind::Lifetime) {
+                            complex = true;
+                        }
+                    }
+                    any = true;
                     self.pos += 1;
                 }
             }
@@ -860,6 +1030,7 @@ impl<'a> Parser<'a> {
             }
             let body = self.expr(allow_struct);
             return Expr::Closure {
+                params,
                 body: Box::new(body),
             };
         }
@@ -995,15 +1166,28 @@ impl<'a> Parser<'a> {
                     }
                 }
                 "return" | "break" | "continue" | "yield" => {
+                    let kind = match t.text.as_str() {
+                        "return" => Some(JumpKind::Return),
+                        "break" => Some(JumpKind::Break),
+                        "continue" => Some(JumpKind::Continue),
+                        _ => None,
+                    };
                     self.pos += 1;
                     if self.tok(0).is_some_and(|n| n.kind == TokKind::Lifetime) {
                         self.pos += 1; // `break 'label`
                     }
-                    if self.operand_follows(allow_struct) {
-                        let inner = self.expr(allow_struct);
-                        Expr::Other(vec![inner])
+                    let value = if self.operand_follows(allow_struct) {
+                        Some(self.expr(allow_struct))
                     } else {
-                        Expr::Other(Vec::new())
+                        None
+                    };
+                    match kind {
+                        Some(kind) => Expr::Jump {
+                            kind,
+                            value: value.map(Box::new),
+                            line,
+                        },
+                        None => Expr::Other(value.into_iter().collect()),
                     }
                 }
                 "const" => {

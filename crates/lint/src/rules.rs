@@ -24,6 +24,7 @@
 use crate::ast;
 use crate::callgraph::{self, Graph, Target, UnitFile};
 use crate::config::Config;
+use crate::dataflow;
 use crate::lexer::{lex, Tok, TokKind};
 use crate::parser;
 use crate::toml_scan;
@@ -101,6 +102,29 @@ struct Suppression {
 /// Analyze one Rust source file. `path` must be repo-relative with `/`
 /// separators; scoped rules consult `cfg` to decide applicability.
 pub fn analyze_rust(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    analyze_rust_timed(path, src, cfg, None)
+}
+
+/// Time one rule invocation into `timing` (when capture is on).
+fn timed(
+    timing: &mut Option<&mut crate::Timing>,
+    rule: &str,
+    f: impl FnOnce(),
+) {
+    let t0 = std::time::Instant::now();
+    f();
+    if let Some(t) = timing.as_deref_mut() {
+        t.add_rule(rule, crate::ms_since(t0));
+    }
+}
+
+/// [`analyze_rust`] with optional per-rule timing capture.
+pub fn analyze_rust_timed(
+    path: &str,
+    src: &str,
+    cfg: &Config,
+    mut timing: Option<&mut crate::Timing>,
+) -> Vec<Finding> {
     let toks = lex(src);
     let ctx = FileCtx {
         path,
@@ -112,15 +136,15 @@ pub fn analyze_rust(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     let mut findings = Vec::new();
     let suppressions = collect_suppressions(&ctx, &mut findings);
 
-    rule_r001(&ctx, &mut findings);
+    timed(&mut timing, "R001", || rule_r001(&ctx, &mut findings));
     if Config::matches(&cfg.hot_paths, path) {
-        rule_r002(&ctx, &mut findings);
-        rule_r003(&ctx, &mut findings);
+        timed(&mut timing, "R002", || rule_r002(&ctx, &mut findings));
+        timed(&mut timing, "R003", || rule_r003(&ctx, &mut findings));
     }
     if Config::matches(&cfg.cast_strict, path) {
-        rule_r004(&ctx, &mut findings);
+        timed(&mut timing, "R004", || rule_r004(&ctx, &mut findings));
     }
-    rule_r006(&ctx, cfg, &mut findings);
+    timed(&mut timing, "R006", || rule_r006(&ctx, cfg, &mut findings));
 
     findings.retain(|f| {
         f.rule == "R000"
@@ -361,7 +385,20 @@ fn collect_suppressions(ctx: &FileCtx, findings: &mut Vec<Finding>) -> Vec<Suppr
 fn valid_rule_id(r: &str) -> bool {
     matches!(
         r,
-        "R001" | "R002" | "R003" | "R004" | "R005" | "R006" | "R010" | "R011" | "R012" | "R013"
+        "R001"
+            | "R002"
+            | "R003"
+            | "R004"
+            | "R005"
+            | "R006"
+            | "R010"
+            | "R011"
+            | "R012"
+            | "R013"
+            | "R020"
+            | "R021"
+            | "R022"
+            | "R023"
     )
 }
 
@@ -814,22 +851,40 @@ fn rule_r006(ctx: &FileCtx, cfg: &Config, findings: &mut Vec<Finding>) {
 /// rules. `files` holds `(repo-relative path, source)` pairs. Findings are
 /// already suppression-filtered and sorted.
 pub fn analyze_unit(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    analyze_unit_timed(files, cfg, None)
+}
+
+/// [`analyze_unit`] with optional per-rule and per-file-parse timing
+/// capture.
+pub fn analyze_unit_timed(
+    files: &[(String, String)],
+    cfg: &Config,
+    mut timing: Option<&mut crate::Timing>,
+) -> Vec<Finding> {
     let mut ufs: Vec<UnitFile> = Vec::new();
     let mut toks_per_file: Vec<Vec<Tok>> = Vec::new();
     for (path, src) in files {
         if !path.ends_with(".rs") {
             continue;
         }
+        let t0 = std::time::Instant::now();
         let toks = lex(src);
+        let file = parser::parse(&toks);
+        if let Some(t) = timing.as_deref_mut() {
+            t.add_parse(path, crate::ms_since(t0));
+        }
         ufs.push(UnitFile {
             path: path.clone(),
-            file: parser::parse(&toks),
+            file,
             is_test: Config::matches(&cfg.test_paths, path),
         });
         toks_per_file.push(toks);
     }
     let graph = Graph::build(&ufs);
-    let mut findings = graph.panic_reachability(&cfg.hot_entries);
+    let mut findings = Vec::new();
+    timed(&mut timing, "R010", || {
+        findings = graph.panic_reachability(&cfg.hot_entries);
+    });
     for (uf, toks) in ufs.iter().zip(&toks_per_file) {
         if uf.is_test {
             continue; // whole-file test scaffolding: deep rules exempt
@@ -841,13 +896,18 @@ pub fn analyze_unit(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
             file_is_test: false,
         };
         if !Config::matches(&cfg.atomic_relaxed_allow, &uf.path) {
-            rule_r011(&ctx, &mut findings);
+            timed(&mut timing, "R011", || rule_r011(&ctx, &mut findings));
         }
         if !Config::matches(&cfg.spill_cleanup_allow, &uf.path) {
-            rule_r012(&uf.path, &uf.file, &graph, &mut findings);
+            timed(&mut timing, "R012", || {
+                rule_r012(&uf.path, &uf.file, &graph, &mut findings)
+            });
         }
-        rule_r013(&ctx, &uf.file, cfg.unsafe_max_stmts, &mut findings);
+        timed(&mut timing, "R013", || {
+            rule_r013(&ctx, &uf.file, cfg.unsafe_max_stmts, &mut findings)
+        });
     }
+    flow_rules(&ufs, cfg, &mut findings, &mut timing);
     // Per-file suppression pass (R010 findings can land in any file of
     // the unit, so this runs after all rules). R000 reasons-missing
     // findings were already emitted by the per-file pass — drop them here.
@@ -869,6 +929,51 @@ pub fn analyze_unit(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
     }
     findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
     findings
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow rules: R020–R023 over the CFG + abstract-state engine
+// ---------------------------------------------------------------------------
+
+/// Run the dataflow rules over the unit. R021 goes first because its
+/// dynamic-source fixed point enriches the taint spec the shared engine
+/// for R020/R023 then reads.
+///
+/// Timing attribution: the shared worklist solve feeds both R020 and
+/// R023, so its cost is reported as its own `R020/R023 solve` bucket
+/// rather than arbitrarily charged to either rule.
+fn flow_rules(
+    ufs: &[UnitFile],
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+    timing: &mut Option<&mut crate::Timing>,
+) {
+    let mut spec = dataflow::TaintSpec::from_config(cfg);
+    timed(timing, "R021", || {
+        crate::taint::check_r021(ufs, &mut spec, findings)
+    });
+    let engine = dataflow::Engine { spec: &spec };
+    for uf in ufs {
+        if uf.is_test {
+            continue;
+        }
+        for frame in dataflow::frames(&uf.file) {
+            if frame.is_test {
+                continue;
+            }
+            let mut flow = dataflow::Flow { before: Vec::new() };
+            timed(timing, "R020/R023 solve", || {
+                flow = engine.run(&frame.cfg, &Default::default());
+            });
+            timed(timing, "R020", || {
+                dataflow::check_r020(&uf.path, &frame, &engine, &flow, findings)
+            });
+            timed(timing, "R023", || {
+                dataflow::check_r023(&uf.path, &frame, &engine, &flow, findings)
+            });
+        }
+    }
+    timed(timing, "R022", || dataflow::check_r022(ufs, &spec, findings));
 }
 
 // ---------------------------------------------------------------------------
@@ -1367,6 +1472,58 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              every identifier that feeds a raw-pointer operation or\n\
              unchecked index inside the block. An argument that does not\n\
              name `ptr` says nothing about why `ptr` is valid."
+        }
+        "R020" => {
+            "R020 — unsafe pointer offsets must be bounded\n\n\
+             Inside `unsafe` blocks, every pointer `add`/`offset` and\n\
+             `get_unchecked` index must either be derived from a length\n\
+             (`.len()`, `.capacity()`, extent fields like `total`/`stride`)\n\
+             or be dominated by a comparison bounding it (a branch like\n\
+             `if i < self.len` on every path, or an `assert!`/`debug_assert!`\n\
+             guard). The finding renders the index's def-use chain so the\n\
+             missing bound is visible. Analysis is intra-procedural over a\n\
+             per-function CFG: values returned by calls the engine cannot\n\
+             see are conservatively unbounded — hoist the bound into the\n\
+             function or assert it locally."
+        }
+        "R021" => {
+            "R021 — spill bytes must be sanitized before sizing memory\n\n\
+             Integers decoded from bytes produced by a `[taint-sources]`\n\
+             call (spill-file reads) are attacker-controlled: a corrupt or\n\
+             hostile run file can request a multi-gigabyte allocation or an\n\
+             out-of-range index. Before such a value reaches\n\
+             `Vec::with_capacity`, `resize`, `reserve`, `set_len`, a\n\
+             `[taint-sinks]` call, or a slice index, it must pass a\n\
+             sanitizer — `.min(CAP)`, `try_into`, a `[taint-sanitizers]`\n\
+             call — or a dominating comparison against an untrusted-free\n\
+             bound (`if n > MAX { return Err }`). A small fixed point also\n\
+             treats same-unit functions that return tainted data as\n\
+             sources. `match` bindings are invisible to the loss-tolerant\n\
+             parser, so taint does not flow through them (documented\n\
+             under-approximation)."
+        }
+        "R022" => {
+            "R022 — broadcast closures may only write at id-derived offsets\n\n\
+             A closure handed to `WorkerPool::broadcast` runs concurrently\n\
+             on every worker over shared raw pointers. Any pointer\n\
+             `add`/`offset` it performs (directly or up to three calls deep\n\
+             into same-unit functions its id reaches) must be derived from\n\
+             the worker/morsel/partition id — the closure's parameter or a\n\
+             `fetch_add` ticket — so distinct workers touch disjoint\n\
+             ranges. An offset computed from anything else is a data race\n\
+             waiting for a scheduler interleaving."
+        }
+        "R023" => {
+            "R023 — a bounds guard must dominate the use\n\n\
+             A value compared against a bound on one path but used to index\n\
+             on a merged path where the comparison did not happen has a\n\
+             lost guard: the check convinces the reader without binding the\n\
+             machine. R023 fires when a slice index is reachable both\n\
+             through the guarded and the unguarded path (checked-on-some,\n\
+             not-all). Hoist the check above the merge or re-assert it.\n\
+             `match` guards over `Ordering` are not tracked (match arms\n\
+             carry no refinement) — scope is comparison branches and\n\
+             asserts."
         }
         _ => return None,
     })

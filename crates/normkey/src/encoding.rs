@@ -105,6 +105,25 @@ pub fn invert_bytes(bytes: &mut [u8]) {
     }
 }
 
+/// DuckDB-style truncation/continuation marker for a VARCHAR prefix:
+/// `min(len, prefix_len + 1)`. Appended after the zero-padded prefix, it
+/// disambiguates every case padding alone cannot:
+///
+/// * two strings whose padded prefixes tie but whose lengths differ
+///   (embedded NUL bytes vs padding) order by length — the marker *is*
+///   the length while the string fits;
+/// * a string that fits (`marker <= prefix_len`) sorts before any
+///   truncated string with the same prefix (`marker == prefix_len + 1`),
+///   because the truncated one must be longer;
+/// * two truncated strings keep equal markers — a genuine tie for the
+///   full-value comparator.
+///
+/// Inverted along with the prefix body under DESC.
+#[inline]
+pub fn continuation_marker(len: usize, prefix_len: usize) -> u8 {
+    u8::try_from(len.min(prefix_len + 1)).unwrap_or(u8::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +213,19 @@ mod tests {
         // Constant by construction; keep the documented relation checked.
         const { assert!(NULL_FIRST_NULL < NULL_FIRST_VALID) };
         const { assert!(NULL_LAST_NULL > NULL_LAST_VALID) };
+    }
+
+    #[test]
+    fn continuation_marker_cases() {
+        // Fits: marker is the length.
+        assert_eq!(continuation_marker(0, 12), 0);
+        assert_eq!(continuation_marker(7, 12), 7);
+        assert_eq!(continuation_marker(12, 12), 12);
+        // Truncated: one sentinel above any fitting length.
+        assert_eq!(continuation_marker(13, 12), 13);
+        assert_eq!(continuation_marker(44, 12), 13);
+        // Degenerate huge prefixes saturate instead of wrapping.
+        assert_eq!(continuation_marker(1000, 500), u8::MAX);
     }
 
     #[test]

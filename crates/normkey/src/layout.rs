@@ -16,6 +16,12 @@ pub struct KeyColumn {
     /// fixed-width types). Chosen at plan time from string statistics,
     /// capped at [`DEFAULT_MAX_PREFIX`] by [`KeyColumn::varchar`].
     pub prefix_len: usize,
+    /// Whether strings longer than `prefix_len` can occur (from the
+    /// statistics handed to [`KeyColumn::varchar`]). A non-truncatable
+    /// VARCHAR encodes *exactly* — its prefix plus the continuation
+    /// marker byte determine the full value — so it is radix-sortable
+    /// and never needs tie resolution.
+    pub truncatable: bool,
 }
 
 impl KeyColumn {
@@ -29,29 +35,43 @@ impl KeyColumn {
             ty,
             spec,
             prefix_len: 0,
+            truncatable: false,
         }
     }
 
     /// A VARCHAR key column. `max_len_stat` is the maximum string byte
-    /// length known from statistics; the encoded prefix is
+    /// length known from statistics (it must be a true upper bound over
+    /// the rows this column will encode); the encoded prefix is
     /// `min(max_len_stat, 12)`, as in the paper's DuckDB implementation.
     pub fn varchar(spec: SortSpec, max_len_stat: usize) -> KeyColumn {
+        let prefix_len = max_len_stat.clamp(1, DEFAULT_MAX_PREFIX);
         KeyColumn {
             ty: LogicalType::Varchar,
             spec,
-            prefix_len: max_len_stat.clamp(1, DEFAULT_MAX_PREFIX),
+            prefix_len,
+            truncatable: max_len_stat > prefix_len,
         }
     }
 
-    /// Bytes this column contributes to the key (NULL byte + body).
+    /// Bytes this column contributes to the key. Fixed-width types:
+    /// NULL byte + body. VARCHAR: NULL byte + prefix + the DuckDB-style
+    /// continuation marker byte (`min(len, prefix_len + 1)`), which
+    /// makes "shorter string" vs "padding zeros" vs "truncated" compare
+    /// correctly byte-wise (see `encoding::continuation_marker`).
     pub fn encoded_width(&self) -> usize {
-        1 + self.ty.norm_key_body_width(self.prefix_len)
+        if self.ty == LogicalType::Varchar {
+            1 + self.prefix_len + 1
+        } else {
+            1 + self.ty.norm_key_body_width(self.prefix_len)
+        }
     }
 
     /// Whether two rows with equal encoded bytes may still differ on this
-    /// column (truncated VARCHAR prefix).
+    /// column: only a *truncated* VARCHAR prefix can hide a difference —
+    /// with the continuation marker, a VARCHAR whose values all fit the
+    /// prefix encodes exactly.
     pub fn tie_possible(&self) -> bool {
-        self.ty == LogicalType::Varchar
+        self.ty == LogicalType::Varchar && self.truncatable
     }
 }
 
@@ -71,7 +91,18 @@ pub struct NormKeyLayout {
 
 impl NormKeyLayout {
     /// Compute the layout from per-column specs.
-    pub fn new(columns: Vec<KeyColumn>) -> NormKeyLayout {
+    ///
+    /// The encoded key stops at the first truncatable column: bytes of
+    /// any later column could decide a comparison *before* the earlier
+    /// column's truncation tie is detected (the ROADMAP `ORDER BY s, n`
+    /// mis-sort), so those columns are excluded from the key entirely —
+    /// per-column tie detection by construction. Byte-equal keys are
+    /// then resolved by the caller's full-tuple comparator, which orders
+    /// the dropped columns correctly.
+    pub fn new(mut columns: Vec<KeyColumn>) -> NormKeyLayout {
+        if let Some(first_truncatable) = columns.iter().position(KeyColumn::tie_possible) {
+            columns.truncate(first_truncatable + 1);
+        }
         let mut offsets = Vec::with_capacity(columns.len());
         let mut width = 0usize;
         let mut tie_possible = false;
@@ -144,13 +175,41 @@ mod tests {
     }
 
     #[test]
-    fn varchar_makes_ties_possible() {
+    fn truncatable_varchar_makes_ties_possible() {
         let l = NormKeyLayout::new(vec![
             KeyColumn::fixed(T::Int32, SortSpec::ASC),
-            KeyColumn::varchar(SortSpec::DESC, 12),
+            KeyColumn::varchar(SortSpec::DESC, 44),
         ]);
         assert!(l.tie_possible());
-        assert_eq!(l.width(), (1 + 4) + (1 + 12));
+        // int (null + 4) then varchar (null + 12-byte prefix + marker).
+        assert_eq!(l.width(), (1 + 4) + (1 + 12 + 1));
+    }
+
+    #[test]
+    fn fitting_varchar_encodes_exactly() {
+        // Statistics say every string fits the prefix: the marker byte
+        // makes the encoding exact, so no ties and no column dropping.
+        let l = NormKeyLayout::new(vec![
+            KeyColumn::varchar(SortSpec::ASC, 12),
+            KeyColumn::fixed(T::Int32, SortSpec::ASC),
+        ]);
+        assert!(!l.tie_possible());
+        assert_eq!(l.column_count(), 2);
+        assert_eq!(l.width(), (1 + 12 + 1) + (1 + 4));
+    }
+
+    #[test]
+    fn key_stops_at_first_truncatable_column() {
+        // ORDER BY s, n with a truncatable s: n's bytes must not be able
+        // to decide a comparison before s's truncation tie is detected,
+        // so the key ends at s and n is left to the tie comparator.
+        let l = NormKeyLayout::new(vec![
+            KeyColumn::varchar(SortSpec::ASC, 44),
+            KeyColumn::fixed(T::Int32, SortSpec::ASC),
+        ]);
+        assert!(l.tie_possible());
+        assert_eq!(l.column_count(), 1);
+        assert_eq!(l.width(), 1 + 12 + 1);
     }
 
     #[test]

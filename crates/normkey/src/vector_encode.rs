@@ -39,9 +39,13 @@ pub fn encode_value_into(value: &Value, col: &KeyColumn, out: &mut [u8]) {
             Value::Date(v) => body.copy_from_slice(&encode_i32(*v)),
             Value::Timestamp(v) => body.copy_from_slice(&encode_i64(*v)),
             Value::Varchar(s) => {
+                // Zero-padded prefix, then the continuation marker byte
+                // that makes short-vs-padded-vs-truncated compare exactly.
                 let bytes = s.as_bytes();
-                let n = bytes.len().min(body.len());
+                let prefix = body.len() - 1;
+                let n = bytes.len().min(prefix);
                 body[..n].copy_from_slice(&bytes[..n]);
+                body[prefix] = continuation_marker(bytes.len(), prefix);
             }
             Value::Null => unreachable!(),
         }
@@ -128,6 +132,7 @@ pub fn encode_column_range_into(
         VectorData::Date(values) => encode_loop!(values, encode_i32),
         VectorData::Timestamp(values) => encode_loop!(values, encode_i64),
         VectorData::Varchar(strings) => {
+            let prefix = width - 2; // null byte + prefix + marker byte
             for i in 0..n {
                 let at = (base_row + i) * stride + col_offset;
                 let valid = vec.is_valid(lo + i);
@@ -136,8 +141,9 @@ pub fn encode_column_range_into(
                 body.fill(0);
                 if valid {
                     let bytes = strings.get_bytes(lo + i);
-                    let m = bytes.len().min(body.len());
+                    let m = bytes.len().min(prefix);
                     body[..m].copy_from_slice(&bytes[..m]);
+                    body[prefix] = continuation_marker(bytes.len(), prefix);
                     if desc {
                         invert_bytes(body);
                     }
@@ -214,10 +220,42 @@ mod tests {
             ty: T::Varchar,
             spec: SortSpec::ASC,
             prefix_len: 3,
+            truncatable: true,
         };
         let a = encode_one(&Value::from("abcX"), &col);
         let b = encode_one(&Value::from("abcY"), &col);
         assert_eq!(a, b, "equal prefixes encode equal — tie to be resolved");
+    }
+
+    #[test]
+    fn marker_orders_embedded_nul_after_padding() {
+        // "a" vs "a\0": identical zero-padded prefixes; the marker byte
+        // (the length, while the string fits) breaks the tie correctly.
+        let col = KeyColumn::varchar(SortSpec::ASC, 12);
+        let short = encode_one(&Value::from("a"), &col);
+        let with_nul = encode_one(&Value::from("a\0"), &col);
+        assert!(short < with_nul, "'a' sorts before 'a\\0'");
+    }
+
+    #[test]
+    fn marker_orders_fitting_before_truncated() {
+        // The ROADMAP mis-sort pair: "x"*12 fits (marker 12), "x"*44 is
+        // truncated (marker 13) — identical prefixes, marker decides.
+        let col = KeyColumn::varchar(SortSpec::ASC, 44);
+        let fits = encode_one(&Value::from("x".repeat(12).as_str()), &col);
+        let truncated = encode_one(&Value::from("x".repeat(44).as_str()), &col);
+        assert!(fits < truncated, "fitting string sorts before truncated");
+        // Both truncated with equal prefixes: a genuine tie.
+        let longer = encode_one(&Value::from("x".repeat(13).as_str()), &col);
+        assert_eq!(truncated, longer, "both-truncated equal prefixes tie");
+    }
+
+    #[test]
+    fn marker_inverted_under_desc() {
+        let col = KeyColumn::varchar(SortSpec::DESC, 44);
+        let fits = encode_one(&Value::from("x".repeat(12).as_str()), &col);
+        let truncated = encode_one(&Value::from("x".repeat(44).as_str()), &col);
+        assert!(truncated < fits, "DESC reverses the marker order too");
     }
 
     #[test]

@@ -136,7 +136,7 @@ prop! {
         spec in spec_gen(),
         prefix in 1usize..12,
     ) {
-        let col = KeyColumn { ty: LogicalType::Varchar, spec, prefix_len: prefix };
+        let col = KeyColumn { ty: LogicalType::Varchar, spec, prefix_len: prefix, truncatable: true };
         let enc_ord = encode(&a, &col).cmp(&encode(&b, &col));
         let val_ord = spec.compare_values(&a, &b);
         match enc_ord {

@@ -33,7 +33,21 @@ echo "== rowsort-lint =="
 lint_json="$PWD/target/perf/lint_findings.json"
 mkdir -p target/perf
 cargo run --release --offline -q -p lint --bin rowsort-lint
-cargo run --release --offline -q -p lint --bin rowsort-lint -- --json > "$lint_json"
+# --timing folds per-rule elapsed-ms and per-file parse-ms into the
+# findings document, so the uploaded artifact doubles as an analyzer
+# performance log across CI runs.
+cargo run --release --offline -q -p lint --bin rowsort-lint -- --json --timing > "$lint_json"
+
+# The baseline exists so a new rule can land warn-only while its
+# findings are burned down; a burned-down repo must stay burned down.
+# Any surviving entry (the file renders as {"findings":[]} when clean)
+# fails the gate rather than silently grandfathering new debt.
+if [ -f lint-baseline.json ] && grep -q '"rule"' lint-baseline.json; then
+    echo "verify: lint-baseline.json still grandfathers findings — fix them" >&2
+    echo "verify: (or re-justify with a reasoned lint:allow) and run" >&2
+    echo "verify: rowsort-lint --write-baseline to empty the baseline" >&2
+    exit 1
+fi
 
 # The analyzer's own unit + fixture tests (lexer exact locations, parser
 # recovery, call-graph chain rendering, rule scoping) run here, before the
@@ -41,6 +55,14 @@ cargo run --release --offline -q -p lint --bin rowsort-lint -- --json > "$lint_j
 # focused report.
 echo "== cargo test -p lint =="
 cargo test -q -p lint --offline
+
+# Self-fuzz smoke, explicitly: seeded byte-level mutations of the lint
+# crate's own sources plus pure random byte strings through the whole
+# pipeline (lexer -> parser -> call graph -> CFG dataflow), asserting
+# the analyzer never panics. Runs inside `cargo test -p lint` above too;
+# this named step makes a fuzz regression fail with a focused report.
+echo "== lint self-fuzz smoke =="
+cargo test -q -p lint --test fuzz_smoke --offline
 
 # --- 3. Test ---------------------------------------------------------------
 echo "== cargo test -q --offline =="
